@@ -1,0 +1,359 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each iteration regenerates the experiment on the simulated
+// testbed; the reproduced quantities (packets, seconds of virtual time,
+// byte totals) are attached as custom benchmark metrics so `go test
+// -bench . -benchmem` prints the same rows the paper reports.
+//
+//	BenchmarkTable4JigsawLAN-1  ...  181 pipeline_first_pa  0.49 pipeline_first_sec ...
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// benchSite returns the shared Microscape site (synthesized once).
+func benchSite(b *testing.B) *webgen.Site {
+	b.Helper()
+	site, err := core.DefaultSite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return site
+}
+
+// reportRow attaches one table row's cells as benchmark metrics.
+func reportRow(b *testing.B, prefix string, c core.Cell) {
+	b.ReportMetric(c.Packets, prefix+"_pa")
+	b.ReportMetric(c.Seconds, prefix+"_sec")
+	b.ReportMetric(c.Bytes, prefix+"_bytes")
+}
+
+// BenchmarkTable1Environments measures a bare SYN/SYN-ACK/ACK handshake
+// probe in each environment, confirming the Table 1 RTTs.
+func BenchmarkTable1Environments(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, env := range netem.Environments {
+			sc := core.Scenario{
+				Server: httpserver.ProfileApache, Client: httpclient.ModeHTTP11Serial,
+				Env: env, Workload: httpclient.Revalidate, Seed: uint64(i + 1),
+			}
+			cfg := httpclient.ModeHTTP11Serial.Config()
+			cfg.PageOnly = true
+			sc.ClientOverride = &cfg
+			res, err := core.Run(sc, site)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Elapsed.Seconds(), env.String()+"_probe_sec")
+		}
+	}
+}
+
+func mainTableBench(b *testing.B, number int) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var tab core.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = core.MainTable(number, site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, row := range tab.Rows {
+		key := map[string]string{
+			"HTTP/1.0":                          "http10",
+			"HTTP/1.1":                          "http11",
+			"HTTP/1.1 Pipelined":                "pipeline",
+			"HTTP/1.1 Pipelined w. compression": "pipelinez",
+		}[row.Label]
+		reportRow(b, key+"_first", row.First)
+		reportRow(b, key+"_reval", row.Reval)
+	}
+}
+
+// BenchmarkTable3InitialTuning regenerates the initial (untuned) LAN
+// revalidation investigation.
+func BenchmarkTable3InitialTuning(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Table3(site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		key := map[string]string{
+			"HTTP/1.0":            "http10",
+			"HTTP/1.1 Persistent": "persistent",
+			"HTTP/1.1 Pipeline":   "pipeline",
+		}[r.Label]
+		b.ReportMetric(r.PktsTotal, key+"_pa")
+		b.ReportMetric(r.Elapsed, key+"_sec")
+	}
+}
+
+// Tables 4-9: server × environment pages.
+func BenchmarkTable4JigsawLAN(b *testing.B) { mainTableBench(b, 4) }
+func BenchmarkTable5ApacheLAN(b *testing.B) { mainTableBench(b, 5) }
+func BenchmarkTable6JigsawWAN(b *testing.B) { mainTableBench(b, 6) }
+func BenchmarkTable7ApacheWAN(b *testing.B) { mainTableBench(b, 7) }
+func BenchmarkTable8JigsawPPP(b *testing.B) { mainTableBench(b, 8) }
+func BenchmarkTable9ApachePPP(b *testing.B) { mainTableBench(b, 9) }
+
+func browserTableBench(b *testing.B, number int) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var tab core.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = core.BrowserTable(number, site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, row := range tab.Rows {
+		key := "netscape"
+		if row.Label == "Internet Explorer" {
+			key = "msie"
+		}
+		reportRow(b, key+"_first", row.First)
+		reportRow(b, key+"_reval", row.Reval)
+	}
+}
+
+// BenchmarkTable10BrowsersJigsaw and 11: product browsers over PPP.
+func BenchmarkTable10BrowsersJigsaw(b *testing.B) { browserTableBench(b, 10) }
+func BenchmarkTable11BrowsersApache(b *testing.B) { browserTableBench(b, 11) }
+
+// BenchmarkModemCompression regenerates the §8.2.1 single-GET modem
+// comparison (paper: 67 packets/12.21s uncompressed vs 21/4.35 deflated).
+func BenchmarkModemCompression(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.ModemRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.ModemTable(site, httpserver.ProfileJigsaw, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].Packets, "raw_pa")
+	b.ReportMetric(rows[0].Seconds, "raw_sec")
+	b.ReportMetric(rows[1].Seconds, "v42bis_sec")
+	b.ReportMetric(rows[2].Packets, "deflate_pa")
+	b.ReportMetric(rows[2].Seconds, "deflate_sec")
+}
+
+// BenchmarkTagCaseCompression regenerates the markup-case deflate note
+// (paper: lower ≈ .27 vs mixed ≈ .35).
+func BenchmarkTagCaseCompression(b *testing.B) {
+	var rows []core.TagCaseRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.TagCaseTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].Ratio, "lower_ratio")
+	b.ReportMetric(rows[1].Ratio, "mixed_ratio")
+	b.ReportMetric(rows[2].Ratio, "upper_ratio")
+}
+
+// BenchmarkCSSReplacement regenerates Figure 1 and the whole-page
+// image→CSS analysis.
+func BenchmarkCSSReplacement(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rep webgen.CSSReport
+	for i := 0; i < b.N; i++ {
+		rep = site.CSSReplacements()
+	}
+	b.StopTimer()
+	fig := webgen.FigureOneReplacement()
+	b.ReportMetric(float64(fig.GIFBytes), "fig1_gif_bytes")
+	b.ReportMetric(float64(fig.CSSBytes()), "fig1_css_bytes")
+	b.ReportMetric(float64(rep.RequestsSaved), "requests_saved")
+	b.ReportMetric(float64(rep.NetSavings()), "net_bytes_saved")
+}
+
+// BenchmarkPNGConversion regenerates the GIF→PNG / animated GIF→MNG
+// experiment (paper: 103299→92096 and 24988→16329 bytes).
+func BenchmarkPNGConversion(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rep webgen.ConversionReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = site.ConvertImages()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.StaticGIF), "static_gif_bytes")
+	b.ReportMetric(float64(rep.StaticPNG), "static_png_bytes")
+	b.ReportMetric(float64(rep.AnimGIF), "anim_gif_bytes")
+	b.ReportMetric(float64(rep.AnimMNG), "anim_mng_bytes")
+}
+
+// BenchmarkNagleInteraction regenerates the Nagle/delayed-ACK ablation.
+func BenchmarkNagleInteraction(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.NagleRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.NagleTable(site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[2].Seconds, "serial_nodelay_sec")
+	b.ReportMetric(rows[3].Seconds, "serial_nagle_sec")
+}
+
+// BenchmarkResetScenario regenerates the connection-management (server
+// early-close) experiment.
+func BenchmarkResetScenario(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.ResetRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.ResetTable(site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].Seconds, "graceful_sec")
+	b.ReportMetric(rows[1].Seconds, "naive_sec")
+	b.ReportMetric(rows[1].Errors, "naive_resets")
+}
+
+// BenchmarkFlushPolicyAblation sweeps the pipelining buffer/timer grid.
+func BenchmarkFlushPolicyAblation(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.FlushRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.FlushAblation(site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	best := rows[0]
+	for _, r := range rows {
+		if r.Seconds < best.Seconds {
+			best = r
+		}
+	}
+	b.ReportMetric(float64(best.BufferSize), "best_buffer_bytes")
+	b.ReportMetric(best.Seconds, "best_sec")
+}
+
+// BenchmarkScenarioThroughput measures raw simulator speed: one pipelined
+// WAN first-time retrieval per iteration.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	site := benchSite(b)
+	sc := core.Scenario{
+		Server: httpserver.ProfileApache, Client: httpclient.ModeHTTP11Pipelined,
+		Env: netem.WAN, Workload: httpclient.FirstTime, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(sc, site); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSiteSynthesis measures Microscape generation (image search +
+// HTML emission).
+func BenchmarkSiteSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := webgen.Microscape(webgen.Options{Seed: uint64(i + 2)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeProbe regenerates the range-request ("poor man's
+// multiplexing") experiment: revalidation after a site revision, with and
+// without 512-byte metadata probes.
+func BenchmarkRangeProbe(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.RangeRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.RangeTable(site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].MetadataSeconds, "plain_meta_sec")
+	b.ReportMetric(rows[1].MetadataSeconds, "probe_meta_sec")
+	b.ReportMetric(rows[1].Responses206, "probe_206s")
+}
+
+// BenchmarkHeaderRedundancy regenerates the compact-wire-representation
+// estimate (paper: "an additional factor of five or ten").
+func BenchmarkHeaderRedundancy(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.HeaderRedundancyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.HeaderRedundancy(site)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows[0].RequestBytes), "plain_bytes")
+	b.ReportMetric(rows[1].Ratio, "stream_ratio")
+	b.ReportMetric(rows[2].Ratio, "delta_ratio")
+}
+
+// BenchmarkInitialCwnd regenerates the slow-start initial-window ablation.
+func BenchmarkInitialCwnd(b *testing.B) {
+	site := benchSite(b)
+	b.ResetTimer()
+	var rows []core.CwndRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.CwndTable(site, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].Seconds, "iw1_plain_sec")
+	b.ReportMetric(rows[1].Seconds, "iw1_deflate_sec")
+	b.ReportMetric(rows[2].Seconds, "iw2_plain_sec")
+}

@@ -1,0 +1,197 @@
+// Command httpperf regenerates the measurements of "Network Performance
+// Effects of HTTP/1.1, CSS1, and PNG" (SIGCOMM '97) on the simulated
+// testbed.
+//
+// Usage:
+//
+//	httpperf                 # everything
+//	httpperf -table 4        # one of Tables 3-11
+//	httpperf -table modem    # the §8.2.1 modem-compression experiment
+//	httpperf -table tagcase  # tag case vs deflate ratio
+//	httpperf -table css      # Figure 1 + whole-page CSS replacement
+//	httpperf -table png      # GIF->PNG / GIF->MNG conversion
+//	httpperf -table nagle    # Nagle interaction ablation
+//	httpperf -table reset    # server early-close scenario
+//	httpperf -table flush    # buffer/flush-timer ablation
+//	httpperf -table range    # range-probe revalidation after a site revision
+//	httpperf -table headers  # request-redundancy (compact encoding) estimate
+//	httpperf -table cwnd     # slow-start initial window ablation
+//	httpperf -list-envs      # Table 1
+//	httpperf -runs 5         # averaging runs per cell (default 5)
+//	httpperf -json           # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/httpserver"
+	"repro/internal/report"
+	"repro/internal/webgen"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, all)")
+	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")
+	listEnvs := flag.Bool("list-envs", false, "print Table 1 (network environments) and exit")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	flag.Parse()
+
+	if *listEnvs {
+		report.Environments(os.Stdout)
+		return
+	}
+	if err := run(*table, *runs, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "httpperf:", err)
+		os.Exit(1)
+	}
+}
+
+// modemPair bundles both server profiles' modem experiments.
+type modemPair struct {
+	Jigsaw, Apache []core.ModemRow
+}
+
+// step is one regenerable experiment: generate produces the data, render
+// prints it as a text table.
+type step struct {
+	generate func(site *webgen.Site, runs int) (any, error)
+	render   func(site *webgen.Site, data any)
+}
+
+func steps() (map[string]step, []string) {
+	out := os.Stdout
+	mainTable := func(n int) step {
+		return step{
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.MainTable(n, site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.MainTable(out, d.(core.Table)) },
+		}
+	}
+	browserTable := func(n int) step {
+		return step{
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.BrowserTable(n, site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.MainTable(out, d.(core.Table)) },
+		}
+	}
+	m := map[string]step{
+		"1": {
+			generate: func(*webgen.Site, int) (any, error) { return nil, nil },
+			render:   func(*webgen.Site, any) { report.Environments(out) },
+		},
+		"3": {
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.Table3(site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.Table3(out, d.([]core.Table3Row)) },
+		},
+		"4": mainTable(4), "5": mainTable(5), "6": mainTable(6),
+		"7": mainTable(7), "8": mainTable(8), "9": mainTable(9),
+		"10": browserTable(10), "11": browserTable(11),
+		"modem": {
+			generate: func(site *webgen.Site, runs int) (any, error) {
+				j, err := core.ModemTable(site, httpserver.ProfileJigsaw, runs)
+				if err != nil {
+					return nil, err
+				}
+				a, err := core.ModemTable(site, httpserver.ProfileApache, runs)
+				if err != nil {
+					return nil, err
+				}
+				return modemPair{Jigsaw: j, Apache: a}, nil
+			},
+			render: func(_ *webgen.Site, d any) {
+				v := d.(modemPair)
+				report.Modem(out, v.Jigsaw, "Jigsaw")
+				fmt.Fprintln(out)
+				report.Modem(out, v.Apache, "Apache")
+			},
+		},
+		"tagcase": {
+			generate: func(*webgen.Site, int) (any, error) { return core.TagCaseTable() },
+			render:   func(_ *webgen.Site, d any) { report.TagCase(out, d.([]core.TagCaseRow)) },
+		},
+		"css": {
+			generate: func(site *webgen.Site, _ int) (any, error) { return site.CSSReplacements(), nil },
+			render:   func(site *webgen.Site, _ any) { report.CSS(out, site) },
+		},
+		"png": {
+			generate: func(site *webgen.Site, _ int) (any, error) { return site.ConvertImages() },
+			render: func(site *webgen.Site, _ any) {
+				if err := report.PNG(out, site); err != nil {
+					fmt.Fprintln(os.Stderr, "httpperf:", err)
+				}
+			},
+		},
+		"nagle": {
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.NagleTable(site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.Nagle(out, d.([]core.NagleRow)) },
+		},
+		"reset": {
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.ResetTable(site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.Reset(out, d.([]core.ResetRow)) },
+		},
+		"flush": {
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.FlushAblation(site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.Flush(out, d.([]core.FlushRow)) },
+		},
+		"range": {
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.RangeTable(site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.Range(out, d.([]core.RangeRow)) },
+		},
+		"headers": {
+			generate: func(site *webgen.Site, _ int) (any, error) { return core.HeaderRedundancy(site) },
+			render:   func(_ *webgen.Site, d any) { report.HeaderRedundancy(out, d.([]core.HeaderRedundancyRow)) },
+		},
+		"cwnd": {
+			generate: func(site *webgen.Site, runs int) (any, error) { return core.CwndTable(site, runs) },
+			render:   func(_ *webgen.Site, d any) { report.Cwnd(out, d.([]core.CwndRow)) },
+		},
+	}
+	order := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11",
+		"modem", "tagcase", "css", "png", "nagle", "reset", "flush",
+		"range", "headers", "cwnd"}
+	return m, order
+}
+
+func run(table string, runs int, asJSON bool) error {
+	site, err := core.DefaultSite()
+	if err != nil {
+		return err
+	}
+	all, order := steps()
+
+	names := order
+	if table != "all" {
+		if _, ok := all[table]; !ok {
+			return fmt.Errorf("unknown table %q", table)
+		}
+		names = []string{table}
+	}
+
+	if asJSON {
+		results := make(map[string]any, len(names))
+		for _, name := range names {
+			data, err := all[name].generate(site, runs)
+			if err != nil {
+				return fmt.Errorf("table %s: %w", name, err)
+			}
+			if data != nil {
+				results[name] = data
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+
+	for _, name := range names {
+		data, err := all[name].generate(site, runs)
+		if err != nil {
+			return fmt.Errorf("table %s: %w", name, err)
+		}
+		all[name].render(site, data)
+		fmt.Println()
+	}
+	return nil
+}

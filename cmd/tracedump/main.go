@@ -1,0 +1,115 @@
+// Command tracedump runs one scenario and prints its packet trace in a
+// tcpdump-like format, plus the run summary — the workflow the authors
+// used (tcpdump + tcpshow + xplot) to find implementation problems.
+//
+// Usage:
+//
+//	tracedump -server jigsaw -client pipelined -env WAN -workload reval
+//	tracedump -client http10 -env LAN -seq client      # time-sequence points
+//	tracedump -client serial -env WAN -xplot server    # xplot(1) file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+)
+
+func main() {
+	server := flag.String("server", "apache", "server profile: jigsaw, apache")
+	client := flag.String("client", "pipelined", "client mode: http10, serial, pipelined, deflate, netscape, msie")
+	env := flag.String("env", "LAN", "network environment: LAN, WAN, PPP")
+	workload := flag.String("workload", "first", "workload: first, reval")
+	seed := flag.Uint64("seed", 1, "run seed")
+	seq := flag.String("seq", "", "print time-sequence points for this host (client/server) instead of the dump")
+	xplot := flag.String("xplot", "", "write an xplot(1) file of this host's send direction instead of the dump")
+	flag.Parse()
+
+	if err := run(*server, *client, *env, *workload, *seed, *seq, *xplot); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, client, env, workload string, seed uint64, seq, xplot string) error {
+	sc := core.Scenario{Seed: seed}
+	switch strings.ToLower(server) {
+	case "jigsaw":
+		sc.Server = httpserver.ProfileJigsaw
+	case "apache":
+		sc.Server = httpserver.ProfileApache
+	default:
+		return fmt.Errorf("unknown server %q", server)
+	}
+	switch strings.ToLower(client) {
+	case "http10":
+		sc.Client = httpclient.ModeHTTP10
+	case "serial":
+		sc.Client = httpclient.ModeHTTP11Serial
+	case "pipelined":
+		sc.Client = httpclient.ModeHTTP11Pipelined
+	case "deflate":
+		sc.Client = httpclient.ModeHTTP11PipelinedDeflate
+	case "netscape":
+		sc.Client = httpclient.ModeNetscape
+	case "msie":
+		sc.Client = httpclient.ModeMSIE
+	default:
+		return fmt.Errorf("unknown client %q", client)
+	}
+	switch strings.ToUpper(env) {
+	case "LAN":
+		sc.Env = netem.LAN
+	case "WAN":
+		sc.Env = netem.WAN
+	case "PPP":
+		sc.Env = netem.PPP
+	default:
+		return fmt.Errorf("unknown environment %q", env)
+	}
+	switch strings.ToLower(workload) {
+	case "first":
+		sc.Workload = httpclient.FirstTime
+	case "reval", "revalidate":
+		sc.Workload = httpclient.Revalidate
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+
+	site, err := core.DefaultSite()
+	if err != nil {
+		return err
+	}
+	res, err := core.RunCaptured(sc, site)
+	if err != nil {
+		return err
+	}
+
+	if xplot != "" {
+		return res.Capture.WriteXplot(os.Stdout, xplot, sc.String())
+	}
+	if seq != "" {
+		for _, p := range res.Capture.TimeSequence(seq) {
+			fmt.Printf("%.6f %d %d %s\n", p.Time.Seconds(), p.SeqLo, p.SeqHi, p.Kind)
+		}
+		return nil
+	}
+
+	if err := res.Capture.Dump(os.Stdout); err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("\n%s\n", sc)
+	fmt.Printf("packets: %d (%d c→s, %d s→c, %d retransmitted, %d dropped)\n",
+		st.Packets, st.ClientToServer, st.ServerToClient, st.Retransmissions, st.Dropped)
+	fmt.Printf("payload bytes: %d   overhead: %.1f%%   connections: %d\n",
+		st.PayloadBytes, st.OverheadPct(), st.Connections)
+	fmt.Printf("elapsed: %.3fs\n", res.Elapsed.Seconds())
+	return nil
+}

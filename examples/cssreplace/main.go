@@ -1,0 +1,73 @@
+// Cssreplace reproduces the paper's CSS1 content experiment: Figure 1's
+// "solutions" banner (a 682-byte GIF replaced by ~150 bytes of HTML+CSS),
+// the whole-page replacement analysis, and the network effect of serving
+// the CSSified page variant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/css"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+func main() {
+	// Figure 1, verbatim from the paper.
+	fig := webgen.FigureOneReplacement()
+	sheet := css.MustParse(`
+		P.banner {
+		  color: white;
+		  background: #FC0;
+		  font: bold oblique 20px sans-serif;
+		  padding: 0.2em 10em 0.2em 1em;
+		}`)
+	fmt.Println("Figure 1 - replacing the \"solutions\" GIF with HTML+CSS:")
+	fmt.Println(sheet.String())
+	fmt.Printf("  markup: %q\n", fig.Markup)
+	fmt.Printf("  GIF %d bytes -> HTML+CSS %d bytes (%.1fx smaller)\n\n",
+		fig.GIFBytes, fig.CSSBytes(), float64(fig.GIFBytes)/float64(fig.CSSBytes()))
+
+	site, err := core.DefaultSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := site.CSSReplacements()
+	fmt.Printf("Whole page: %d of 42 images replaceable by CSS\n", len(rep.Replacements))
+	fmt.Printf("  image bytes removed: %d, HTML+CSS added: %d, net saving: %d bytes\n",
+		rep.GIFBytesRemoved, rep.CSSBytesAdded, rep.NetSavings())
+	fmt.Printf("  HTTP requests saved: %d of 43\n\n", rep.RequestsSaved)
+
+	cssified, err := site.CSSified(webgen.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Serving both variants over PPP (pipelined HTTP/1.1, first visit):\n")
+	for _, v := range []struct {
+		label string
+		s     *webgen.Site
+	}{
+		{"original page (43 objects)", site},
+		{fmt.Sprintf("CSSified page (%d objects)", cssified.ObjectCount()), cssified},
+	} {
+		sc := core.Scenario{
+			Server:   httpserver.ProfileApache,
+			Client:   httpclient.ModeHTTP11Pipelined,
+			Env:      netem.PPP,
+			Workload: httpclient.FirstTime,
+			Seed:     1,
+		}
+		res, err := core.Run(sc, v.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %4d packets  %7d bytes  %6.1fs\n",
+			v.label, res.Stats.Packets, res.Stats.PayloadBytes, res.Elapsed.Seconds())
+	}
+	fmt.Println("\n\"Universal use of style sheets ... would cause a very significant")
+	fmt.Println("reduction in network traffic.\"")
+}

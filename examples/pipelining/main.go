@@ -1,0 +1,90 @@
+// Pipelining walks through the paper's implementation-tuning story on the
+// LAN revalidation workload (its Table 3 and the buffer-tuning section):
+//
+//  1. plain HTTP/1.0 with parallel connections;
+//  2. naive persistent HTTP/1.1 — fewer packets, slower clock;
+//  3. pipelining with only a flush timer — packets collapse, but the
+//     timer stalls the first request;
+//  4. the tuned client — explicit flush after the HTML request, 1024-byte
+//     buffer, 50 ms timer, TCP_NODELAY.
+//
+// It also prints the server early-close trap: pipelining into a server
+// that closes naively after N requests resets the connection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+)
+
+func run(label string, sc core.Scenario) {
+	site, err := core.DefaultSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(sc, site)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-46s %4d packets  %6.2fs  sockets=%d resets=%d\n",
+		label, res.Stats.Packets, res.Elapsed.Seconds(),
+		res.Client.SocketsUsed, res.Client.Errors)
+}
+
+func main() {
+	base := core.Scenario{
+		Server:   httpserver.ProfileJigsaw,
+		Env:      netem.LAN,
+		Workload: httpclient.Revalidate,
+		Seed:     1,
+	}
+
+	fmt.Println("LAN cache revalidation, 43 objects (the paper's Table 3 journey):")
+
+	sc := base
+	sc.Client = httpclient.ModeHTTP10
+	run("1. HTTP/1.0, four parallel connections", sc)
+
+	sc = base
+	sc.Client = httpclient.ModeHTTP11Serial
+	run("2. HTTP/1.1 persistent, serialized", sc)
+
+	untuned := httpclient.ModeHTTP11Pipelined.Config()
+	untuned.ExplicitFirstFlush = false
+	untuned.FlushTimeout = time.Second
+	sc = base
+	sc.Client = httpclient.ModeHTTP11Pipelined
+	sc.ClientOverride = &untuned
+	run("3. pipelined, 1s flush timer only", sc)
+
+	sc = base
+	sc.Client = httpclient.ModeHTTP11Pipelined
+	run("4. pipelined, tuned (explicit flush, NODELAY)", sc)
+
+	fmt.Println("\nThe early-close trap (WAN first-time, server limited to 5 requests/conn):")
+	srv := httpserver.Config{
+		Profile:            httpserver.ProfileApache,
+		MaxRequestsPerConn: 5,
+		NoDelay:            true,
+	}
+	sc = core.Scenario{
+		Server:         httpserver.ProfileApache,
+		Client:         httpclient.ModeHTTP11Pipelined,
+		Env:            netem.WAN,
+		Workload:       httpclient.FirstTime,
+		Seed:           1,
+		ServerOverride: &srv,
+	}
+	run("graceful independent half-close", sc)
+
+	srvNaive := srv
+	srvNaive.NaiveClose = true
+	sc.ServerOverride = &srvNaive
+	run("naive close of both halves (RST, data loss)", sc)
+}

@@ -1,0 +1,61 @@
+// Rangeprobe demonstrates the paper's "poor man's multiplexing": when a
+// cached page is revisited after the site has been revised, the client
+// can validate every object and simultaneously ask for just the first
+// bytes of anything that changed (If-None-Match + Range), so that one
+// large changed image cannot monopolize the pipelined connection ahead of
+// the other objects' metadata.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+)
+
+func main() {
+	site, err := core.DefaultSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	revised, err := site.Revise(0.3, 9901+101)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Site revised: %d of %d objects changed (including the page)\n\n",
+		revised.ChangedFrom(site), site.ObjectCount())
+
+	for _, probe := range []int{0, 512} {
+		cfg := httpclient.ModeHTTP11Pipelined.Config()
+		cfg.RevalRangeProbe = probe
+		sc := core.Scenario{
+			Server:         httpserver.ProfileApache,
+			Client:         cfg.Mode,
+			Env:            netem.PPP,
+			Workload:       httpclient.Revalidate,
+			ReviseFraction: 0.3,
+			Seed:           9900,
+			ClientOverride: &cfg,
+		}
+		res, err := core.Run(sc, site)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "conditional GET (full bodies inline)"
+		if probe > 0 {
+			label = fmt.Sprintf("conditional GET + %d-byte range probe", probe)
+		}
+		fmt.Printf("%-42s\n", label)
+		fmt.Printf("  packets %d, bytes %d, 304s %d, 206s %d\n",
+			res.Stats.Packets, res.Stats.PayloadBytes,
+			res.Client.Responses304, res.Client.Responses206)
+		fmt.Printf("  all object metadata by %6.2fs; everything complete by %6.2fs\n\n",
+			res.Client.MetadataSeconds, res.Client.CompleteSeconds)
+	}
+	fmt.Println("Probing costs a few extra packets but delivers every object's")
+	fmt.Println("metadata far sooner — the concurrency HTTP/1.0 browsers bought")
+	fmt.Println("with parallel connections, achieved on a single pipeline.")
+}

@@ -1,0 +1,242 @@
+// Package core is the public experiment API of the reproduction: it wires
+// the simulated network (netem, tcpsim), servers (httpserver), and clients
+// (httpclient) into runnable scenarios, and regenerates every table and
+// figure of the paper's evaluation (see tables.go).
+//
+// A Scenario names one cell of the paper's measurement matrix — server
+// profile × client mode × network environment × workload. Run executes it
+// once deterministically; RunAveraged repeats it with seeded jitter, as
+// the paper averaged five runs "to make up for network fluctuations".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/lzw"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+	"repro/internal/webgen"
+)
+
+// Scenario is one experiment configuration.
+type Scenario struct {
+	Server   httpserver.Profile
+	Client   httpclient.Mode
+	Env      netem.Environment
+	Workload httpclient.Workload
+
+	// Seed drives all deterministic randomness in this run.
+	Seed uint64
+	// Jitter enables ±10% CPU and ±3% RTT perturbation, reproducing the
+	// run-to-run variation the paper averaged away.
+	Jitter bool
+
+	// ModemCompression enables V.42bis-style link compression on the PPP
+	// link.
+	ModemCompression bool
+
+	// ReviseFraction, when positive on the Revalidate workload, serves a
+	// revised site (that fraction of images replaced, page edited) while
+	// the client's cache was primed on the original — the revisit-after-
+	// revision situation behind the paper's range-request discussion.
+	ReviseFraction float64
+
+	// ServerOverride and ClientOverride, when non-nil, replace the
+	// profile- and mode-derived configurations.
+	ServerOverride *httpserver.Config
+	ClientOverride *httpclient.Config
+}
+
+// String summarizes the scenario.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", sc.Server, sc.Client, sc.Env, sc.Workload)
+}
+
+// RunResult is the outcome of one scenario execution.
+type RunResult struct {
+	Scenario Scenario
+	Stats    trace.Stats
+	Client   httpclient.Result
+	Server   httpserver.Stats
+	// Elapsed is measured from the packet trace, first to last packet,
+	// like the paper's tcpdump-based timings.
+	Elapsed time.Duration
+	// Capture holds the full packet trace when Scenario runs through
+	// RunCaptured.
+	Capture *trace.Capture
+}
+
+// ErrDidNotFinish reports a run whose client never completed the page.
+var ErrDidNotFinish = errors.New("core: client did not finish the fetch")
+
+// serverPort is the simulated origin's port.
+const serverPort = 80
+
+// Run executes the scenario against the site and returns its measurements.
+func Run(sc Scenario, site *webgen.Site) (*RunResult, error) {
+	return run(sc, site, false)
+}
+
+// RunCaptured is Run but retains the full packet trace in the result.
+func RunCaptured(sc Scenario, site *webgen.Site) (*RunResult, error) {
+	return run(sc, site, true)
+}
+
+func run(sc Scenario, site *webgen.Site, keepCapture bool) (*RunResult, error) {
+	s := sim.New()
+	s.SetEventLimit(50_000_000)
+	net := tcpsim.NewNetwork(s)
+	clientHost := net.AddHost("client")
+	serverHost := net.AddHost("server")
+
+	var rng *sim.Rand
+	cpuJitter := 0.0
+	pathOpts := netem.PathOptions{}
+	if sc.Jitter {
+		rng = sim.NewRand(sc.Seed | 1)
+		cpuJitter = 0.10
+		pathOpts.Rng = rng
+		pathOpts.RTTJitterFrac = 0.03
+	}
+	if sc.ModemCompression {
+		if sc.Env != netem.PPP {
+			return nil, fmt.Errorf("core: modem compression only applies to PPP, not %v", sc.Env)
+		}
+		pathOpts.ModemCompression = func() netem.StreamCompressor {
+			return lzw.NewModemCompressor()
+		}
+	}
+	path := netem.NewEnvPath(s, sc.Env, pathOpts)
+	net.ConnectHosts(clientHost, serverHost, path)
+	capture := trace.Attach(net)
+
+	serverCfg := httpserver.Config{Profile: sc.Server}
+	if sc.ServerOverride != nil {
+		serverCfg = *sc.ServerOverride
+		serverCfg.Profile = sc.Server
+	}
+	clientCfg := sc.Client.Config()
+	if sc.ClientOverride != nil {
+		clientCfg = *sc.ClientOverride
+	}
+	// "we turned the Nagle algorithm off in both the client and the
+	// server. This was the first change to the server" — the paper's
+	// measured configurations run the server with TCP_NODELAY, which
+	// matters for responses whose final segment is partial. A
+	// ServerOverride can re-enable Nagle for the ablation experiments.
+	if sc.ServerOverride == nil {
+		serverCfg.NoDelay = true
+	}
+	serverCfg.EnableDeflate = serverCfg.EnableDeflate || clientCfg.AcceptDeflate
+
+	served := site
+	if sc.ReviseFraction > 0 {
+		if sc.Workload != httpclient.Revalidate {
+			return nil, fmt.Errorf("core: ReviseFraction applies to the revalidation workload")
+		}
+		var err error
+		served, err = site.Revise(sc.ReviseFraction, sc.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+	}
+	server := httpserver.New(s, serverHost, serverPort, served, serverCfg, rng, cpuJitter)
+
+	cache := httpclient.NewCache()
+	if sc.Workload == httpclient.Revalidate {
+		cache.Prime(site)
+	}
+	robot := httpclient.NewRobot(s, clientHost, "server", serverPort, clientCfg, cache, rng, cpuJitter)
+
+	s.Schedule(0, func() {
+		robot.Start("/", sc.Workload, nil)
+	})
+	s.Run()
+
+	if !robot.Finished() {
+		return nil, fmt.Errorf("%w: %s", ErrDidNotFinish, sc)
+	}
+	res := &RunResult{
+		Scenario: sc,
+		Stats:    capture.Stats("client"),
+		Client:   robot.Result(),
+		Server:   server.Stats(),
+	}
+	res.Elapsed = res.Stats.Elapsed()
+	if keepCapture {
+		res.Capture = capture
+	}
+	return res, nil
+}
+
+// Avg is the paper's per-cell measurement: packets, payload bytes,
+// elapsed seconds, and TCP/IP overhead percentage, averaged over repeated
+// runs.
+type Avg struct {
+	Runs        int
+	Packets     float64
+	Bytes       float64
+	Seconds     float64
+	OverheadPct float64
+
+	SocketsUsed float64
+	Errors      int
+}
+
+// RunAveraged executes the scenario n times with varying seeds and jitter
+// and averages the measurements, like the paper's five-run methodology.
+func RunAveraged(sc Scenario, site *webgen.Site, n int) (Avg, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var avg Avg
+	for i := 0; i < n; i++ {
+		one := sc
+		one.Seed = sc.Seed + uint64(i)*7919
+		one.Jitter = n > 1
+		res, err := Run(one, site)
+		if err != nil {
+			return avg, err
+		}
+		avg.Runs++
+		avg.Packets += float64(res.Stats.Packets)
+		avg.Bytes += float64(res.Stats.PayloadBytes)
+		avg.Seconds += res.Elapsed.Seconds()
+		avg.SocketsUsed += float64(res.Client.SocketsUsed)
+		avg.Errors += res.Client.Errors
+	}
+	avg.Packets /= float64(avg.Runs)
+	avg.Bytes /= float64(avg.Runs)
+	avg.Seconds /= float64(avg.Runs)
+	avg.SocketsUsed /= float64(avg.Runs)
+	hdr := avg.Packets * netem.IPTCPHeaderBytes
+	if total := avg.Bytes + hdr; total > 0 {
+		avg.OverheadPct = 100 * hdr / total
+	}
+	return avg, nil
+}
+
+// DefaultRuns is the paper's repetition count.
+const DefaultRuns = 5
+
+var (
+	siteOnce sync.Once
+	siteVal  *webgen.Site
+	siteErr  error
+)
+
+// DefaultSite returns the shared Microscape site, synthesized once per
+// process.
+func DefaultSite() (*webgen.Site, error) {
+	siteOnce.Do(func() {
+		siteVal, siteErr = webgen.Microscape(webgen.Options{Seed: 1})
+	})
+	return siteVal, siteErr
+}

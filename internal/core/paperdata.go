@@ -1,0 +1,89 @@
+package core
+
+// PaperCell is one measurement cell as printed in the paper (averages of
+// five runs).
+type PaperCell struct {
+	Packets float64
+	Bytes   float64
+	Seconds float64
+}
+
+// PaperRow is one protocol row of a paper table: first-time retrieval and
+// cache validation cells.
+type PaperRow struct {
+	Label        string
+	First, Reval PaperCell
+}
+
+// PaperTables holds the published numbers from Tables 4-11, keyed by
+// table number, for side-by-side comparison in reports and EXPERIMENTS.md.
+var PaperTables = map[int][]PaperRow{
+	4: { // Jigsaw - High Bandwidth, Low Latency (LAN)
+		{"HTTP/1.0", PaperCell{510.2, 216289, 0.97}, PaperCell{374.8, 61117, 0.78}},
+		{"HTTP/1.1", PaperCell{281.0, 191843, 1.25}, PaperCell{133.4, 17694, 0.89}},
+		{"HTTP/1.1 Pipelined", PaperCell{181.8, 191551, 0.68}, PaperCell{32.8, 17694, 0.54}},
+		{"HTTP/1.1 Pipelined w. compression", PaperCell{148.8, 159654, 0.71}, PaperCell{32.6, 17687, 0.54}},
+	},
+	5: { // Apache - High Bandwidth, Low Latency (LAN)
+		{"HTTP/1.0", PaperCell{489.4, 215536, 0.72}, PaperCell{365.4, 60605, 0.41}},
+		{"HTTP/1.1", PaperCell{244.2, 189023, 0.81}, PaperCell{98.4, 14009, 0.40}},
+		{"HTTP/1.1 Pipelined", PaperCell{175.8, 189607, 0.49}, PaperCell{29.2, 14009, 0.23}},
+		{"HTTP/1.1 Pipelined w. compression", PaperCell{139.8, 156834, 0.41}, PaperCell{28.4, 14002, 0.23}},
+	},
+	6: { // Jigsaw - High Bandwidth, High Latency (WAN)
+		{"HTTP/1.0", PaperCell{565.8, 251913, 4.17}, PaperCell{389.2, 62348, 2.96}},
+		{"HTTP/1.1", PaperCell{304.0, 193595, 6.64}, PaperCell{137.0, 18065.6, 4.95}},
+		{"HTTP/1.1 Pipelined", PaperCell{214.2, 193887, 2.33}, PaperCell{34.8, 18233.2, 1.10}},
+		{"HTTP/1.1 Pipelined w. compression", PaperCell{183.2, 161698, 2.09}, PaperCell{35.4, 19102.2, 1.15}},
+	},
+	7: { // Apache - High Bandwidth, High Latency (WAN)
+		{"HTTP/1.0", PaperCell{559.6, 248655.2, 4.09}, PaperCell{370.0, 61887, 2.64}},
+		{"HTTP/1.1", PaperCell{309.4, 191436.0, 6.14}, PaperCell{104.2, 14255, 4.43}},
+		{"HTTP/1.1 Pipelined", PaperCell{221.4, 191180.6, 2.23}, PaperCell{29.8, 15352, 0.86}},
+		{"HTTP/1.1 Pipelined w. compression", PaperCell{182.0, 159170.0, 2.11}, PaperCell{29.0, 15088, 0.83}},
+	},
+	8: { // Jigsaw - Low Bandwidth, High Latency (PPP) — no HTTP/1.0 row
+		{"HTTP/1.1", PaperCell{309.6, 190687, 63.8}, PaperCell{89.2, 17528, 12.9}},
+		{"HTTP/1.1 Pipelined", PaperCell{284.4, 190735, 53.3}, PaperCell{31.0, 17598, 5.4}},
+		{"HTTP/1.1 Pipelined w. compression", PaperCell{234.2, 159449, 47.4}, PaperCell{31.0, 17591, 5.4}},
+	},
+	9: { // Apache - Low Bandwidth, High Latency (PPP)
+		{"HTTP/1.1", PaperCell{308.6, 187869, 65.6}, PaperCell{89.0, 13843, 11.1}},
+		{"HTTP/1.1 Pipelined", PaperCell{281.4, 187918, 53.4}, PaperCell{26.0, 13912, 3.4}},
+		{"HTTP/1.1 Pipelined w. compression", PaperCell{233.0, 157214, 47.2}, PaperCell{26.0, 13905, 3.4}},
+	},
+	10: { // Jigsaw - browsers over PPP
+		{"Netscape Navigator", PaperCell{339.4, 201807, 58.8}, PaperCell{108, 19282, 14.9}},
+		{"Internet Explorer", PaperCell{360.3, 199934, 63.0}, PaperCell{301.0, 61009, 17.0}},
+	},
+	11: { // Apache - browsers over PPP
+		{"Netscape Navigator", PaperCell{334.3, 199243, 58.7}, PaperCell{103.3, 23741, 5.9}},
+		{"Internet Explorer", PaperCell{381.3, 204219, 60.6}, PaperCell{117.0, 23056, 8.3}},
+	},
+}
+
+// PaperTable3 holds the initial (untuned) LAN revalidation investigation.
+var PaperTable3 = struct {
+	Labels                    []string
+	MaxSockets, TotalSockets  []float64
+	PktsC2S, PktsS2C, PktsAll []float64
+	Elapsed                   []float64
+}{
+	Labels:       []string{"HTTP/1.0", "HTTP/1.1 Persistent", "HTTP/1.1 Pipeline"},
+	MaxSockets:   []float64{6, 1, 1},
+	TotalSockets: []float64{40, 1, 1},
+	PktsC2S:      []float64{226, 70, 25},
+	PktsS2C:      []float64{271, 153, 58},
+	PktsAll:      []float64{497, 223, 83},
+	Elapsed:      []float64{1.85, 4.13, 3.02},
+}
+
+// PaperModem holds the §8.2.1 modem-compression comparison (single GET of
+// the HTML page over 28.8k): packets and seconds for Jigsaw and Apache.
+var PaperModem = struct {
+	UncompressedPa, UncompressedSec float64
+	CompressedPa, CompressedSec     float64
+}{
+	UncompressedPa: 67, UncompressedSec: 12.21, // Jigsaw column
+	CompressedPa: 21.0, CompressedSec: 4.35,
+}

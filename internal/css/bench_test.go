@@ -1,0 +1,35 @@
+package css
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchSheet = strings.Repeat(
+	"p.banner { color: white; background: #FC0; font: bold oblique 20px sans-serif }\n"+
+		"div.nav ul li a:link { color: blue; text-decoration: none }\n"+
+		"#masthead h1 { font-size: 24px; margin: 0 }\n", 60)
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchSheet)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSheet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCascadeStyle(b *testing.B) {
+	sheet := MustParse(benchSheet)
+	c := NewCascade(sheet)
+	path := []Element{
+		{Tag: "html"}, {Tag: "body"},
+		{Tag: "div", Classes: []string{"nav"}},
+		{Tag: "ul"}, {Tag: "li"},
+		{Tag: "a", Pseudos: []string{"link"}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Style(path)
+	}
+}

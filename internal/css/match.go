@@ -1,0 +1,151 @@
+package css
+
+import "strings"
+
+// Element describes one document-tree element for selector matching.
+type Element struct {
+	Tag     string
+	ID      string
+	Classes []string
+	// Pseudos lists pseudo-classes/elements in effect (e.g. "link" on an
+	// anchor that points somewhere unvisited).
+	Pseudos []string
+}
+
+// matchSimple reports whether a simple selector matches one element.
+func matchSimple(ss SimpleSelector, e Element) bool {
+	if ss.Element != "" && !strings.EqualFold(ss.Element, e.Tag) {
+		return false
+	}
+	if ss.ID != "" && ss.ID != e.ID {
+		return false
+	}
+	for _, class := range ss.Classes {
+		if !containsFold(e.Classes, class) {
+			return false
+		}
+	}
+	for _, p := range ss.Pseudos {
+		if !containsFold(e.Pseudos, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsFold(list []string, want string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether the selector matches the final element of path,
+// with the preceding elements as its ancestors. CSS1 contextual selectors
+// are ancestor selectors: each earlier simple selector must match some
+// ancestor, in order, but not necessarily consecutively.
+func (s Selector) Matches(path []Element) bool {
+	if len(s.Simple) == 0 || len(path) == 0 {
+		return false
+	}
+	// The last simple selector must match the subject element.
+	if !matchSimple(s.Simple[len(s.Simple)-1], path[len(path)-1]) {
+		return false
+	}
+	// Remaining simple selectors match ancestors right-to-left.
+	si := len(s.Simple) - 2
+	pi := len(path) - 2
+	for si >= 0 {
+		if pi < 0 {
+			return false
+		}
+		if matchSimple(s.Simple[si], path[pi]) {
+			si--
+		}
+		pi--
+	}
+	return true
+}
+
+// MatchedDecl is one declaration selected by the cascade, with the
+// information used to rank it.
+type MatchedDecl struct {
+	Decl        Decl
+	Specificity int
+	// Order is the global rule position (sheet-major); later wins ties.
+	Order int
+}
+
+// Cascade resolves declarations from one or more style sheets in document
+// order (CSS1 author-origin cascading: !important beats normal, then
+// higher specificity, then later position).
+type Cascade struct {
+	rules []cascadeRule
+}
+
+type cascadeRule struct {
+	sel   Selector
+	decls []Decl
+	order int
+}
+
+// NewCascade builds a cascade over the sheets in priority order (later
+// sheets override earlier ones at equal specificity, as if appended).
+func NewCascade(sheets ...*Stylesheet) *Cascade {
+	c := &Cascade{}
+	order := 0
+	for _, sheet := range sheets {
+		for _, rule := range sheet.Rules {
+			for _, sel := range rule.Selectors {
+				c.rules = append(c.rules, cascadeRule{sel: sel, decls: rule.Decls, order: order})
+				order++
+			}
+		}
+	}
+	return c
+}
+
+// Style computes the winning declaration for every property that any
+// matching rule sets on the element at the end of path.
+func (c *Cascade) Style(path []Element) map[string]MatchedDecl {
+	winners := make(map[string]MatchedDecl)
+	for _, rule := range c.rules {
+		if !rule.sel.Matches(path) {
+			continue
+		}
+		spec := rule.sel.Specificity()
+		for _, d := range rule.decls {
+			cand := MatchedDecl{Decl: d, Specificity: spec, Order: rule.order}
+			prev, ok := winners[d.Property]
+			if !ok || beats(cand, prev) {
+				winners[d.Property] = cand
+			}
+		}
+	}
+	return winners
+}
+
+// beats reports whether a should replace b in the cascade.
+func beats(a, b MatchedDecl) bool {
+	if a.Decl.Important != b.Decl.Important {
+		return a.Decl.Important
+	}
+	if a.Specificity != b.Specificity {
+		return a.Specificity > b.Specificity
+	}
+	return a.Order >= b.Order
+}
+
+// MatchingRules returns the selectors (with their rule declarations) that
+// match the element, in cascade order — useful for debugging sheets.
+func (c *Cascade) MatchingRules(path []Element) []Selector {
+	var out []Selector
+	for _, rule := range c.rules {
+		if rule.sel.Matches(path) {
+			out = append(out, rule.sel)
+		}
+	}
+	return out
+}

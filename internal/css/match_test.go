@@ -1,0 +1,178 @@
+package css
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sel(t *testing.T, src string) Selector {
+	t.Helper()
+	sheet, err := Parse(src + " { color: red }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sheet.Rules[0].Selectors[0]
+}
+
+func TestSimpleSelectorMatching(t *testing.T) {
+	p := Element{Tag: "p", Classes: []string{"banner", "wide"}, ID: "intro", Pseudos: []string{"first-line"}}
+	cases := []struct {
+		selector string
+		want     bool
+	}{
+		{"p", true},
+		{"P", true}, // tags match case-insensitively
+		{"div", false},
+		{"*", true},
+		{".banner", true},
+		{".Banner", true},
+		{".missing", false},
+		{"p.banner", true},
+		{"p.banner.wide", true},
+		{"p.banner.narrow", false},
+		{"#intro", true},
+		{"#outro", false},
+		{"p#intro.banner", true},
+		{"p:first-line", true},
+		{"p:first-letter", false},
+	}
+	for _, c := range cases {
+		if got := sel(t, c.selector).Matches([]Element{p}); got != c.want {
+			t.Errorf("%q matches = %v, want %v", c.selector, got, c.want)
+		}
+	}
+}
+
+func TestContextualSelectorMatching(t *testing.T) {
+	path := []Element{
+		{Tag: "html"},
+		{Tag: "body"},
+		{Tag: "div", Classes: []string{"nav"}},
+		{Tag: "ul"},
+		{Tag: "li"},
+		{Tag: "a", Pseudos: []string{"link"}},
+	}
+	cases := []struct {
+		selector string
+		want     bool
+	}{
+		{"a", true},
+		{"li a", true},
+		{"ul a", true}, // ancestors need not be consecutive
+		{"div.nav a", true},
+		{"body div ul li a", true},
+		{"div.other a", false},
+		{"table a", false},
+		{"a li", false}, // order matters
+		{"ul li a:link", true},
+		{"ul li a:visited", false},
+		{"html body div ul li a", true},
+		{"p html body div ul li a", false}, // more context than ancestors
+	}
+	for _, c := range cases {
+		if got := sel(t, c.selector).Matches(path); got != c.want {
+			t.Errorf("%q matches = %v, want %v", c.selector, got, c.want)
+		}
+	}
+}
+
+func TestMatchesEdgeCases(t *testing.T) {
+	if (Selector{}).Matches([]Element{{Tag: "p"}}) {
+		t.Error("empty selector matched")
+	}
+	if sel(t, "p").Matches(nil) {
+		t.Error("selector matched empty path")
+	}
+}
+
+func TestCascadeSpecificity(t *testing.T) {
+	sheet := MustParse(`
+		p { color: black; margin: 1em }
+		p.banner { color: white }
+		#special { color: blue }
+	`)
+	c := NewCascade(sheet)
+
+	plain := c.Style([]Element{{Tag: "p"}})
+	if plain["color"].Decl.Value != "black" {
+		t.Errorf("plain p color = %q", plain["color"].Decl.Value)
+	}
+	banner := c.Style([]Element{{Tag: "p", Classes: []string{"banner"}}})
+	if banner["color"].Decl.Value != "white" {
+		t.Errorf("banner color = %q (class must beat element)", banner["color"].Decl.Value)
+	}
+	if banner["margin"].Decl.Value != "1em" {
+		t.Errorf("banner margin = %q (inherited from p rule)", banner["margin"].Decl.Value)
+	}
+	special := c.Style([]Element{{Tag: "p", ID: "special", Classes: []string{"banner"}}})
+	if special["color"].Decl.Value != "blue" {
+		t.Errorf("id color = %q (id must beat class)", special["color"].Decl.Value)
+	}
+}
+
+func TestCascadeOrderBreaksTies(t *testing.T) {
+	sheet := MustParse(`p { color: red } p { color: green }`)
+	c := NewCascade(sheet)
+	got := c.Style([]Element{{Tag: "p"}})
+	if got["color"].Decl.Value != "green" {
+		t.Errorf("later rule should win ties: %q", got["color"].Decl.Value)
+	}
+}
+
+func TestCascadeAcrossSheets(t *testing.T) {
+	base := MustParse(`p { color: red; font-size: 12px }`)
+	override := MustParse(`p { color: green }`)
+	c := NewCascade(base, override)
+	got := c.Style([]Element{{Tag: "p"}})
+	if got["color"].Decl.Value != "green" {
+		t.Errorf("later sheet should win: %q", got["color"].Decl.Value)
+	}
+	if got["font-size"].Decl.Value != "12px" {
+		t.Errorf("unoverridden property lost: %q", got["font-size"].Decl.Value)
+	}
+}
+
+func TestImportantBeatsSpecificity(t *testing.T) {
+	sheet := MustParse(`
+		p { color: red ! important }
+		p#x.y { color: blue }
+	`)
+	c := NewCascade(sheet)
+	got := c.Style([]Element{{Tag: "p", ID: "x", Classes: []string{"y"}}})
+	if got["color"].Decl.Value != "red" {
+		t.Errorf("!important lost to specificity: %q", got["color"].Decl.Value)
+	}
+}
+
+func TestMatchingRules(t *testing.T) {
+	sheet := MustParse(`p {color:red} .banner {color:blue} div {color:green}`)
+	c := NewCascade(sheet)
+	rules := c.MatchingRules([]Element{{Tag: "p", Classes: []string{"banner"}}})
+	if len(rules) != 2 {
+		t.Fatalf("matching rules = %d, want 2", len(rules))
+	}
+}
+
+// Property: a selector built from an element's own features always
+// matches that element.
+func TestPropertySelfSelectorMatches(t *testing.T) {
+	tags := []string{"p", "div", "li", "a", "h1"}
+	f := func(tagIdx, classIdx uint8, withID bool) bool {
+		e := Element{Tag: tags[int(tagIdx)%len(tags)]}
+		class := []string{"alpha", "beta", "gamma"}[int(classIdx)%3]
+		e.Classes = []string{class}
+		src := e.Tag + "." + class
+		if withID {
+			e.ID = "the-id"
+			src += "#the-id"
+		}
+		sheet, err := Parse(src + " { color: red }")
+		if err != nil {
+			return false
+		}
+		return sheet.Rules[0].Selectors[0].Matches([]Element{e})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package css
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a CSS1 style sheet. It is tolerant of whitespace and
+// comments, strict about brace/semicolon structure.
+func Parse(src string) (*Stylesheet, error) {
+	p := &parser{src: stripComments(src)}
+	sheet := &Stylesheet{}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return sheet, nil
+		}
+		if p.peek() == '@' {
+			if err := p.atRule(sheet); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rule, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		sheet.Rules = append(sheet.Rules, rule)
+	}
+}
+
+// MustParse parses or panics; for tests and static sheets.
+func MustParse(src string) *Stylesheet {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// stripComments removes /* ... */ comments.
+func stripComments(s string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(s, "/*")
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		j := strings.Index(s[i+2:], "*/")
+		if j < 0 {
+			return b.String()
+		}
+		s = s[i+2+j+2:]
+	}
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.peek() {
+		case ' ', '\t', '\r', '\n', '\f':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// until returns the text up to (not including) the next occurrence of any
+// byte in stops, advancing past it; the stop byte found is returned.
+func (p *parser) until(stops string) (string, byte, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.peek()
+		if strings.IndexByte(stops, c) >= 0 {
+			text := p.src[start:p.pos]
+			p.pos++
+			return text, c, nil
+		}
+		p.pos++
+	}
+	return "", 0, fmt.Errorf("%w: expected one of %q before end of input", ErrSyntax, stops)
+}
+
+// atRule handles @import (the only CSS1 at-rule); unknown at-rules are
+// skipped per the CSS error-handling rules.
+func (p *parser) atRule(sheet *Stylesheet) error {
+	head, stop, err := p.until(";{")
+	if err != nil {
+		return err
+	}
+	head = strings.TrimSpace(head)
+	if stop == '{' {
+		// Unknown block at-rule: skip its block.
+		depth := 1
+		for !p.eof() && depth > 0 {
+			switch p.peek() {
+			case '{':
+				depth++
+			case '}':
+				depth--
+			}
+			p.pos++
+		}
+		return nil
+	}
+	lower := strings.ToLower(head)
+	if strings.HasPrefix(lower, "@import") {
+		arg := strings.TrimSpace(head[len("@import"):])
+		arg = strings.TrimPrefix(arg, "url(")
+		arg = strings.TrimSuffix(arg, ")")
+		arg = strings.Trim(arg, `"' `)
+		if arg == "" {
+			return fmt.Errorf("%w: empty @import", ErrSyntax)
+		}
+		sheet.Imports = append(sheet.Imports, arg)
+	}
+	return nil
+}
+
+func (p *parser) rule() (Rule, error) {
+	selText, _, err := p.until("{")
+	if err != nil {
+		return Rule{}, err
+	}
+	sels, err := parseSelectors(selText)
+	if err != nil {
+		return Rule{}, err
+	}
+	body, _, err := p.until("}")
+	if err != nil {
+		return Rule{}, err
+	}
+	decls, err := parseDecls(body)
+	if err != nil {
+		return Rule{}, err
+	}
+	return Rule{Selectors: sels, Decls: decls}, nil
+}
+
+func parseSelectors(text string) ([]Selector, error) {
+	var sels []Selector
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty selector", ErrSyntax)
+		}
+		var sel Selector
+		for _, word := range strings.Fields(part) {
+			ss, err := parseSimpleSelector(word)
+			if err != nil {
+				return nil, err
+			}
+			sel.Simple = append(sel.Simple, ss)
+		}
+		sels = append(sels, sel)
+	}
+	return sels, nil
+}
+
+func parseSimpleSelector(word string) (SimpleSelector, error) {
+	var ss SimpleSelector
+	rest := word
+	// Element name (or * / empty).
+	i := 0
+	for i < len(rest) && rest[i] != '.' && rest[i] != '#' && rest[i] != ':' {
+		i++
+	}
+	elem := rest[:i]
+	if elem != "" && elem != "*" {
+		ss.Element = strings.ToLower(elem)
+	}
+	rest = rest[i:]
+	for rest != "" {
+		marker := rest[0]
+		rest = rest[1:]
+		j := 0
+		for j < len(rest) && rest[j] != '.' && rest[j] != '#' && rest[j] != ':' {
+			j++
+		}
+		name := rest[:j]
+		if name == "" {
+			return ss, fmt.Errorf("%w: dangling %q in selector %q", ErrSyntax, marker, word)
+		}
+		switch marker {
+		case '.':
+			ss.Classes = append(ss.Classes, name)
+		case '#':
+			if ss.ID != "" {
+				return ss, fmt.Errorf("%w: two ids in %q", ErrSyntax, word)
+			}
+			ss.ID = name
+		case ':':
+			ss.Pseudos = append(ss.Pseudos, strings.ToLower(name))
+		}
+		rest = rest[j:]
+	}
+	return ss, nil
+}
+
+func parseDecls(body string) ([]Decl, error) {
+	var decls []Decl
+	for _, part := range strings.Split(body, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		colon := strings.IndexByte(part, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%w: declaration %q has no colon", ErrSyntax, part)
+		}
+		prop := strings.ToLower(strings.TrimSpace(part[:colon]))
+		value := strings.TrimSpace(part[colon+1:])
+		if prop == "" || value == "" {
+			return nil, fmt.Errorf("%w: empty property or value in %q", ErrSyntax, part)
+		}
+		d := Decl{Property: prop}
+		lower := strings.ToLower(value)
+		if i := strings.Index(lower, "!"); i >= 0 && strings.Contains(lower[i:], "important") {
+			d.Important = true
+			value = strings.TrimSpace(value[:i])
+		}
+		d.Value = normalizeSpace(value)
+		decls = append(decls, d)
+	}
+	return decls, nil
+}
+
+func normalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,50 @@
+package flatez
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchHTML = []byte(strings.Repeat(
+	`<table border=0 cellpadding=0><tr><td><a href="/products/index.html">`+
+		`<img src="/images/button.gif" width=90 height=30 border=0 alt="products"></a></td></tr></table>`+
+		`<p>the network performance of persistent connections and pipelining</p>`, 150))
+
+func BenchmarkCompressLevel1(b *testing.B) {
+	b.SetBytes(int64(len(benchHTML)))
+	for i := 0; i < b.N; i++ {
+		CompressLevel(benchHTML, 1)
+	}
+}
+
+func BenchmarkCompressLevel6(b *testing.B) {
+	b.SetBytes(int64(len(benchHTML)))
+	for i := 0; i < b.N; i++ {
+		CompressLevel(benchHTML, 6)
+	}
+}
+
+func BenchmarkCompressLevel9(b *testing.B) {
+	b.SetBytes(int64(len(benchHTML)))
+	for i := 0; i < b.N; i++ {
+		CompressLevel(benchHTML, 9)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	comp := Compress(benchHTML)
+	b.SetBytes(int64(len(benchHTML)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdler32(b *testing.B) {
+	b.SetBytes(int64(len(benchHTML)))
+	for i := 0; i < b.N; i++ {
+		Adler32(1, benchHTML)
+	}
+}

@@ -1,0 +1,111 @@
+// Package flatez is a from-scratch implementation of the DEFLATE
+// compressed data format (RFC 1951) and the zlib wrapper (RFC 1950),
+// re-creating the zlib 1.04 functionality the paper used for HTTP
+// "Content-Encoding: deflate" transport compression.
+//
+// The encoder uses hash-chain LZ77 matching with lazy evaluation and
+// dynamic Huffman blocks; the decoder accepts stored, fixed, and dynamic
+// blocks. Both ends are cross-validated against the Go standard library's
+// compress/flate in the package tests, and support preset dictionaries
+// (the paper's "compression dictionaries optimized for HTML" future-work
+// item).
+package flatez
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports invalid compressed data.
+var ErrCorrupt = errors.New("flatez: corrupt deflate stream")
+
+// bitWriter writes bits LSB-first as DEFLATE requires.
+type bitWriter struct {
+	out  []byte
+	acc  uint64
+	nacc uint
+}
+
+// writeBits appends the low n bits of v.
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc |= uint64(v) << w.nacc
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// writeCode appends a Huffman code, which is stored MSB-first within its
+// length and must be emitted bit-reversed.
+func (w *bitWriter) writeCode(code uint32, length uint) {
+	w.writeBits(reverseBits(code, length), length)
+}
+
+// alignByte pads with zero bits to the next byte boundary.
+func (w *bitWriter) alignByte() {
+	if w.nacc > 0 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+}
+
+// bytes returns the completed output, flushing any partial byte.
+func (w *bitWriter) bytes() []byte {
+	w.alignByte()
+	return w.out
+}
+
+// reverseBits reverses the low n bits of v.
+func reverseBits(v uint32, n uint) uint32 {
+	var r uint32
+	for i := uint(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// bitReader reads bits LSB-first.
+type bitReader struct {
+	in   []byte
+	pos  int
+	acc  uint64
+	nacc uint
+}
+
+func (r *bitReader) readBits(n uint) (uint32, error) {
+	for r.nacc < n {
+		if r.pos >= len(r.in) {
+			return 0, fmt.Errorf("%w: unexpected end of input", ErrCorrupt)
+		}
+		r.acc |= uint64(r.in[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+	v := uint32(r.acc) & ((1 << n) - 1)
+	r.acc >>= n
+	r.nacc -= n
+	return v, nil
+}
+
+// alignByte discards bits up to the next byte boundary.
+func (r *bitReader) alignByte() {
+	r.acc = 0
+	r.nacc = 0
+}
+
+// readBytes copies n raw bytes (must be byte-aligned).
+func (r *bitReader) readBytes(n int) ([]byte, error) {
+	if r.nacc != 0 {
+		panic("flatez: readBytes while not byte-aligned")
+	}
+	if r.pos+n > len(r.in) {
+		return nil, fmt.Errorf("%w: truncated stored block", ErrCorrupt)
+	}
+	b := r.in[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}

@@ -1,0 +1,187 @@
+package flatez
+
+import (
+	"fmt"
+	"sort"
+)
+
+// maxCodeBits is the DEFLATE limit for literal/length and distance codes.
+const maxCodeBits = 15
+
+// maxCLBits is the limit for the code-length alphabet.
+const maxCLBits = 7
+
+// buildLengths computes optimal length-limited Huffman code lengths for
+// the given symbol frequencies using the package-merge algorithm
+// (Larmore–Hirschberg). Symbols with zero frequency get length zero. For
+// two or more active symbols the result is a complete prefix code (Kraft
+// sum exactly one), which DEFLATE decoders require of the literal/length
+// code; a single active symbol gets length 1.
+func buildLengths(freq []int64, maxBits int) []uint8 {
+	lens := make([]uint8, len(freq))
+	var active []int
+	for i, f := range freq {
+		if f > 0 {
+			active = append(active, i)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return lens
+	case 1:
+		lens[active[0]] = 1
+		return lens
+	}
+	if 1<<uint(maxBits) < len(active) {
+		panic(fmt.Sprintf("flatez: %d symbols cannot fit in %d-bit codes", len(active), maxBits))
+	}
+
+	type pmNode struct {
+		w           int64
+		leaf        int // symbol index, or -1 for a package
+		left, right *pmNode
+	}
+	leaves := make([]*pmNode, len(active))
+	for i, s := range active {
+		leaves[i] = &pmNode{w: freq[s], leaf: s}
+	}
+	sort.SliceStable(leaves, func(i, j int) bool {
+		if leaves[i].w != leaves[j].w {
+			return leaves[i].w < leaves[j].w
+		}
+		return leaves[i].leaf < leaves[j].leaf
+	})
+
+	merge := func(packaged []*pmNode) []*pmNode {
+		out := make([]*pmNode, 0, len(leaves)+len(packaged))
+		i, j := 0, 0
+		for i < len(leaves) || j < len(packaged) {
+			// Leaves win ties for determinism.
+			if j >= len(packaged) || (i < len(leaves) && leaves[i].w <= packaged[j].w) {
+				out = append(out, leaves[i])
+				i++
+			} else {
+				out = append(out, packaged[j])
+				j++
+			}
+		}
+		return out
+	}
+
+	prev := leaves
+	for level := 1; level < maxBits; level++ {
+		var packaged []*pmNode
+		for i := 0; i+1 < len(prev); i += 2 {
+			packaged = append(packaged, &pmNode{
+				w: prev[i].w + prev[i+1].w, leaf: -1,
+				left: prev[i], right: prev[i+1],
+			})
+		}
+		prev = merge(packaged)
+	}
+
+	// The optimal solution takes the first 2n-2 items; each inclusion of a
+	// symbol's leaf adds one bit to its code length.
+	var count func(n *pmNode)
+	count = func(n *pmNode) {
+		if n.leaf >= 0 {
+			lens[n.leaf]++
+			return
+		}
+		count(n.left)
+		count(n.right)
+	}
+	for _, n := range prev[:2*len(active)-2] {
+		count(n)
+	}
+	return lens
+}
+
+// canonicalCodes assigns canonical Huffman codes (RFC 1951 §3.2.2) from
+// code lengths. codes[i] is valid only where lens[i] > 0.
+func canonicalCodes(lens []uint8) []uint32 {
+	maxLen := 0
+	blCount := make([]int, maxCodeBits+1)
+	for _, l := range lens {
+		if int(l) > maxLen {
+			maxLen = int(l)
+		}
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	nextCode := make([]uint32, maxLen+2)
+	code := uint32(0)
+	for bits := 1; bits <= maxLen; bits++ {
+		code = (code + uint32(blCount[bits-1])) << 1
+		nextCode[bits] = code
+	}
+	codes := make([]uint32, len(lens))
+	for i, l := range lens {
+		if l > 0 {
+			codes[i] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}
+
+// huffDecoder decodes canonical Huffman codes bit by bit (the approach of
+// Mark Adler's puff.c: counts per length plus symbols sorted by code).
+type huffDecoder struct {
+	count  []int // count[l] = number of codes of length l
+	symbol []int // symbols ordered by (length, symbol)
+}
+
+// newHuffDecoder builds a decoder from code lengths. It rejects
+// over-subscribed codes; incomplete codes are accepted (they only error
+// if a missing code is actually encountered), matching DEFLATE's
+// allowance for a partial distance code.
+func newHuffDecoder(lens []uint8) (*huffDecoder, error) {
+	d := &huffDecoder{count: make([]int, maxCodeBits+1)}
+	for _, l := range lens {
+		if l > 0 {
+			d.count[l]++
+		}
+	}
+	left := 1
+	for l := 1; l <= maxCodeBits; l++ {
+		left <<= 1
+		left -= d.count[l]
+		if left < 0 {
+			return nil, fmt.Errorf("%w: over-subscribed huffman code", ErrCorrupt)
+		}
+	}
+	offs := make([]int, maxCodeBits+2)
+	for l := 1; l <= maxCodeBits; l++ {
+		offs[l+1] = offs[l] + d.count[l]
+	}
+	d.symbol = make([]int, offs[maxCodeBits+1])
+	for sym, l := range lens {
+		if l > 0 {
+			d.symbol[offs[l]] = sym
+			offs[l]++
+		}
+	}
+	return d, nil
+}
+
+// decode reads one symbol from r.
+func (d *huffDecoder) decode(r *bitReader) (int, error) {
+	code, first, index := 0, 0, 0
+	for l := 1; l <= maxCodeBits; l++ {
+		b, err := r.readBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code |= int(b)
+		count := d.count[l]
+		if code-first < count {
+			return d.symbol[index+code-first], nil
+		}
+		index += count
+		first = (first + count) << 1
+		code <<= 1
+	}
+	return 0, fmt.Errorf("%w: invalid huffman code", ErrCorrupt)
+}

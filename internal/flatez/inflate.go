@@ -1,0 +1,220 @@
+package flatez
+
+import "fmt"
+
+// Decompress inflates a raw DEFLATE stream.
+func Decompress(data []byte) ([]byte, error) {
+	return DecompressDict(data, nil)
+}
+
+// DecompressDict inflates a stream produced with the given preset
+// dictionary.
+func DecompressDict(data, dict []byte) ([]byte, error) {
+	if len(dict) > windowSize {
+		dict = dict[len(dict)-windowSize:]
+	}
+	out := make([]byte, len(dict), len(dict)+len(data)*3)
+	copy(out, dict)
+	r := &bitReader{in: data}
+	for {
+		final, err := r.readBits(1)
+		if err != nil {
+			return nil, err
+		}
+		btype, err := r.readBits(2)
+		if err != nil {
+			return nil, err
+		}
+		switch btype {
+		case 0:
+			out, err = inflateStored(r, out)
+		case 1:
+			out, err = inflateFixed(r, out)
+		case 2:
+			out, err = inflateDynamic(r, out)
+		default:
+			err = fmt.Errorf("%w: reserved block type", ErrCorrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if final == 1 {
+			return out[len(dict):], nil
+		}
+	}
+}
+
+func inflateStored(r *bitReader, out []byte) ([]byte, error) {
+	r.alignByte()
+	hdr, err := r.readBytes(4)
+	if err != nil {
+		return nil, err
+	}
+	n := int(hdr[0]) | int(hdr[1])<<8
+	nlen := int(hdr[2]) | int(hdr[3])<<8
+	if n != ^nlen&0xffff {
+		return nil, fmt.Errorf("%w: stored block length check failed", ErrCorrupt)
+	}
+	body, err := r.readBytes(n)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, body...), nil
+}
+
+var (
+	fixedLitDec  *huffDecoder
+	fixedDistDec *huffDecoder
+)
+
+func init() {
+	var err error
+	fixedLitDec, err = newHuffDecoder(fixedLitLens())
+	if err != nil {
+		panic(err)
+	}
+	fixedDistDec, err = newHuffDecoder(fixedDistLens())
+	if err != nil {
+		panic(err)
+	}
+}
+
+func inflateFixed(r *bitReader, out []byte) ([]byte, error) {
+	return inflateCoded(r, out, fixedLitDec, fixedDistDec)
+}
+
+func inflateDynamic(r *bitReader, out []byte) ([]byte, error) {
+	hlit, err := r.readBits(5)
+	if err != nil {
+		return nil, err
+	}
+	hdist, err := r.readBits(5)
+	if err != nil {
+		return nil, err
+	}
+	hclen, err := r.readBits(4)
+	if err != nil {
+		return nil, err
+	}
+	nlit, ndist, ncl := int(hlit)+257, int(hdist)+1, int(hclen)+4
+	if nlit > 286 || ndist > 30 {
+		return nil, fmt.Errorf("%w: too many codes (%d lit, %d dist)", ErrCorrupt, nlit, ndist)
+	}
+
+	clLens := make([]uint8, 19)
+	for i := 0; i < ncl; i++ {
+		v, err := r.readBits(3)
+		if err != nil {
+			return nil, err
+		}
+		clLens[clOrder[i]] = uint8(v)
+	}
+	clDec, err := newHuffDecoder(clLens)
+	if err != nil {
+		return nil, err
+	}
+
+	all := make([]uint8, nlit+ndist)
+	for i := 0; i < len(all); {
+		sym, err := clDec.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sym < 16:
+			all[i] = uint8(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return nil, fmt.Errorf("%w: repeat with no previous length", ErrCorrupt)
+			}
+			n, err := r.readBits(2)
+			if err != nil {
+				return nil, err
+			}
+			prev := all[i-1]
+			for k := 0; k < int(n)+3; k++ {
+				if i >= len(all) {
+					return nil, fmt.Errorf("%w: length repeat overflow", ErrCorrupt)
+				}
+				all[i] = prev
+				i++
+			}
+		case sym == 17:
+			n, err := r.readBits(3)
+			if err != nil {
+				return nil, err
+			}
+			i += int(n) + 3
+		case sym == 18:
+			n, err := r.readBits(7)
+			if err != nil {
+				return nil, err
+			}
+			i += int(n) + 11
+		default:
+			return nil, fmt.Errorf("%w: bad code-length symbol %d", ErrCorrupt, sym)
+		}
+		if i > len(all) {
+			return nil, fmt.Errorf("%w: length run overflow", ErrCorrupt)
+		}
+	}
+	if all[256] == 0 {
+		return nil, fmt.Errorf("%w: missing end-of-block code", ErrCorrupt)
+	}
+	litDec, err := newHuffDecoder(all[:nlit])
+	if err != nil {
+		return nil, err
+	}
+	distDec, err := newHuffDecoder(all[nlit:])
+	if err != nil {
+		return nil, err
+	}
+	return inflateCoded(r, out, litDec, distDec)
+}
+
+func inflateCoded(r *bitReader, out []byte, litDec, distDec *huffDecoder) ([]byte, error) {
+	for {
+		sym, err := litDec.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sym < 256:
+			out = append(out, byte(sym))
+		case sym == 256:
+			return out, nil
+		default:
+			lc := sym - 257
+			if lc >= len(lengthBase) {
+				return nil, fmt.Errorf("%w: bad length symbol %d", ErrCorrupt, sym)
+			}
+			extra, err := r.readBits(lengthExtra[lc])
+			if err != nil {
+				return nil, err
+			}
+			length := lengthBase[lc] + int(extra)
+
+			dsym, err := distDec.decode(r)
+			if err != nil {
+				return nil, err
+			}
+			if dsym >= len(distBase) {
+				return nil, fmt.Errorf("%w: bad distance symbol %d", ErrCorrupt, dsym)
+			}
+			dextra, err := r.readBits(distExtra[dsym])
+			if err != nil {
+				return nil, err
+			}
+			dist := distBase[dsym] + int(dextra)
+			if dist > len(out) {
+				return nil, fmt.Errorf("%w: distance %d beyond output", ErrCorrupt, dist)
+			}
+			// Byte-by-byte copy: overlapping references replicate runs.
+			start := len(out) - dist
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+}

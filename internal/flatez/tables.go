@@ -1,0 +1,84 @@
+package flatez
+
+// DEFLATE symbol tables (RFC 1951 §3.2.5).
+
+// Length codes 257..285: base length and extra bits.
+var (
+	lengthBase = [29]int{
+		3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+		35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+	}
+	lengthExtra = [29]uint{
+		0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+		3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+	}
+)
+
+// Distance codes 0..29: base distance and extra bits.
+var (
+	distBase = [30]int{
+		1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+		257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+		8193, 12289, 16385, 24577,
+	}
+	distExtra = [30]uint{
+		0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+		7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+	}
+)
+
+// clOrder is the transmission order of code-length code lengths.
+var clOrder = [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+// lengthCode maps a match length (3..258) to its length code index 0..28
+// (symbol = 257 + index).
+func lengthCode(length int) int {
+	for i := len(lengthBase) - 1; i >= 0; i-- {
+		if length >= lengthBase[i] {
+			// Code 28 (base 258) only covers exactly 258; lengths
+			// 227..257 belong to code 27.
+			if i == 28 && length != 258 {
+				return 27
+			}
+			return i
+		}
+	}
+	panic("flatez: match length out of range")
+}
+
+// distCode maps a match distance (1..32768) to its distance code 0..29.
+func distCode(dist int) int {
+	for i := len(distBase) - 1; i >= 0; i-- {
+		if dist >= distBase[i] {
+			return i
+		}
+	}
+	panic("flatez: match distance out of range")
+}
+
+// fixedLitLens returns the fixed literal/length code lengths.
+func fixedLitLens() []uint8 {
+	lens := make([]uint8, 288)
+	for i := 0; i <= 143; i++ {
+		lens[i] = 8
+	}
+	for i := 144; i <= 255; i++ {
+		lens[i] = 9
+	}
+	for i := 256; i <= 279; i++ {
+		lens[i] = 7
+	}
+	for i := 280; i <= 287; i++ {
+		lens[i] = 8
+	}
+	return lens
+}
+
+// fixedDistLens returns the fixed distance code lengths.
+func fixedDistLens() []uint8 {
+	lens := make([]uint8, 30)
+	for i := range lens {
+		lens[i] = 5
+	}
+	return lens
+}

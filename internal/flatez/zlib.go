@@ -1,0 +1,122 @@
+package flatez
+
+import "fmt"
+
+// Adler32 computes the RFC 1950 checksum of data, continuing from a prior
+// value (pass 1 to start).
+func Adler32(prior uint32, data []byte) uint32 {
+	const mod = 65521
+	a := prior & 0xffff
+	b := prior >> 16
+	for i := 0; i < len(data); {
+		// Process in spans small enough to defer the modulo.
+		end := i + 5552
+		if end > len(data) {
+			end = len(data)
+		}
+		for ; i < end; i++ {
+			a += uint32(data[i])
+			b += a
+		}
+		a %= mod
+		b %= mod
+	}
+	return b<<16 | a
+}
+
+// ZlibCompress wraps a deflate stream in the RFC 1950 container.
+func ZlibCompress(data []byte, level int) []byte {
+	return ZlibCompressDict(data, nil, level)
+}
+
+// ZlibCompressDict wraps a deflate stream compressed against a preset
+// dictionary, setting the FDICT flag and DICTID per RFC 1950 §2.2.
+func ZlibCompressDict(data, dict []byte, level int) []byte {
+	body := CompressDict(data, dict, level)
+	out := make([]byte, 0, len(body)+10)
+	cmf := byte(0x78) // deflate, 32K window
+	var flevel byte
+	switch {
+	case level <= 1:
+		flevel = 0
+	case level <= 5:
+		flevel = 1
+	case level <= 6:
+		flevel = 2
+	default:
+		flevel = 3
+	}
+	flg := flevel << 6
+	if dict != nil {
+		flg |= 0x20 // FDICT
+	}
+	rem := (uint16(cmf)<<8 | uint16(flg)) % 31
+	if rem != 0 {
+		flg += byte(31 - rem)
+	}
+	out = append(out, cmf, flg)
+	if dict != nil {
+		dictID := Adler32(1, dict)
+		out = append(out, byte(dictID>>24), byte(dictID>>16), byte(dictID>>8), byte(dictID))
+	}
+	out = append(out, body...)
+	sum := Adler32(1, data)
+	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	return out
+}
+
+// ZlibDecompress unwraps and inflates an RFC 1950 stream, verifying the
+// Adler-32 checksum.
+func ZlibDecompress(data []byte) ([]byte, error) {
+	return ZlibDecompressDict(data, nil)
+}
+
+// ZlibDecompressDict unwraps a stream that may have been compressed with
+// a preset dictionary; dict must match the DICTID recorded in the header.
+func ZlibDecompressDict(data, dict []byte) ([]byte, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: zlib stream too short", ErrCorrupt)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0f != 8 {
+		return nil, fmt.Errorf("%w: not a deflate zlib stream", ErrCorrupt)
+	}
+	if (uint16(cmf)<<8|uint16(flg))%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header check failed", ErrCorrupt)
+	}
+	body := data[2 : len(data)-4]
+	if flg&0x20 != 0 {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: missing DICTID", ErrCorrupt)
+		}
+		if dict == nil {
+			return nil, fmt.Errorf("%w: stream requires a preset dictionary", ErrCorrupt)
+		}
+		id := uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3])
+		if want := Adler32(1, dict); id != want {
+			return nil, fmt.Errorf("%w: dictionary id %08x, want %08x", ErrCorrupt, id, want)
+		}
+		body = body[4:]
+	} else {
+		dict = nil
+	}
+	out, err := DecompressDict(body, dict)
+	if err != nil {
+		return nil, err
+	}
+	tail := data[len(data)-4:]
+	want := uint32(tail[0])<<24 | uint32(tail[1])<<16 | uint32(tail[2])<<8 | uint32(tail[3])
+	if got := Adler32(1, out); got != want {
+		return nil, fmt.Errorf("%w: adler32 mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return out, nil
+}
+
+// Ratio returns compressed size over original size (smaller is better),
+// the measure the paper quotes (e.g. ~0.27 for lower-case HTML tags).
+func Ratio(original, compressed []byte) float64 {
+	if len(original) == 0 {
+		return 1
+	}
+	return float64(len(compressed)) / float64(len(original))
+}

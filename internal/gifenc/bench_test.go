@@ -1,0 +1,28 @@
+package gifenc
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	img := testImage(160, 120, 64, 5)
+	b.SetBytes(int64(len(img.Pixels)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	img := testImage(160, 120, 64, 5)
+	data, err := Encode(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img.Pixels)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

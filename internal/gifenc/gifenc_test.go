@@ -1,0 +1,296 @@
+package gifenc
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/gif"
+	"testing"
+	"testing/quick"
+)
+
+// testImage builds a deterministic paletted image with icon-like content
+// (flat regions plus some structure), similar to web GIFs.
+func testImage(w, h, colors int, seed uint64) *Image {
+	img := &Image{W: w, H: h, Palette: make([]Color, colors), Pixels: make([]byte, w*h)}
+	for i := range img.Palette {
+		img.Palette[i] = Color{byte(i * 37), byte(i * 91), byte(i * 53)}
+	}
+	s := seed
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Horizontal bands with occasional noise: compresses like a
+			// typical banner/icon.
+			c := (y / 4) % colors
+			s = s*6364136223846793005 + 1442695040888963407
+			if s>>60 == 0 {
+				c = int(s>>32) % colors
+			}
+			img.Pixels[y*w+x] = byte(c)
+		}
+	}
+	return img
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ w, h, colors int }{
+		{1, 1, 2}, {13, 7, 2}, {90, 30, 4}, {64, 64, 16}, {120, 40, 256},
+	} {
+		img := testImage(tc.w, tc.h, tc.colors, 9)
+		data, err := Encode(img)
+		if err != nil {
+			t.Fatalf("%dx%d/%d: %v", tc.w, tc.h, tc.colors, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%dx%d/%d: decode: %v", tc.w, tc.h, tc.colors, err)
+		}
+		if got.W != img.W || got.H != img.H {
+			t.Fatalf("dimensions %dx%d, want %dx%d", got.W, got.H, img.W, img.H)
+		}
+		if !bytes.Equal(got.Pixels, img.Pixels) {
+			t.Fatalf("%dx%d/%d: pixel mismatch", tc.w, tc.h, tc.colors)
+		}
+		for i := range img.Palette {
+			if got.Palette[i] != img.Palette[i] {
+				t.Fatalf("palette entry %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestStdlibCanDecodeOurGIF(t *testing.T) {
+	img := testImage(90, 30, 4, 3)
+	data, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := gif.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib rejected our GIF: %v", err)
+	}
+	b := std.Bounds()
+	if b.Dx() != img.W || b.Dy() != img.H {
+		t.Fatalf("stdlib sees %dx%d, want %dx%d", b.Dx(), b.Dy(), img.W, img.H)
+	}
+	pimg, ok := std.(*image.Paletted)
+	if !ok {
+		t.Fatalf("stdlib decoded %T, want paletted", std)
+	}
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if pimg.ColorIndexAt(x, y) != img.Pixels[y*img.W+x] {
+				t.Fatalf("pixel (%d,%d) differs under stdlib decode", x, y)
+			}
+		}
+	}
+}
+
+func TestWeCanDecodeStdlibGIF(t *testing.T) {
+	src := testImage(48, 24, 8, 4)
+	pal := make(color.Palette, len(src.Palette))
+	for i, c := range src.Palette {
+		pal[i] = color.RGBA{c.R, c.G, c.B, 255}
+	}
+	pimg := image.NewPaletted(image.Rect(0, 0, src.W, src.H), pal)
+	copy(pimg.Pix, src.Pixels)
+	var buf bytes.Buffer
+	if err := gif.Encode(&buf, pimg, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("our decoder rejected stdlib GIF: %v", err)
+	}
+	if got.W != src.W || got.H != src.H || !bytes.Equal(got.Pixels, src.Pixels) {
+		t.Fatal("mismatch decoding stdlib GIF")
+	}
+}
+
+func TestAnimationRoundTrip(t *testing.T) {
+	var frames []Frame
+	for i := 0; i < 5; i++ {
+		frames = append(frames, Frame{Image: testImage(32, 32, 8, uint64(i+1)), DelayCS: 10 * (i + 1)})
+	}
+	data, err := EncodeAnimation(frames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("decoded %d frames, want 5", len(got))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Image.Pixels, frames[i].Image.Pixels) {
+			t.Fatalf("frame %d pixels differ", i)
+		}
+		if got[i].DelayCS != frames[i].DelayCS {
+			t.Fatalf("frame %d delay %d, want %d", i, got[i].DelayCS, frames[i].DelayCS)
+		}
+	}
+}
+
+func TestStdlibCanDecodeOurAnimation(t *testing.T) {
+	frames := []Frame{
+		{Image: testImage(16, 16, 4, 1), DelayCS: 5},
+		{Image: testImage(16, 16, 4, 2), DelayCS: 5},
+	}
+	data, err := EncodeAnimation(frames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := gif.DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib rejected our animation: %v", err)
+	}
+	if len(std.Image) != 2 {
+		t.Fatalf("stdlib sees %d frames, want 2", len(std.Image))
+	}
+	if std.LoopCount != 0 {
+		t.Fatalf("loop count %d, want 0 (forever)", std.LoopCount)
+	}
+}
+
+func TestValidateRejectsBadImages(t *testing.T) {
+	cases := []*Image{
+		{W: 0, H: 5, Palette: make([]Color, 2), Pixels: nil},
+		{W: 2, H: 2, Palette: make([]Color, 1), Pixels: make([]byte, 4)},
+		{W: 2, H: 2, Palette: make([]Color, 2), Pixels: make([]byte, 3)},
+		{W: 2, H: 2, Palette: make([]Color, 2), Pixels: []byte{0, 0, 0, 9}},
+	}
+	for i, img := range cases {
+		if err := img.Validate(); err == nil {
+			t.Errorf("case %d: invalid image accepted", i)
+		}
+		if _, err := Encode(img); err == nil {
+			t.Errorf("case %d: Encode accepted invalid image", i)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("GIF"),
+		[]byte("NOTAGIF8"),
+		[]byte("GIF87a\x01\x00"),
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestFlatImageCompressesWell(t *testing.T) {
+	// A 100x30 single-color banner: GIF should be far below raw size.
+	img := &Image{W: 100, H: 30, Palette: []Color{{255, 255, 255}, {0, 0, 0}}, Pixels: make([]byte, 3000)}
+	data, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 600 {
+		t.Fatalf("flat 3000-pixel GIF is %d bytes, want well under raw", len(data))
+	}
+}
+
+func TestEncodeAnimationRejectsMismatchedFrames(t *testing.T) {
+	frames := []Frame{
+		{Image: testImage(16, 16, 4, 1)},
+		{Image: testImage(8, 8, 4, 2)},
+	}
+	if _, err := EncodeAnimation(frames, 0); err == nil {
+		t.Fatal("mismatched frame sizes accepted")
+	}
+	if _, err := EncodeAnimation(nil, 0); err == nil {
+		t.Fatal("empty animation accepted")
+	}
+}
+
+// Property: any valid random image round-trips.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(wRaw, hRaw uint8, colRaw uint8, pix []byte) bool {
+		w := int(wRaw)%40 + 1
+		h := int(hRaw)%40 + 1
+		colors := int(colRaw)%255 + 2
+		img := &Image{W: w, H: h, Palette: make([]Color, colors), Pixels: make([]byte, w*h)}
+		for i := range img.Palette {
+			img.Palette[i] = Color{byte(i), byte(i * 2), byte(i * 3)}
+		}
+		for i := range img.Pixels {
+			v := 0
+			if len(pix) > 0 {
+				v = int(pix[i%len(pix)])
+			}
+			img.Pixels[i] = byte(v % colors)
+		}
+		data, err := Encode(img)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Pixels, img.Pixels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterlacedRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{{8, 8}, {10, 1}, {5, 2}, {17, 29}, {64, 64}} {
+		img := testImage(tc.w, tc.h, 8, 12)
+		data, err := EncodeInterlaced(img)
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		if !bytes.Equal(got.Pixels, img.Pixels) {
+			t.Fatalf("%v: interlaced round trip mismatch", tc)
+		}
+	}
+}
+
+func TestStdlibDecodesOurInterlacedGIF(t *testing.T) {
+	img := testImage(31, 23, 8, 13)
+	data, err := EncodeInterlaced(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := gif.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib rejected interlaced GIF: %v", err)
+	}
+	pimg := std.(*image.Paletted)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if pimg.ColorIndexAt(x, y) != img.Pixels[y*img.W+x] {
+				t.Fatalf("pixel (%d,%d) differs", x, y)
+			}
+		}
+	}
+}
+
+func TestInterlaceRowOrderIsPermutation(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 7, 8, 9, 64, 100} {
+		order := interlaceRowOrder(h)
+		if len(order) != h {
+			t.Fatalf("h=%d: %d rows", h, len(order))
+		}
+		seen := make([]bool, h)
+		for _, y := range order {
+			if y < 0 || y >= h || seen[y] {
+				t.Fatalf("h=%d: bad/duplicate row %d", h, y)
+			}
+			seen[y] = true
+		}
+	}
+}

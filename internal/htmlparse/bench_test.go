@@ -1,0 +1,26 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchPage = []byte(strings.Repeat(
+	`<tr><td align=center><a href="/x.html"><img src="/images/i.gif" width=90 height=30 border=0></a>`+
+		`<font size=2 face="arial">some nav text</font></td></tr>`, 300))
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		var z Tokenizer
+		z.Feed(benchPage)
+	}
+}
+
+func BenchmarkLinkExtraction(b *testing.B) {
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		var e LinkExtractor
+		e.Feed(benchPage)
+	}
+}

@@ -1,0 +1,96 @@
+package htmlparse
+
+import "strings"
+
+// namedEntities covers the HTML 3.2-era character entities that appear in
+// markup of the period. Unknown entities are left untouched, as browsers
+// of the era did.
+var namedEntities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "copy": '©', "reg": '®', "trade": '™',
+	"middot": '·', "laquo": '«', "raquo": '»',
+	"eacute": 'é', "egrave": 'è', "agrave": 'à', "ccedil": 'ç',
+	"ouml": 'ö', "uuml": 'ü', "auml": 'ä', "szlig": 'ß',
+}
+
+// DecodeEntities resolves character references (&amp;, &#64;, &#x40;) in
+// s. It is applied to attribute values by the tokenizer; callers can apply
+// it to Text token data when they need character-level content.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	s = s[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := strings.IndexByte(s, '&')
+			if next < 0 {
+				b.WriteString(s)
+				break
+			}
+			b.WriteString(s[:next])
+			s = s[next:]
+			continue
+		}
+		semi := strings.IndexByte(s, ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte('&')
+			s = s[1:]
+			continue
+		}
+		name := s[1:semi]
+		if r, ok := decodeEntityName(name); ok {
+			b.WriteRune(r)
+			s = s[semi+1:]
+			continue
+		}
+		b.WriteByte('&')
+		s = s[1:]
+	}
+	return b.String()
+}
+
+func decodeEntityName(name string) (rune, bool) {
+	if name == "" {
+		return 0, false
+	}
+	if name[0] == '#' {
+		digits := name[1:]
+		base := 10
+		if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+			base = 16
+			digits = digits[1:]
+		}
+		if digits == "" {
+			return 0, false
+		}
+		n := 0
+		for _, c := range digits {
+			var d int
+			switch {
+			case c >= '0' && c <= '9':
+				d = int(c - '0')
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = int(c-'a') + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = int(c-'A') + 10
+			default:
+				return 0, false
+			}
+			n = n*base + d
+			if n > 0x10ffff {
+				return 0, false
+			}
+		}
+		if n == 0 {
+			return 0, false
+		}
+		return rune(n), true
+	}
+	r, ok := namedEntities[name]
+	return r, ok
+}

@@ -1,0 +1,219 @@
+// Package htmlparse is a streaming HTML tokenizer and embedded-link
+// extractor. The simulated robot feeds it response bytes as they arrive
+// from the network, discovering inline images incrementally — exactly the
+// behaviour the paper analyses when it discusses how much of the first
+// TCP segment's HTML is needed before a new batch of pipelined requests
+// can be issued.
+package htmlparse
+
+import "strings"
+
+// TokenType classifies a token.
+type TokenType int
+
+// Token types.
+const (
+	Text TokenType = iota
+	StartTag
+	EndTag
+	Comment
+	Decl // <!DOCTYPE ...> and other declarations
+)
+
+// Attr is one tag attribute. Name is lower-cased; Value is unescaped of
+// surrounding quotes only.
+type Attr struct {
+	Name, Value string
+}
+
+// Token is one lexical HTML element.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name (lower-cased) or text/comment content
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Tokenizer incrementally tokenizes HTML. Feed may be called with any
+// byte slicing; tokens are emitted as soon as they are complete.
+type Tokenizer struct {
+	buf []byte
+}
+
+// Feed appends data and returns the tokens completed by it.
+func (z *Tokenizer) Feed(data []byte) []Token {
+	z.buf = append(z.buf, data...)
+	var out []Token
+	for {
+		tok, n, ok := z.next()
+		if !ok {
+			return out
+		}
+		z.buf = z.buf[n:]
+		out = append(out, tok)
+	}
+}
+
+// Flush returns any trailing text at end of input.
+func (z *Tokenizer) Flush() []Token {
+	if len(z.buf) == 0 {
+		return nil
+	}
+	t := Token{Type: Text, Data: string(z.buf)}
+	z.buf = nil
+	return []Token{t}
+}
+
+// Buffered returns the number of bytes held awaiting a complete token.
+func (z *Tokenizer) Buffered() int { return len(z.buf) }
+
+// next tries to extract one token from the front of the buffer.
+func (z *Tokenizer) next() (Token, int, bool) {
+	buf := z.buf
+	if len(buf) == 0 {
+		return Token{}, 0, false
+	}
+	if buf[0] != '<' {
+		// Text up to the next '<'. Emit only if the '<' is present;
+		// otherwise more text may still arrive (unless Flush is called).
+		i := indexByte(buf, '<')
+		if i < 0 {
+			return Token{}, 0, false
+		}
+		return Token{Type: Text, Data: string(buf[:i])}, i, true
+	}
+	if len(buf) < 2 {
+		return Token{}, 0, false
+	}
+	switch {
+	case hasPrefix(buf, "<!--"):
+		end := indexString(buf, "-->")
+		if end < 0 {
+			return Token{}, 0, false
+		}
+		return Token{Type: Comment, Data: string(buf[4:end])}, end + 3, true
+	case buf[1] == '!':
+		end := indexByte(buf, '>')
+		if end < 0 {
+			return Token{}, 0, false
+		}
+		return Token{Type: Decl, Data: string(buf[2:end])}, end + 1, true
+	case buf[1] == '/':
+		end := indexByte(buf, '>')
+		if end < 0 {
+			return Token{}, 0, false
+		}
+		name := strings.ToLower(strings.TrimSpace(string(buf[2:end])))
+		return Token{Type: EndTag, Data: name}, end + 1, true
+	default:
+		end := tagEnd(buf)
+		if end < 0 {
+			return Token{}, 0, false
+		}
+		tok := parseStartTag(buf[1:end])
+		return tok, end + 1, true
+	}
+}
+
+// tagEnd finds the '>' terminating a start tag, respecting quoted
+// attribute values.
+func tagEnd(buf []byte) int {
+	var quote byte
+	for i := 1; i < len(buf); i++ {
+		c := buf[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '>':
+			return i
+		}
+	}
+	return -1
+}
+
+func parseStartTag(raw []byte) Token {
+	s := string(raw)
+	// Self-closing slash is irrelevant for 1997-era HTML; strip it.
+	s = strings.TrimSuffix(strings.TrimSpace(s), "/")
+	i := 0
+	for i < len(s) && !isSpace(s[i]) {
+		i++
+	}
+	tok := Token{Type: StartTag, Data: strings.ToLower(s[:i])}
+	rest := s[i:]
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" {
+			return tok
+		}
+		// Attribute name.
+		j := 0
+		for j < len(rest) && rest[j] != '=' && !isSpace(rest[j]) {
+			j++
+		}
+		name := strings.ToLower(rest[:j])
+		rest = strings.TrimLeft(rest[j:], " \t\r\n")
+		if name == "" {
+			// Stray character such as a lone '='; skip it.
+			rest = rest[1:]
+			continue
+		}
+		if rest == "" || rest[0] != '=' {
+			tok.Attrs = append(tok.Attrs, Attr{Name: name})
+			continue
+		}
+		rest = strings.TrimLeft(rest[1:], " \t\r\n")
+		var value string
+		if rest != "" && (rest[0] == '"' || rest[0] == '\'') {
+			q := rest[0]
+			end := strings.IndexByte(rest[1:], q)
+			if end < 0 {
+				value = rest[1:]
+				rest = ""
+			} else {
+				value = rest[1 : 1+end]
+				rest = rest[2+end:]
+			}
+		} else {
+			j = 0
+			for j < len(rest) && !isSpace(rest[j]) {
+				j++
+			}
+			value = rest[:j]
+			rest = rest[j:]
+		}
+		tok.Attrs = append(tok.Attrs, Attr{Name: name, Value: DecodeEntities(value)})
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func hasPrefix(b []byte, s string) bool {
+	return len(b) >= len(s) && string(b[:len(s)]) == s
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexString(b []byte, s string) int {
+	return strings.Index(string(b), s)
+}

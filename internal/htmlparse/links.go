@@ -1,0 +1,138 @@
+package htmlparse
+
+// LinkKind classifies an embedded or referenced resource.
+type LinkKind int
+
+// Link kinds.
+const (
+	// Inline resources, fetched automatically by a browser:
+	LinkImage      LinkKind = iota // <img src>, <input type=image src>
+	LinkBackground                 // <body background>
+	LinkStylesheet                 // <link rel=stylesheet href>
+	LinkScript                     // <script src>
+	LinkFrame                      // <frame src>, <iframe src>
+	// Navigational, fetched on user action:
+	LinkAnchor // <a href>
+)
+
+// String names the kind.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkImage:
+		return "image"
+	case LinkBackground:
+		return "background"
+	case LinkStylesheet:
+		return "stylesheet"
+	case LinkScript:
+		return "script"
+	case LinkFrame:
+		return "frame"
+	case LinkAnchor:
+		return "anchor"
+	}
+	return "unknown"
+}
+
+// Inline reports whether a browser fetches this kind automatically while
+// rendering the page.
+func (k LinkKind) Inline() bool { return k != LinkAnchor }
+
+// Link is one discovered reference.
+type Link struct {
+	URL  string
+	Kind LinkKind
+}
+
+// LinkExtractor finds resource references in a streamed HTML document.
+// Duplicate URLs of the same kind are reported once, like a browser's
+// fetch queue.
+type LinkExtractor struct {
+	tok  Tokenizer
+	seen map[string]bool
+}
+
+// Feed consumes HTML bytes and returns newly discovered links in document
+// order.
+func (e *LinkExtractor) Feed(data []byte) []Link {
+	var out []Link
+	for _, t := range e.tok.Feed(data) {
+		out = e.extract(t, out)
+	}
+	return out
+}
+
+func (e *LinkExtractor) extract(t Token, out []Link) []Link {
+	if t.Type != StartTag {
+		return out
+	}
+	add := func(url string, kind LinkKind) []Link {
+		if url == "" {
+			return out
+		}
+		if e.seen == nil {
+			e.seen = make(map[string]bool)
+		}
+		key := kind.String() + "|" + url
+		if e.seen[key] {
+			return out
+		}
+		e.seen[key] = true
+		return append(out, Link{URL: url, Kind: kind})
+	}
+	switch t.Data {
+	case "img":
+		if src, ok := t.Attr("src"); ok {
+			out = add(src, LinkImage)
+		}
+	case "input":
+		if typ, _ := t.Attr("type"); typ == "image" {
+			if src, ok := t.Attr("src"); ok {
+				out = add(src, LinkImage)
+			}
+		}
+	case "body":
+		if bg, ok := t.Attr("background"); ok {
+			out = add(bg, LinkBackground)
+		}
+	case "link":
+		rel, _ := t.Attr("rel")
+		if equalFold(rel, "stylesheet") {
+			if href, ok := t.Attr("href"); ok {
+				out = add(href, LinkStylesheet)
+			}
+		}
+	case "script":
+		if src, ok := t.Attr("src"); ok {
+			out = add(src, LinkScript)
+		}
+	case "frame", "iframe":
+		if src, ok := t.Attr("src"); ok {
+			out = add(src, LinkFrame)
+		}
+	case "a":
+		if href, ok := t.Attr("href"); ok {
+			out = add(href, LinkAnchor)
+		}
+	}
+	return out
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 32
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+// Package httpclient implements the simulated web client: the libwww
+// robot of the paper, in its four measured configurations (HTTP/1.0 with
+// parallel connections, HTTP/1.1 persistent, HTTP/1.1 pipelined, and
+// pipelined with deflate transport compression), plus header/connection
+// profiles approximating the product browsers of Tables 10 and 11.
+//
+// The pipelined client reproduces the implementation strategy the paper
+// converged on: requests are buffered in a 1024-byte application buffer,
+// flushed explicitly after the first (HTML) request, when the buffer
+// fills, when the flush timer expires, or when the document parse
+// completes; TCP_NODELAY is set; and HTML is parsed incrementally as
+// response segments arrive so new request batches can be issued while the
+// page is still in flight.
+package httpclient
+
+import (
+	"time"
+
+	"repro/internal/tcpsim"
+)
+
+// Mode is a measured client configuration.
+type Mode int
+
+// Client modes.
+const (
+	// ModeHTTP10: HTTP/1.0, one connection per request, up to 4 in
+	// parallel (Netscape's default, as used by the paper's robot).
+	ModeHTTP10 Mode = iota
+	// ModeHTTP11Serial: HTTP/1.1 persistent connection, requests
+	// serialized, no pipelining.
+	ModeHTTP11Serial
+	// ModeHTTP11Pipelined: persistent connection with buffered
+	// pipelining.
+	ModeHTTP11Pipelined
+	// ModeHTTP11PipelinedDeflate: pipelining plus Accept-Encoding:
+	// deflate for the HTML.
+	ModeHTTP11PipelinedDeflate
+	// ModeNetscape: Netscape 4.0b5 profile — HTTP/1.0 + Keep-Alive,
+	// 4 connections, verbose headers.
+	ModeNetscape
+	// ModeMSIE: Internet Explorer 4.0b1 profile — HTTP/1.1, 4 parallel
+	// persistent connections, no pipelining, verbose headers.
+	ModeMSIE
+)
+
+// String names the mode as in the paper's tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeHTTP10:
+		return "HTTP/1.0"
+	case ModeHTTP11Serial:
+		return "HTTP/1.1"
+	case ModeHTTP11Pipelined:
+		return "HTTP/1.1 Pipelined"
+	case ModeHTTP11PipelinedDeflate:
+		return "HTTP/1.1 Pipelined w. compression"
+	case ModeNetscape:
+		return "Netscape Navigator"
+	case ModeMSIE:
+		return "Internet Explorer"
+	}
+	return "unknown"
+}
+
+// Workload selects the paper's two test workloads.
+type Workload int
+
+// Workloads.
+const (
+	// FirstTime is the empty-cache retrieval: 43 GETs.
+	FirstTime Workload = iota
+	// Revalidate is the warm-cache visit: 43 cache validations.
+	Revalidate
+)
+
+// String names the workload as in the tables.
+func (w Workload) String() string {
+	if w == Revalidate {
+		return "Cache Validation"
+	}
+	return "First Time Retrieval"
+}
+
+// Config tunes the robot. Mode presets fill the zero fields; see
+// (Mode).Config.
+type Config struct {
+	Mode Mode
+
+	Proto      string // HTTP/1.0 or HTTP/1.1
+	MaxConns   int    // parallel connections
+	KeepAlive  bool   // reuse connections across requests
+	Pipelining bool
+	// AcceptDeflate advertises and decodes deflate content coding.
+	AcceptDeflate bool
+	Style         Style
+
+	// BufferSize is the pipelining output buffer (paper: 1024).
+	BufferSize int
+	// FlushTimeout bounds how long requests sit in the buffer (paper:
+	// 1s initially, 50ms in the tuned configuration).
+	FlushTimeout time.Duration
+	// ExplicitFirstFlush forces a flush after the first (HTML) request,
+	// the application-knowledge optimization the paper added.
+	ExplicitFirstFlush bool
+	// NoDelay sets TCP_NODELAY (required for buffered pipelining).
+	NoDelay bool
+
+	// PerRequestCPU is client processing per response (parsing, cache
+	// bookkeeping).
+	PerRequestCPU time.Duration
+
+	// RevalImagesViaHEAD validates images with HEAD instead of
+	// conditional GET (the old HTTP/1.0 robot's behaviour).
+	RevalImagesViaHEAD bool
+	// RevalidateHTMLUnconditionally re-fetches the page body on the
+	// revalidation workload (no client cache for the page, or broken
+	// validators — the IE-against-Jigsaw behaviour of Table 10).
+	RevalidateHTMLUnconditionally bool
+	// PageOnly fetches just the page, ignoring inline resources (the
+	// paper's single-GET modem-compression experiment).
+	PageOnly bool
+	// RevalRangeProbe, when positive, turns image revalidations into the
+	// paper's "poor man's multiplexing" idiom: a conditional GET carrying
+	// Range: bytes=0-(N-1), so an unchanged entity costs a 304 and a
+	// changed one returns only its first N bytes (its metadata) before
+	// the client decides to fetch the rest. Large changed objects then
+	// cannot monopolize the pipelined connection.
+	RevalRangeProbe int
+
+	// TCP overrides connection options other than NoDelay.
+	TCP tcpsim.Options
+}
+
+// Config returns the preset for the mode.
+func (m Mode) Config() Config {
+	c := Config{
+		Mode:          m,
+		BufferSize:    1024,
+		FlushTimeout:  50 * time.Millisecond,
+		PerRequestCPU: 5 * time.Millisecond,
+	}
+	switch m {
+	case ModeHTTP10:
+		c.Proto = "HTTP/1.0"
+		c.MaxConns = 4
+		c.Style = StyleRobot10
+		c.RevalImagesViaHEAD = true
+		c.RevalidateHTMLUnconditionally = true // no persistent cache
+	case ModeHTTP11Serial:
+		c.Proto = "HTTP/1.1"
+		c.MaxConns = 1
+		c.KeepAlive = true
+		c.Style = StyleRobot11
+	case ModeHTTP11Pipelined:
+		c.Proto = "HTTP/1.1"
+		c.MaxConns = 1
+		c.KeepAlive = true
+		c.Pipelining = true
+		c.ExplicitFirstFlush = true
+		c.NoDelay = true
+		c.Style = StyleRobot11
+	case ModeHTTP11PipelinedDeflate:
+		c.Proto = "HTTP/1.1"
+		c.MaxConns = 1
+		c.KeepAlive = true
+		c.Pipelining = true
+		c.ExplicitFirstFlush = true
+		c.NoDelay = true
+		c.AcceptDeflate = true
+		c.Style = StyleRobot11
+	case ModeNetscape:
+		c.Proto = "HTTP/1.0"
+		c.MaxConns = 4
+		c.KeepAlive = true
+		c.Style = StyleNetscape
+	case ModeMSIE:
+		c.Proto = "HTTP/1.1"
+		c.MaxConns = 4
+		c.KeepAlive = true
+		c.Style = StyleMSIE
+	}
+	return c
+}
+
+// Result summarizes one page fetch.
+type Result struct {
+	Done    bool
+	Aborted bool
+
+	Requests       int
+	Responses200   int
+	Responses304   int
+	ResponsesOther int
+
+	// PayloadBytes counts response body bytes as received (compressed
+	// bodies count compressed).
+	PayloadBytes int64
+
+	SocketsUsed          int
+	MaxSimultaneousConns int
+
+	// Errors counts connection-level failures (resets, truncations).
+	Errors int
+	// Retried counts requests re-sent after a connection failure.
+	Retried int
+
+	// Responses206 counts partial-content responses (range probes and
+	// remainder fetches).
+	Responses206 int
+
+	// MetadataSeconds is the virtual time at which every object had
+	// delivered its first response (a 304, a probe's 206, or a full
+	// response) — the layout-critical quantity range probing improves.
+	MetadataSeconds float64
+	// CompleteSeconds is the virtual time the whole fetch finished.
+	CompleteSeconds float64
+
+	// DeflateResponses counts responses that arrived deflate-coded.
+	DeflateResponses int
+	// InflatedBytes is the decoded size of those bodies.
+	InflatedBytes int64
+}

@@ -1,0 +1,373 @@
+package httpclient
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/webgen"
+)
+
+var (
+	siteOnce sync.Once
+	siteVal  *webgen.Site
+	siteErr  error
+)
+
+func testSite(t *testing.T) *webgen.Site {
+	t.Helper()
+	siteOnce.Do(func() {
+		siteVal, siteErr = webgen.Microscape(webgen.Options{Seed: 7, HTMLBytes: 6000})
+	})
+	if siteErr != nil {
+		t.Fatal(siteErr)
+	}
+	return siteVal
+}
+
+// fetch runs one robot fetch against a fresh simulated network.
+func fetch(t *testing.T, cfg Config, wl Workload, prime bool) (*Robot, *sim.Simulator) {
+	t.Helper()
+	s := sim.New()
+	s.SetEventLimit(10_000_000)
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	serverHost := n.AddHost("server")
+	link := netem.Config{PropagationDelay: 2 * time.Millisecond, BitsPerSecond: 10_000_000, MTU: 1500}
+	n.ConnectHosts(client, serverHost, netem.NewAsymPath(s, "t", link, link))
+	site := testSite(t)
+	httpserver.New(s, serverHost, 80, site,
+		httpserver.Config{Profile: httpserver.ProfileApache, NoDelay: true, EnableDeflate: cfg.AcceptDeflate}, nil, 0)
+	cache := NewCache()
+	if prime {
+		cache.Prime(site)
+	}
+	robot := NewRobot(s, client, "server", 80, cfg, cache, nil, 0)
+	s.Schedule(0, func() { robot.Start("/", wl, nil) })
+	s.Run()
+	if !robot.Finished() {
+		t.Fatalf("robot did not finish: %+v", robot.Result())
+	}
+	return robot, s
+}
+
+func TestModePresets(t *testing.T) {
+	cases := []struct {
+		mode      Mode
+		proto     string
+		conns     int
+		pipelined bool
+	}{
+		{ModeHTTP10, "HTTP/1.0", 4, false},
+		{ModeHTTP11Serial, "HTTP/1.1", 1, false},
+		{ModeHTTP11Pipelined, "HTTP/1.1", 1, true},
+		{ModeHTTP11PipelinedDeflate, "HTTP/1.1", 1, true},
+		{ModeNetscape, "HTTP/1.0", 4, false},
+		{ModeMSIE, "HTTP/1.1", 4, false},
+	}
+	for _, c := range cases {
+		cfg := c.mode.Config()
+		if cfg.Proto != c.proto || cfg.MaxConns != c.conns || cfg.Pipelining != c.pipelined {
+			t.Errorf("%v preset = %+v", c.mode, cfg)
+		}
+	}
+	if !ModeHTTP11PipelinedDeflate.Config().AcceptDeflate {
+		t.Error("deflate mode must accept deflate")
+	}
+	if ModeHTTP10.Config().KeepAlive {
+		t.Error("HTTP/1.0 robot must not keep alive")
+	}
+	if !ModeNetscape.Config().KeepAlive {
+		t.Error("Netscape profile uses Keep-Alive")
+	}
+}
+
+func TestModeAndWorkloadStrings(t *testing.T) {
+	if ModeHTTP11Pipelined.String() != "HTTP/1.1 Pipelined" {
+		t.Error("mode name")
+	}
+	if Mode(99).String() != "unknown" {
+		t.Error("unknown mode name")
+	}
+	if FirstTime.String() != "First Time Retrieval" || Revalidate.String() != "Cache Validation" {
+		t.Error("workload names")
+	}
+}
+
+func TestRequestSizesMatchPaper(t *testing.T) {
+	// The tuned robot's requests average ~190 bytes with validators.
+	req := buildRequest(StyleRobot11, "GET", "/images/bullet_sm.gif", "server", "HTTP/1.1")
+	req.Header.Add("If-None-Match", `"3a5f2c77-2d4"`)
+	req.Header.Add("If-Modified-Since", "Fri, 20 Jun 1997 08:30:00 GMT")
+	if n := req.WireSize(); n < 150 || n > 230 {
+		t.Errorf("robot conditional request = %dB, want ≈190", n)
+	}
+	// Browser requests are considerably bigger.
+	ns := buildRequest(StyleNetscape, "GET", "/images/bullet_sm.gif", "server", "HTTP/1.0")
+	if n := ns.WireSize(); n < 250 {
+		t.Errorf("Netscape request = %dB, want > 250", n)
+	}
+	ie := buildRequest(StyleMSIE, "GET", "/images/bullet_sm.gif", "server", "HTTP/1.1")
+	if n := ie.WireSize(); n < 280 {
+		t.Errorf("MSIE request = %dB, want > 280", n)
+	}
+	old := buildRequest(StyleRobot10, "GET", "/images/bullet_sm.gif", "server", "HTTP/1.0")
+	if n := old.WireSize(); n < 300 {
+		t.Errorf("old libwww request = %dB, want > 300", n)
+	}
+}
+
+func TestStyleStrings(t *testing.T) {
+	for _, s := range []Style{StyleRobot11, StyleRobot10, StyleNetscape, StyleMSIE} {
+		if s.String() == "unknown" {
+			t.Errorf("style %d unnamed", s)
+		}
+	}
+	if Style(99).String() != "unknown" {
+		t.Error("unknown style misnamed")
+	}
+}
+
+func TestFirstTimeFetchAllObjects(t *testing.T) {
+	robot, _ := fetch(t, ModeHTTP11Pipelined.Config(), FirstTime, false)
+	res := robot.Result()
+	if res.Responses200 != 43 {
+		t.Fatalf("200s = %d, want 43", res.Responses200)
+	}
+	if res.SocketsUsed != 1 {
+		t.Fatalf("sockets = %d, want 1", res.SocketsUsed)
+	}
+	// The cache is now populated with validators and the page's links.
+	if robot.Cache().Len() != 43 {
+		t.Fatalf("cache entries = %d, want 43", robot.Cache().Len())
+	}
+	page, ok := robot.Cache().Get("/")
+	if !ok || len(page.Links) != 42 {
+		t.Fatalf("page cache entry links = %d, want 42", len(page.Links))
+	}
+}
+
+func TestFetchThenRevalidateUsesOwnCache(t *testing.T) {
+	// End-to-end cache lifecycle without priming: fetch fills the cache;
+	// a second robot sharing it revalidates everything.
+	s := sim.New()
+	s.SetEventLimit(10_000_000)
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	serverHost := n.AddHost("server")
+	link := netem.Config{PropagationDelay: 2 * time.Millisecond, BitsPerSecond: 10_000_000, MTU: 1500}
+	n.ConnectHosts(client, serverHost, netem.NewAsymPath(s, "t", link, link))
+	site := testSite(t)
+	httpserver.New(s, serverHost, 80, site, httpserver.Config{Profile: httpserver.ProfileApache, NoDelay: true}, nil, 0)
+
+	cache := NewCache()
+	first := NewRobot(s, client, "server", 80, ModeHTTP11Pipelined.Config(), cache, nil, 0)
+	s.Schedule(0, func() { first.Start("/", FirstTime, nil) })
+	s.Run()
+	if !first.Finished() {
+		t.Fatal("first fetch incomplete")
+	}
+
+	second := NewRobot(s, client, "server", 80, ModeHTTP11Pipelined.Config(), cache, nil, 0)
+	s.Schedule(0, func() { second.Start("/", Revalidate, nil) })
+	s.Run()
+	if !second.Finished() {
+		t.Fatal("revalidation incomplete")
+	}
+	res := second.Result()
+	if res.Responses304 != 43 || res.Responses200 != 0 {
+		t.Fatalf("revalidation: 304=%d 200=%d, want 43/0", res.Responses304, res.Responses200)
+	}
+	page, _ := cache.Get("/")
+	if page.Validations != 1 {
+		t.Fatalf("page validations = %d, want 1", page.Validations)
+	}
+}
+
+func TestHTTP10UsesConnectionPerRequest(t *testing.T) {
+	robot, _ := fetch(t, ModeHTTP10.Config(), FirstTime, false)
+	res := robot.Result()
+	if res.SocketsUsed != 43 {
+		t.Fatalf("sockets = %d, want 43", res.SocketsUsed)
+	}
+	if res.MaxSimultaneousConns != 4 {
+		t.Fatalf("max simultaneous = %d, want 4", res.MaxSimultaneousConns)
+	}
+}
+
+func TestHTTP10RevalidationUsesHEAD(t *testing.T) {
+	robot, _ := fetch(t, ModeHTTP10.Config(), Revalidate, true)
+	res := robot.Result()
+	// One full GET (page) + 42 HEADs, all of which return 200.
+	if res.Responses200 != 43 || res.Responses304 != 0 {
+		t.Fatalf("responses: 200=%d 304=%d", res.Responses200, res.Responses304)
+	}
+	// The HEADs transfer headers only: payload must be roughly the page.
+	if res.PayloadBytes > int64(len(testSite(t).HTML.Body))+4000 {
+		t.Fatalf("payload = %d, HEAD bodies transferred?", res.PayloadBytes)
+	}
+}
+
+func TestKeepAliveReusesConnections(t *testing.T) {
+	robot, _ := fetch(t, ModeMSIE.Config(), FirstTime, false)
+	res := robot.Result()
+	if res.SocketsUsed != 4 {
+		t.Fatalf("sockets = %d, want 4 (persistent parallel)", res.SocketsUsed)
+	}
+}
+
+func TestDeflateFetch(t *testing.T) {
+	robot, _ := fetch(t, ModeHTTP11PipelinedDeflate.Config(), FirstTime, false)
+	res := robot.Result()
+	if res.DeflateResponses != 1 {
+		t.Fatalf("deflate responses = %d, want 1", res.DeflateResponses)
+	}
+	if res.InflatedBytes != int64(len(testSite(t).HTML.Body)) {
+		t.Fatalf("inflated = %d, want %d", res.InflatedBytes, len(testSite(t).HTML.Body))
+	}
+	if res.Responses200 != 43 {
+		t.Fatalf("200s = %d, want 43 (links parsed from inflated page)", res.Responses200)
+	}
+}
+
+func TestPageOnlySkipsImages(t *testing.T) {
+	cfg := ModeHTTP11Serial.Config()
+	cfg.PageOnly = true
+	robot, _ := fetch(t, cfg, FirstTime, false)
+	res := robot.Result()
+	if res.Responses200 != 1 || res.Requests != 1 {
+		t.Fatalf("page-only fetched %d objects", res.Responses200)
+	}
+}
+
+func TestSerialIssuesOneAtATime(t *testing.T) {
+	robot, _ := fetch(t, ModeHTTP11Serial.Config(), Revalidate, true)
+	res := robot.Result()
+	if res.SocketsUsed != 1 || res.Responses304 != 43 {
+		t.Fatalf("serial revalidation: %+v", res)
+	}
+}
+
+func TestCachePrime(t *testing.T) {
+	c := NewCache()
+	c.Prime(testSite(t))
+	if c.Len() != 43 {
+		t.Fatalf("primed entries = %d, want 43", c.Len())
+	}
+	page, ok := c.Get("/")
+	if !ok {
+		t.Fatal("page not primed")
+	}
+	if len(page.Links) != 42 {
+		t.Fatalf("page links = %d, want 42", len(page.Links))
+	}
+	for _, link := range page.Links {
+		if _, ok := c.Get(link); !ok {
+			t.Fatalf("linked object %s not primed", link)
+		}
+	}
+	img, _ := c.Get(page.Links[0])
+	if img.ETag == "" || img.LastModified == "" || img.Size == 0 {
+		t.Fatalf("image entry incomplete: %+v", img)
+	}
+}
+
+func TestConditionalRequestCarriesValidators(t *testing.T) {
+	c := NewCache()
+	c.Prime(testSite(t))
+	r := &Robot{cfg: ModeHTTP11Pipelined.Config(), cache: c}
+	req := r.buildItemRequest(workItem{method: "GET", path: "/", conditional: true, isHTML: true})
+	if !req.Header.Has("If-None-Match") || !req.Header.Has("If-Modified-Since") {
+		t.Fatalf("validators missing: %s", req.Marshal())
+	}
+	// HTTP/1.0-era styles send dates only.
+	r10 := &Robot{cfg: ModeNetscape.Config(), cache: c}
+	req10 := r10.buildItemRequest(workItem{method: "GET", path: "/", conditional: true})
+	if req10.Header.Has("If-None-Match") {
+		t.Fatal("Netscape profile sent an entity tag")
+	}
+	if !req10.Header.Has("If-Modified-Since") {
+		t.Fatal("Netscape profile missing IMS")
+	}
+}
+
+func TestAcceptEncodingOnlyOnPage(t *testing.T) {
+	cfg := ModeHTTP11PipelinedDeflate.Config()
+	r := &Robot{cfg: cfg, cache: NewCache()}
+	page := r.buildItemRequest(workItem{method: "GET", path: "/", isHTML: true})
+	if page.Header.Get("Accept-Encoding") != "deflate" {
+		t.Fatal("page request missing Accept-Encoding")
+	}
+	img := r.buildItemRequest(workItem{method: "GET", path: "/images/x.gif"})
+	if img.Header.Has("Accept-Encoding") {
+		t.Fatal("image request advertises deflate (images are pre-compressed)")
+	}
+}
+
+func TestPipelinedBatchesIntoFewSegments(t *testing.T) {
+	// Revalidation requests (~180B each) must travel many per segment.
+	s := sim.New()
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	serverHost := n.AddHost("server")
+	link := netem.Config{PropagationDelay: 10 * time.Millisecond, BitsPerSecond: 10_000_000, MTU: 1500}
+	n.ConnectHosts(client, serverHost, netem.NewAsymPath(s, "t", link, link))
+	site := testSite(t)
+	httpserver.New(s, serverHost, 80, site, httpserver.Config{Profile: httpserver.ProfileApache, NoDelay: true}, nil, 0)
+	clientDataSegs := 0
+	n.PacketHook = func(ev tcpsim.PacketEvent) {
+		if ev.Seg.From.Host == "client" && len(ev.Seg.Payload) > 0 {
+			clientDataSegs++
+		}
+	}
+	cache := NewCache()
+	cache.Prime(site)
+	robot := NewRobot(s, client, "server", 80, ModeHTTP11Pipelined.Config(), cache, nil, 0)
+	s.Schedule(0, func() { robot.Start("/", Revalidate, nil) })
+	s.Run()
+	if !robot.Finished() {
+		t.Fatal("not finished")
+	}
+	if clientDataSegs > 12 {
+		t.Fatalf("client sent %d data segments for 43 requests; batching broken", clientDataSegs)
+	}
+}
+
+func TestUnconditionalHTMLRevalidation(t *testing.T) {
+	cfg := ModeMSIE.Config()
+	cfg.RevalidateHTMLUnconditionally = true
+	robot, _ := fetch(t, cfg, Revalidate, true)
+	res := robot.Result()
+	// The page comes back in full; images still validate.
+	if res.Responses200 != 1 || res.Responses304 != 42 {
+		t.Fatalf("responses: 200=%d 304=%d, want 1/42", res.Responses200, res.Responses304)
+	}
+}
+
+func TestRobotRequestProtocolVersions(t *testing.T) {
+	req := buildRequest(StyleRobot10, "GET", "/", "server", "HTTP/1.0")
+	if !strings.HasPrefix(string(req.Marshal()), "GET / HTTP/1.0\r\n") {
+		t.Fatal("HTTP/1.0 request line wrong")
+	}
+	req = buildRequest(StyleRobot11, "GET", "/", "server", "HTTP/1.1")
+	if !req.Header.Has("Host") {
+		t.Fatal("HTTP/1.1 request missing Host")
+	}
+}
+
+func TestResultSnapshot(t *testing.T) {
+	robot, _ := fetch(t, ModeHTTP11Pipelined.Config(), FirstTime, false)
+	res := robot.Result()
+	if !res.Done || res.Requests != 43 || res.Errors != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	site := testSite(t)
+	if res.PayloadBytes < int64(site.TotalBytes()) {
+		t.Fatalf("payload %d below site total %d", res.PayloadBytes, site.TotalBytes())
+	}
+}

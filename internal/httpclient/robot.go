@@ -1,0 +1,608 @@
+package httpclient
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flatez"
+	"repro/internal/htmlparse"
+	"repro/internal/httpmsg"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// workItem is one HTTP request to perform.
+type workItem struct {
+	method      string
+	path        string
+	conditional bool
+	isHTML      bool
+	retried     bool
+	// rangeLo/rangeHi select a byte range (both zero = none; rangeHi of
+	// -1 = open-ended). Probes are the paper's "poor man's multiplexing":
+	// a validation that, if the entity changed, returns only its first
+	// bytes so large objects cannot monopolize the connection.
+	rangeLo, rangeHi int
+	probe            bool
+	remainder        bool
+}
+
+// hasRange reports whether the item carries a Range header.
+func (it workItem) hasRange() bool { return it.rangeLo != 0 || it.rangeHi != 0 }
+
+// Robot drives one page fetch over the simulated network.
+type Robot struct {
+	sim        *sim.Simulator
+	host       *tcpsim.Host
+	serverHost string
+	serverPort int
+	cfg        Config
+	cache      *Cache
+	cpu        *sim.CPU
+
+	workload  Workload
+	queue     []workItem
+	conns     []*clientConn
+	extractor htmlparse.LinkExtractor
+	enqueued  map[string]bool
+	imageURLs []string
+
+	issued      int
+	handled     int
+	htmlPending bool
+	cautious    bool
+	finished    bool
+	metaPending int
+	onDone      func(*Robot)
+
+	result Result
+}
+
+// NewRobot builds a robot on the given host. rng adds CPU jitter when
+// non-nil.
+func NewRobot(s *sim.Simulator, host *tcpsim.Host, serverHost string, serverPort int, cfg Config, cache *Cache, rng *sim.Rand, cpuJitter float64) *Robot {
+	if cache == nil {
+		cache = NewCache()
+	}
+	return &Robot{
+		sim:        s,
+		host:       host,
+		serverHost: serverHost,
+		serverPort: serverPort,
+		cfg:        cfg,
+		cache:      cache,
+		cpu:        sim.NewCPU(s, rng, cpuJitter),
+		enqueued:   make(map[string]bool),
+	}
+}
+
+// Cache returns the robot's cache.
+func (r *Robot) Cache() *Cache { return r.cache }
+
+// Result returns the fetch summary so far.
+func (r *Robot) Result() Result { return r.result }
+
+// Finished reports whether the fetch completed.
+func (r *Robot) Finished() bool { return r.finished }
+
+// Start begins fetching pagePath under the given workload. onDone (may be
+// nil) fires when the page and all inline objects are done.
+func (r *Robot) Start(pagePath string, workload Workload, onDone func(*Robot)) {
+	r.workload = workload
+	r.onDone = onDone
+	r.htmlPending = true
+
+	item := workItem{method: "GET", path: pagePath, isHTML: true}
+	if workload == Revalidate && !r.cfg.RevalidateHTMLUnconditionally {
+		if _, ok := r.cache.Get(pagePath); ok {
+			item.conditional = true
+		}
+	}
+	r.queue = append(r.queue, item)
+	r.enqueued[pagePath] = true
+	r.metaPending++
+	r.dispatch()
+}
+
+// enqueueImage queues a fetch/validation for one discovered inline URL.
+func (r *Robot) enqueueImage(url string) {
+	if r.cfg.PageOnly || r.enqueued[url] {
+		return
+	}
+	r.enqueued[url] = true
+	r.imageURLs = append(r.imageURLs, url)
+	it := workItem{method: "GET", path: url}
+	if r.workload == Revalidate {
+		if r.cfg.RevalImagesViaHEAD {
+			it.method = "HEAD"
+		} else if _, ok := r.cache.Get(url); ok {
+			it.conditional = true
+			if r.cfg.RevalRangeProbe > 0 {
+				it.probe = true
+				it.rangeLo, it.rangeHi = 0, r.cfg.RevalRangeProbe-1
+			}
+		}
+	}
+	r.metaPending++
+	r.queue = append(r.queue, it)
+}
+
+// discoverLinks feeds HTML to the streaming extractor, queueing inline
+// resources as they appear — possibly while the page is still arriving.
+func (r *Robot) discoverLinks(chunk []byte) {
+	links := r.extractor.Feed(chunk)
+	if len(links) == 0 {
+		return
+	}
+	for _, l := range links {
+		if l.Kind.Inline() {
+			r.enqueueImage(l.URL)
+		}
+	}
+	r.dispatch()
+}
+
+// dispatch moves queued work onto connections.
+func (r *Robot) dispatch() {
+	if r.finished {
+		return
+	}
+	if r.cfg.Pipelining && !r.cautious {
+		if len(r.queue) > 0 {
+			c := r.soleConn()
+			for len(r.queue) > 0 {
+				it := r.queue[0]
+				r.queue = r.queue[1:]
+				c.enqueuePipelined(it)
+			}
+		}
+		// Flush before idle: once the document parse is complete no
+		// further requests can appear, so waiting for the timer would
+		// only lose time (the paper's explicit-flush insight).
+		if c := r.liveConn(); c != nil && len(c.sendBuf) > 0 && !r.htmlPending {
+			c.flush()
+		}
+	} else {
+		for len(r.queue) > 0 {
+			c := r.idleConn()
+			if c == nil {
+				break
+			}
+			it := r.queue[0]
+			r.queue = r.queue[1:]
+			c.sendImmediate(it)
+		}
+	}
+	r.checkDone()
+}
+
+// liveConn returns the open connection, if any.
+func (r *Robot) liveConn() *clientConn {
+	for _, c := range r.conns {
+		if !c.dead {
+			return c
+		}
+	}
+	return nil
+}
+
+// soleConn returns the pipelining connection, dialing if needed.
+func (r *Robot) soleConn() *clientConn {
+	if c := r.liveConn(); c != nil {
+		return c
+	}
+	return r.dial()
+}
+
+// idleConn returns a reusable connection with nothing outstanding, or
+// dials a new one within MaxConns.
+func (r *Robot) idleConn() *clientConn {
+	live := 0
+	for _, c := range r.conns {
+		if c.dead {
+			continue
+		}
+		live++
+		if len(c.inflight) == 0 {
+			return c
+		}
+	}
+	if live < r.cfg.MaxConns {
+		return r.dial()
+	}
+	return nil
+}
+
+func (r *Robot) dial() *clientConn {
+	cc := &clientConn{r: r}
+	cc.parser.BodyChunk = func(head *httpmsg.Response, chunk []byte) {
+		// Identify the page by its media type: one Feed call can complete
+		// several pipelined responses, so the request queue's head is not
+		// a reliable indicator of what is currently streaming.
+		if head.StatusCode != 200 {
+			return
+		}
+		if !strings.Contains(head.Header.Get("Content-Type"), "text/html") {
+			return
+		}
+		if head.Header.Get("Content-Encoding") != "" {
+			return // compressed bodies are parsed after inflation
+		}
+		r.discoverLinks(chunk)
+	}
+	opts := r.cfg.TCP
+	opts.NoDelay = r.cfg.NoDelay
+	cc.conn = r.host.Dial(r.serverHost, r.serverPort, opts, &tcpsim.Callbacks{
+		Data:      cc.onData,
+		PeerClose: cc.onPeerClose,
+		Error:     cc.onError,
+		Close:     cc.onClose,
+	})
+	r.conns = append(r.conns, cc)
+	r.result.SocketsUsed++
+	if live := r.liveCount(); live > r.result.MaxSimultaneousConns {
+		r.result.MaxSimultaneousConns = live
+	}
+	return cc
+}
+
+func (r *Robot) liveCount() int {
+	n := 0
+	for _, c := range r.conns {
+		if !c.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// buildItemRequest composes the wire request for a work item.
+func (r *Robot) buildItemRequest(it workItem) *httpmsg.Request {
+	req := buildRequest(r.cfg.Style, it.method, it.path, r.serverHost, r.cfg.Proto)
+	if it.conditional {
+		if e, ok := r.cache.Get(it.path); ok {
+			if r.cfg.Style == StyleRobot11 {
+				// Full HTTP/1.1 validators: entity tag plus date.
+				req.Header.Add("If-None-Match", e.ETag)
+			}
+			req.Header.Add("If-Modified-Since", e.LastModified)
+		}
+	}
+	if it.hasRange() {
+		if it.rangeHi < 0 {
+			req.Header.Add("Range", fmt.Sprintf("bytes=%d-", it.rangeLo))
+		} else {
+			req.Header.Add("Range", fmt.Sprintf("bytes=%d-%d", it.rangeLo, it.rangeHi))
+		}
+	}
+	if it.isHTML && r.cfg.AcceptDeflate {
+		req.Header.Add("Accept-Encoding", "deflate")
+	}
+	return req
+}
+
+// handleResponse runs after per-response client CPU work.
+func (r *Robot) handleResponse(cc *clientConn, it workItem, resp *httpmsg.Response) {
+	if r.finished {
+		return
+	}
+	body := resp.Body
+	switch resp.StatusCode {
+	case 200:
+		r.result.Responses200++
+	case 206:
+		r.result.Responses206++
+	case 304:
+		r.result.Responses304++
+	default:
+		r.result.ResponsesOther++
+	}
+	r.result.PayloadBytes += int64(len(body))
+
+	// First response for an object completes its metadata (size, header
+	// fields, leading bytes) — the quantity range probing accelerates.
+	if !it.remainder {
+		r.metaPending--
+		if r.metaPending == 0 {
+			// Later discoveries re-raise the count, so the last zero
+			// crossing (which overwrites this) is the real completion.
+			r.result.MetadataSeconds = r.sim.Now().Seconds()
+		}
+	}
+
+	// A probe that hit a changed entity returned only its head; fetch the
+	// remainder to complete the object.
+	if it.probe && resp.StatusCode == 206 {
+		total := contentRangeTotal(resp.Header.Get("Content-Range"))
+		if total > it.rangeHi+1 {
+			r.queue = append(r.queue, workItem{
+				method:    "GET",
+				path:      it.path,
+				rangeLo:   it.rangeHi + 1,
+				rangeHi:   -1,
+				remainder: true,
+			})
+		}
+	}
+
+	if resp.Header.Get("Content-Encoding") == "deflate" {
+		r.result.DeflateResponses++
+		if decoded, err := flatez.Decompress(body); err == nil {
+			body = decoded
+			r.result.InflatedBytes += int64(len(body))
+		}
+	}
+
+	if it.isHTML {
+		if resp.StatusCode == 200 {
+			if resp.Header.Get("Content-Encoding") == "deflate" {
+				// Compressed page: parse the inflated document now.
+				r.discoverLinks(body)
+			}
+			// Identity-coded pages were parsed incrementally via the
+			// BodyChunk hook.
+		}
+		if r.workload == Revalidate && resp.StatusCode == 304 {
+			// The cached page is fresh: validate every inline object the
+			// cache recorded for it.
+			if e, ok := r.cache.Get(it.path); ok {
+				for _, url := range e.Links {
+					r.enqueueImage(url)
+				}
+			}
+		}
+		r.htmlPending = false
+	}
+
+	// Cache maintenance.
+	switch resp.StatusCode {
+	case 200:
+		e := &Entry{
+			Path:         it.path,
+			ContentType:  resp.Header.Get("Content-Type"),
+			ETag:         resp.Header.Get("ETag"),
+			LastModified: resp.Header.Get("Last-Modified"),
+			Size:         len(body),
+		}
+		if it.isHTML {
+			e.Links = append([]string(nil), r.imageURLs...)
+		}
+		r.cache.Put(e)
+	case 206:
+		if e, ok := r.cache.Get(it.path); ok {
+			if et := resp.Header.Get("ETag"); et != "" {
+				e.ETag = et
+			}
+			if lm := resp.Header.Get("Last-Modified"); lm != "" {
+				e.LastModified = lm
+			}
+		}
+	case 304:
+		if e, ok := r.cache.Get(it.path); ok {
+			e.Validations++
+		}
+	}
+
+	r.handled++
+	r.dispatch()
+}
+
+// checkDone finishes the fetch when all issued work is complete.
+func (r *Robot) checkDone() {
+	if r.finished || r.htmlPending || len(r.queue) > 0 || r.handled < r.issued {
+		return
+	}
+	r.finished = true
+	r.result.Done = true
+	r.result.Requests = r.issued
+	r.result.CompleteSeconds = r.sim.Now().Seconds()
+	if r.metaPending > 0 {
+		r.result.MetadataSeconds = r.result.CompleteSeconds
+	}
+	for _, c := range r.conns {
+		if !c.dead {
+			c.flush()
+			c.conn.CloseWrite()
+		}
+	}
+	if r.onDone != nil {
+		r.onDone(r)
+	}
+}
+
+// failConn re-queues unanswered requests from a failed or closed
+// connection and retires it.
+func (r *Robot) failConn(cc *clientConn, isError bool) {
+	if cc.dead {
+		return
+	}
+	cc.dead = true
+	if isError {
+		r.result.Errors++
+		// A reset with pipelined requests outstanding leaves the client
+		// unable to tell which requests succeeded (the paper's
+		// connection-management scenario). Fall back to one request at a
+		// time, the defensive behaviour deployed clients adopted.
+		if r.cfg.Pipelining {
+			r.cautious = true
+		}
+	}
+	if n := len(cc.inflight); n > 0 {
+		for _, it := range cc.inflight {
+			it.retried = true
+			r.result.Retried++
+			r.issued-- // it will be re-issued
+			r.queue = append(r.queue, it)
+			if it.isHTML {
+				// The page will be re-received from the start; discard
+				// the half-parsed tokenizer state. Already-discovered
+				// links stay deduplicated by r.enqueued.
+				r.extractor = htmlparse.LinkExtractor{}
+			}
+		}
+		cc.inflight = nil
+	}
+	r.dispatch()
+}
+
+// clientConn is one TCP connection of the robot.
+type clientConn struct {
+	r        *Robot
+	conn     *tcpsim.Conn
+	parser   httpmsg.ResponseParser
+	inflight []workItem
+
+	sendBuf    []byte
+	flushTimer *sim.Timer
+	sentFirst  bool
+	dead       bool
+}
+
+// enqueuePipelined appends the request to the output buffer and applies
+// the paper's flush policy.
+func (cc *clientConn) enqueuePipelined(it workItem) {
+	req := cc.r.buildItemRequest(it)
+	cc.sendBuf = append(cc.sendBuf, req.Marshal()...)
+	cc.inflight = append(cc.inflight, it)
+	cc.parser.PushExpectation(it.method)
+	cc.r.issued++
+
+	first := !cc.sentFirst
+	cc.sentFirst = true
+	switch {
+	case first && cc.r.cfg.ExplicitFirstFlush:
+		cc.flush()
+	case len(cc.sendBuf) >= cc.r.cfg.BufferSize:
+		cc.flush()
+	default:
+		cc.armFlushTimer()
+	}
+}
+
+// sendImmediate writes one request with no buffering (serial modes).
+func (cc *clientConn) sendImmediate(it workItem) {
+	req := cc.r.buildItemRequest(it)
+	cc.inflight = append(cc.inflight, it)
+	cc.parser.PushExpectation(it.method)
+	cc.r.issued++
+	cc.conn.Write(req.Marshal())
+}
+
+func (cc *clientConn) flush() {
+	if cc.flushTimer != nil {
+		cc.r.sim.Stop(cc.flushTimer)
+		cc.flushTimer = nil
+	}
+	if len(cc.sendBuf) == 0 || cc.dead {
+		return
+	}
+	buf := cc.sendBuf
+	cc.sendBuf = nil
+	cc.conn.Write(buf)
+}
+
+func (cc *clientConn) armFlushTimer() {
+	if cc.flushTimer != nil || cc.r.cfg.FlushTimeout <= 0 {
+		return
+	}
+	cc.flushTimer = cc.r.sim.Schedule(cc.r.cfg.FlushTimeout, func() {
+		cc.flushTimer = nil
+		cc.flush()
+	})
+}
+
+func (cc *clientConn) onData(c *tcpsim.Conn, data []byte) {
+	resps, err := cc.parser.Feed(data)
+	if err != nil {
+		cc.conn.Abort()
+		cc.r.failConn(cc, true)
+		return
+	}
+	cc.deliver(resps)
+}
+
+// deliver pops completed responses and schedules their CPU handling.
+func (cc *clientConn) deliver(resps []*httpmsg.Response) {
+	r := cc.r
+	for _, resp := range resps {
+		if len(cc.inflight) == 0 {
+			break
+		}
+		it := cc.inflight[0]
+		cc.inflight = cc.inflight[1:]
+
+		connClose := httpmsg.TokenListContains(resp.Header.Get("Connection"), "close")
+		reusable := r.cfg.KeepAlive && !connClose
+		if !reusable && len(cc.inflight) == 0 && !cc.dead {
+			// HTTP/1.0 style: this connection is spent.
+			cc.dead = true
+			cc.conn.CloseWrite()
+		}
+
+		r.cpu.Run(r.cfg.PerRequestCPU, func() {
+			r.handleResponse(cc, it, resp)
+		})
+	}
+	// New idle capacity may exist (connection reuse).
+	if !r.cfg.Pipelining {
+		r.dispatch()
+	}
+}
+
+func (cc *clientConn) onPeerClose(c *tcpsim.Conn) {
+	// The server finished sending: a trailing until-close body completes
+	// here.
+	resp, err := cc.parser.CloseEOF()
+	if err == nil && resp != nil && len(cc.inflight) > 0 {
+		cc.deliver([]*httpmsg.Response{resp})
+	}
+	truncated := err != nil
+	if !cc.dead {
+		cc.conn.CloseWrite()
+	}
+	cc.r.failConn(cc, truncated)
+}
+
+func (cc *clientConn) onError(c *tcpsim.Conn, err error) {
+	cc.r.failConn(cc, true)
+}
+
+func (cc *clientConn) onClose(c *tcpsim.Conn) {
+	cc.r.failConn(cc, false)
+}
+
+// contentRangeTotal parses the total length out of "bytes lo-hi/total".
+func contentRangeTotal(v string) int {
+	slash := strings.IndexByte(v, '/')
+	if slash < 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range v[slash+1:] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		total = total*10 + int(c-'0')
+	}
+	return total
+}
+
+// RevalidationRequests returns the marshaled conditional GET requests the
+// tuned robot would pipeline to revalidate a cached page (page first,
+// then its images in document order). It exists for offline analyses of
+// request redundancy, such as the paper's compact-wire-representation
+// estimate.
+func RevalidationRequests(cache *Cache) [][]byte {
+	page, ok := cache.Get("/")
+	if !ok {
+		return nil
+	}
+	r := &Robot{cfg: ModeHTTP11Pipelined.Config(), cache: cache}
+	out := [][]byte{
+		r.buildItemRequest(workItem{method: "GET", path: "/", conditional: true, isHTML: true}).Marshal(),
+	}
+	for _, link := range page.Links {
+		out = append(out, r.buildItemRequest(workItem{method: "GET", path: link, conditional: true}).Marshal())
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package httpmsg
+
+import "testing"
+
+func benchResponses() []byte {
+	var wire []byte
+	for i := 0; i < 43; i++ {
+		resp := NewResponse(Proto11, 304)
+		resp.Header.Add("Date", "Mon, 07 Jul 1997 10:00:00 GMT")
+		resp.Header.Add("Server", "Apache/1.2b10")
+		resp.Header.Add("ETag", `"3a5f2c77-2d4"`)
+		wire = append(wire, resp.Marshal()...)
+	}
+	return wire
+}
+
+func BenchmarkResponseParserPipelined(b *testing.B) {
+	wire := benchResponses()
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		var p ResponseParser
+		for j := 0; j < 43; j++ {
+			p.PushExpectation("GET")
+		}
+		if _, err := p.Feed(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRequestMarshal(b *testing.B) {
+	req := &Request{Method: "GET", Target: "/images/x.gif", Proto: Proto11}
+	req.Header.Add("Host", "server")
+	req.Header.Add("Accept", "*/*")
+	req.Header.Add("If-None-Match", `"3a5f2c77-2d4"`)
+	for i := 0; i < b.N; i++ {
+		req.Marshal()
+	}
+}

@@ -1,0 +1,108 @@
+// Package httpmsg implements the HTTP/1.0 and HTTP/1.1 message layer used
+// by the simulated client and servers: byte-exact serialization, incremental
+// parsing of pipelined message streams, chunked transfer coding, and the
+// body-delimitation rules of RFC 1945 and RFC 2068.
+//
+// Serialization is byte-exact on purpose: the paper's Bytes column counts
+// HTTP header bytes, and the comparison between the ~190-byte libwww robot
+// requests and the ~300-byte product-browser requests is part of the
+// results (Tables 10 and 11).
+package httpmsg
+
+import (
+	"bytes"
+	"strings"
+)
+
+// Field is a single header field. Name case is preserved for byte-exact
+// output; lookups are case-insensitive.
+type Field struct {
+	Name, Value string
+}
+
+// Header is an ordered header field list.
+type Header struct {
+	fields []Field
+}
+
+// Add appends a field, preserving order and duplicates.
+func (h *Header) Add(name, value string) {
+	h.fields = append(h.fields, Field{Name: name, Value: value})
+}
+
+// Set replaces the first field with the given name (or appends).
+func (h *Header) Set(name, value string) {
+	for i := range h.fields {
+		if strings.EqualFold(h.fields[i].Name, name) {
+			h.fields[i].Value = value
+			return
+		}
+	}
+	h.Add(name, value)
+}
+
+// Get returns the first value for name, or "".
+func (h *Header) Get(name string) string {
+	for _, f := range h.fields {
+		if strings.EqualFold(f.Name, name) {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// Has reports whether the header contains name.
+func (h *Header) Has(name string) bool {
+	for _, f := range h.fields {
+		if strings.EqualFold(f.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Del removes all fields with the given name.
+func (h *Header) Del(name string) {
+	out := h.fields[:0]
+	for _, f := range h.fields {
+		if !strings.EqualFold(f.Name, name) {
+			out = append(out, f)
+		}
+	}
+	h.fields = out
+}
+
+// Fields returns the ordered field list.
+func (h *Header) Fields() []Field { return h.fields }
+
+// Len returns the number of fields.
+func (h *Header) Len() int { return len(h.fields) }
+
+// Clone returns a deep copy.
+func (h *Header) Clone() Header {
+	out := Header{fields: make([]Field, len(h.fields))}
+	copy(out.fields, h.fields)
+	return out
+}
+
+// writeTo serializes the fields followed by the blank line.
+func (h *Header) writeTo(b *bytes.Buffer) {
+	for _, f := range h.fields {
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Value)
+		b.WriteString("\r\n")
+	}
+	b.WriteString("\r\n")
+}
+
+// TokenListContains reports whether a comma-separated header value (e.g.
+// Connection or Accept-Encoding) contains token, case-insensitively.
+func TokenListContains(value, token string) bool {
+	for _, part := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}

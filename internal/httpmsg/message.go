@@ -1,0 +1,185 @@
+package httpmsg
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Protocol version strings.
+const (
+	Proto10 = "HTTP/1.0"
+	Proto11 = "HTTP/1.1"
+)
+
+// Request is an HTTP request message.
+type Request struct {
+	Method string
+	Target string
+	Proto  string
+	Header Header
+	Body   []byte
+}
+
+// Marshal serializes the request. If a body is present a Content-Length
+// field is added unless already set.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, r.Proto)
+	h := r.Header
+	if len(r.Body) > 0 && !h.Has("Content-Length") {
+		h = r.Header.Clone()
+		h.Add("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	h.writeTo(&b)
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// WireSize returns the serialized size in bytes.
+func (r *Request) WireSize() int { return len(r.Marshal()) }
+
+// IsHTTP11 reports whether the request is HTTP/1.1.
+func (r *Request) IsHTTP11() bool { return r.Proto == Proto11 }
+
+// WantsClose reports whether the peer asked for the connection to close
+// after this message, per the version's default and Connection tokens.
+func (r *Request) WantsClose() bool {
+	conn := r.Header.Get("Connection")
+	if r.IsHTTP11() {
+		return TokenListContains(conn, "close")
+	}
+	return !TokenListContains(conn, "keep-alive")
+}
+
+// Response is an HTTP response message.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Reason     string
+	Header     Header
+	Body       []byte
+	// Chunked selects chunked transfer coding on Marshal (HTTP/1.1 only).
+	Chunked bool
+	// NoBodyLength leaves the body length undeclared: HTTP/1.0 style
+	// "read until close" framing.
+	NoBodyLength bool
+}
+
+// StatusText returns the canonical reason phrase for the codes this
+// implementation uses.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 206:
+		return "Partial Content"
+	case 304:
+		return "Not Modified"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 412:
+		return "Precondition Failed"
+	case 500:
+		return "Internal Server Error"
+	case 501:
+		return "Not Implemented"
+	case 505:
+		return "HTTP Version Not Supported"
+	}
+	return "Unknown"
+}
+
+// NewResponse builds a response with the canonical reason phrase.
+func NewResponse(proto string, code int) *Response {
+	return &Response{Proto: proto, StatusCode: code, Reason: StatusText(code)}
+}
+
+// bodyless reports whether a status code forbids a body.
+func bodyless(code int) bool {
+	return code == 304 || code == 204 || (code >= 100 && code < 200)
+}
+
+// Marshal serializes the response with correct body framing.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %d %s\r\n", r.Proto, r.StatusCode, r.Reason)
+	h := r.Header.Clone()
+	switch {
+	case bodyless(r.StatusCode):
+		// No body, no framing fields.
+		h.writeTo(&b)
+		return b.Bytes()
+	case r.Chunked:
+		if !h.Has("Transfer-Encoding") {
+			h.Add("Transfer-Encoding", "chunked")
+		}
+		h.writeTo(&b)
+		writeChunked(&b, r.Body, defaultChunkSize)
+		return b.Bytes()
+	case r.NoBodyLength:
+		h.writeTo(&b)
+		b.Write(r.Body)
+		return b.Bytes()
+	default:
+		if !h.Has("Content-Length") {
+			h.Add("Content-Length", strconv.Itoa(len(r.Body)))
+		}
+		h.writeTo(&b)
+		b.Write(r.Body)
+		return b.Bytes()
+	}
+}
+
+// MarshalFor serializes the response as the reply to the given request
+// method: HEAD responses carry headers only.
+func (r *Response) MarshalFor(method string) []byte {
+	if method != "HEAD" {
+		return r.Marshal()
+	}
+	clone := *r
+	clone.Body = nil
+	clone.Chunked = false
+	clone.NoBodyLength = false
+	// Keep the declared Content-Length of the would-be body: HEAD
+	// responses advertise the entity's length without sending it.
+	h := r.Header.Clone()
+	if !h.Has("Content-Length") && !bodyless(r.StatusCode) {
+		h.Add("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	clone.Header = h
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %d %s\r\n", clone.Proto, clone.StatusCode, clone.Reason)
+	clone.Header.writeTo(&b)
+	return b.Bytes()
+}
+
+const defaultChunkSize = 4096
+
+// writeChunked emits body in chunked transfer coding.
+func writeChunked(b *bytes.Buffer, body []byte, chunkSize int) {
+	for len(body) > 0 {
+		n := len(body)
+		if n > chunkSize {
+			n = chunkSize
+		}
+		fmt.Fprintf(b, "%x\r\n", n)
+		b.Write(body[:n])
+		b.WriteString("\r\n")
+		body = body[n:]
+	}
+	b.WriteString("0\r\n\r\n")
+}
+
+// EncodeChunked returns body in chunked transfer coding with the given
+// chunk size (0 selects the default).
+func EncodeChunked(body []byte, chunkSize int) []byte {
+	if chunkSize <= 0 {
+		chunkSize = defaultChunkSize
+	}
+	var b bytes.Buffer
+	writeChunked(&b, body, chunkSize)
+	return b.Bytes()
+}

@@ -1,0 +1,339 @@
+package httpmsg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse errors.
+var (
+	ErrMalformed        = errors.New("httpmsg: malformed message")
+	ErrBodyTooLarge     = errors.New("httpmsg: body exceeds limit")
+	ErrTruncatedMessage = errors.New("httpmsg: connection closed mid-message")
+)
+
+// maxBodyBytes guards against absurd Content-Length values.
+const maxBodyBytes = 64 << 20
+
+// RequestParser incrementally parses a pipelined stream of requests, as a
+// server reads them from a connection.
+type RequestParser struct {
+	buf  []byte
+	head *Request // parsed head awaiting its body
+	need int      // body bytes still needed
+}
+
+// Feed appends data to the parse buffer and returns all requests that are
+// now complete.
+func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
+	p.buf = append(p.buf, data...)
+	var out []*Request
+	for {
+		if p.head == nil {
+			end := bytes.Index(p.buf, []byte("\r\n\r\n"))
+			if end < 0 {
+				return out, nil
+			}
+			req, err := parseRequestHead(p.buf[:end+4])
+			if err != nil {
+				return out, err
+			}
+			p.buf = p.buf[end+4:]
+			p.head = req
+			p.need = 0
+			if cl := req.Header.Get("Content-Length"); cl != "" {
+				n, err := strconv.Atoi(strings.TrimSpace(cl))
+				if err != nil || n < 0 {
+					return out, ErrMalformed
+				}
+				if n > maxBodyBytes {
+					return out, ErrBodyTooLarge
+				}
+				p.need = n
+			}
+		}
+		if p.need > len(p.buf) {
+			return out, nil
+		}
+		if p.need > 0 {
+			p.head.Body = append([]byte(nil), p.buf[:p.need]...)
+			p.buf = p.buf[p.need:]
+		}
+		out = append(out, p.head)
+		p.head = nil
+		p.need = 0
+	}
+}
+
+// Buffered returns the number of unconsumed bytes.
+func (p *RequestParser) Buffered() int { return len(p.buf) }
+
+func parseRequestHead(head []byte) (*Request, error) {
+	lines := strings.Split(string(head), "\r\n")
+	if len(lines) < 1 {
+		return nil, ErrMalformed
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	if err := parseFields(lines[1:], &req.Header); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func parseFields(lines []string, h *Header) error {
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 1 {
+			return fmt.Errorf("%w: bad header field %q", ErrMalformed, line)
+		}
+		h.Add(line[:colon], strings.TrimSpace(line[colon+1:]))
+	}
+	return nil
+}
+
+// bodyKind describes how a response body is delimited.
+type bodyKind int
+
+const (
+	bodyNone bodyKind = iota
+	bodyLength
+	bodyChunked
+	bodyUntilClose
+)
+
+// ResponseParser incrementally parses a pipelined stream of responses.
+// Because body framing depends on the request (HEAD has no body), callers
+// must push the method of each outstanding request in order.
+type ResponseParser struct {
+	buf     []byte
+	methods []string
+
+	// BodyChunk, if non-nil, observes body bytes incrementally as they
+	// are consumed, before the response completes. head is the response
+	// whose body is arriving (its Body field is not yet set). This is
+	// how the simulated robot parses HTML for inline links while the
+	// page is still in flight.
+	BodyChunk func(head *Response, chunk []byte)
+
+	head      *Response
+	kind      bodyKind
+	need      int // for bodyLength: bytes still needed
+	chunkNeed int // for bodyChunked: payload bytes left in current chunk
+	chunkLast bool
+	body      []byte
+	count     int
+}
+
+// appendBody accumulates body bytes and fires the BodyChunk hook.
+func (p *ResponseParser) appendBody(chunk []byte) {
+	if len(chunk) == 0 {
+		return
+	}
+	p.body = append(p.body, chunk...)
+	if p.BodyChunk != nil {
+		p.BodyChunk(p.head, chunk)
+	}
+}
+
+// PushExpectation records that a request with the given method was sent;
+// the next responses are matched to expectations in FIFO order.
+func (p *ResponseParser) PushExpectation(method string) {
+	p.methods = append(p.methods, method)
+}
+
+// Outstanding returns the number of responses still expected.
+func (p *ResponseParser) Outstanding() int {
+	n := len(p.methods)
+	if p.head != nil {
+		n++
+	}
+	return n
+}
+
+// Parsed returns the number of complete responses produced.
+func (p *ResponseParser) Parsed() int { return p.count }
+
+// Buffered returns the number of unconsumed bytes.
+func (p *ResponseParser) Buffered() int { return len(p.buf) }
+
+// Feed appends data and returns all responses completed by it.
+func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
+	p.buf = append(p.buf, data...)
+	var out []*Response
+	for {
+		if p.head == nil {
+			end := bytes.Index(p.buf, []byte("\r\n\r\n"))
+			if end < 0 {
+				return out, nil
+			}
+			resp, err := parseResponseHead(p.buf[:end+4])
+			if err != nil {
+				return out, err
+			}
+			p.buf = p.buf[end+4:]
+			if len(p.methods) == 0 {
+				return out, fmt.Errorf("%w: response with no outstanding request", ErrMalformed)
+			}
+			method := p.methods[0]
+			p.methods = p.methods[1:]
+			p.head = resp
+			p.body = nil
+			p.kind, p.need = responseBodyKind(resp, method)
+			p.chunkNeed, p.chunkLast = -1, false
+		}
+		done, err := p.consumeBody()
+		if err != nil {
+			return out, err
+		}
+		if !done {
+			return out, nil
+		}
+		p.head.Body = p.body
+		out = append(out, p.head)
+		p.count++
+		p.head = nil
+	}
+}
+
+// CloseEOF signals connection close. For a bodyUntilClose response this
+// completes it; a response cut off in any other framing is an error.
+func (p *ResponseParser) CloseEOF() (*Response, error) {
+	if p.head == nil {
+		if len(p.buf) > 0 {
+			return nil, ErrTruncatedMessage
+		}
+		return nil, nil
+	}
+	if p.kind != bodyUntilClose {
+		return nil, ErrTruncatedMessage
+	}
+	p.head.Body = append(p.body, p.buf...)
+	p.buf = nil
+	resp := p.head
+	p.head = nil
+	p.count++
+	return resp, nil
+}
+
+func (p *ResponseParser) consumeBody() (bool, error) {
+	switch p.kind {
+	case bodyNone:
+		return true, nil
+	case bodyLength:
+		if len(p.buf) < p.need {
+			// Deliver the partial body for incremental consumers.
+			p.need -= len(p.buf)
+			p.appendBody(p.buf)
+			p.buf = p.buf[:0]
+			return false, nil
+		}
+		p.appendBody(p.buf[:p.need])
+		p.buf = p.buf[p.need:]
+		p.need = 0
+		return true, nil
+	case bodyChunked:
+		return p.consumeChunked()
+	case bodyUntilClose:
+		p.appendBody(p.buf)
+		p.buf = p.buf[:0]
+		return false, nil
+	}
+	return false, ErrMalformed
+}
+
+func (p *ResponseParser) consumeChunked() (bool, error) {
+	for {
+		if p.chunkNeed < 0 {
+			// Need a chunk-size line.
+			nl := bytes.Index(p.buf, []byte("\r\n"))
+			if nl < 0 {
+				return false, nil
+			}
+			sizeStr := strings.TrimSpace(string(p.buf[:nl]))
+			if i := strings.IndexByte(sizeStr, ';'); i >= 0 {
+				sizeStr = sizeStr[:i] // drop chunk extensions
+			}
+			n, err := strconv.ParseInt(sizeStr, 16, 32)
+			if err != nil || n < 0 {
+				return false, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, sizeStr)
+			}
+			p.buf = p.buf[nl+2:]
+			if n == 0 {
+				p.chunkLast = true
+				p.chunkNeed = 0
+			} else {
+				p.chunkNeed = int(n)
+			}
+		}
+		if p.chunkLast {
+			// Trailer: we support only the empty trailer "\r\n".
+			if len(p.buf) < 2 {
+				return false, nil
+			}
+			if p.buf[0] != '\r' || p.buf[1] != '\n' {
+				return false, fmt.Errorf("%w: unsupported chunked trailer", ErrMalformed)
+			}
+			p.buf = p.buf[2:]
+			p.chunkNeed = -1
+			p.chunkLast = false
+			return true, nil
+		}
+		// Chunk payload plus its CRLF.
+		if len(p.buf) < p.chunkNeed+2 {
+			return false, nil
+		}
+		p.appendBody(p.buf[:p.chunkNeed])
+		if p.buf[p.chunkNeed] != '\r' || p.buf[p.chunkNeed+1] != '\n' {
+			return false, fmt.Errorf("%w: missing chunk CRLF", ErrMalformed)
+		}
+		p.buf = p.buf[p.chunkNeed+2:]
+		p.chunkNeed = -1
+	}
+}
+
+func parseResponseHead(head []byte) (*Response, error) {
+	lines := strings.Split(string(head), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: bad status line %q", ErrMalformed, lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, fmt.Errorf("%w: bad status code %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	if err := parseFields(lines[1:], &resp.Header); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// responseBodyKind applies the RFC 1945/2068 body-delimitation rules.
+func responseBodyKind(resp *Response, method string) (bodyKind, int) {
+	if method == "HEAD" || bodyless(resp.StatusCode) {
+		return bodyNone, 0
+	}
+	if te := resp.Header.Get("Transfer-Encoding"); TokenListContains(te, "chunked") {
+		return bodyChunked, 0
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(cl))
+		if err == nil && n >= 0 && n <= maxBodyBytes {
+			return bodyLength, n
+		}
+	}
+	return bodyUntilClose, 0
+}

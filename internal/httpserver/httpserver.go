@@ -1,0 +1,433 @@
+// Package httpserver implements the simulated HTTP/1.0+1.1 origin server
+// serving the Microscape site, with two behavioural profiles modelled on
+// the paper's servers:
+//
+//   - Jigsaw 1.06: verbose response headers, higher per-request CPU cost
+//     (it ran interpreted Java);
+//   - Apache 1.2b10: lean headers, lower CPU cost.
+//
+// The server implements the behaviours the paper established as necessary
+// for HTTP/1.1 performance: response buffering that flushes when the
+// buffer fills, when no further pipelined requests are pending, or before
+// going idle; graceful independent half-close (with a deliberate
+// naive-close mode to reproduce the pipeline-reset failure); an optional
+// requests-per-connection limit (Apache 1.2b2's 5); conditional GET with
+// entity tags and date validators; HEAD; byte ranges with If-Range; and
+// precomputed deflate content-coding for the HTML page.
+package httpserver
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/flatez"
+	"repro/internal/httpmsg"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/webgen"
+)
+
+// Profile selects a server personality.
+type Profile int
+
+// Server profiles.
+const (
+	ProfileJigsaw Profile = iota
+	ProfileApache
+)
+
+// String names the profile as in the paper's tables.
+func (p Profile) String() string {
+	if p == ProfileApache {
+		return "Apache"
+	}
+	return "Jigsaw"
+}
+
+// Config tunes server behaviour. Zero values select the profile defaults
+// (see applyProfile).
+type Config struct {
+	Profile Profile
+	// MaxRequestsPerConn closes the connection after N responses
+	// (0 = unlimited). Apache 1.2b2 shipped with 5.
+	MaxRequestsPerConn int
+	// NaiveClose makes the per-connection close tear down both TCP
+	// halves at once, reproducing the paper's reset scenario. The default
+	// is the independent half-close the paper prescribes.
+	NaiveClose bool
+	// ResponseBufferSize is the application output buffer. The buffer is
+	// flushed when full, when no more pipelined requests are pending, or
+	// before the connection goes idle.
+	ResponseBufferSize int
+	// PerRequestCPU and PerConnCPU are processing costs charged to the
+	// host's single CPU.
+	PerRequestCPU, PerConnCPU time.Duration
+	// NoDelay disables Nagle on accepted connections (the paper's tuned
+	// configuration).
+	NoDelay bool
+	// EnableDeflate serves the precomputed deflate coding of text/html
+	// resources to clients that send Accept-Encoding: deflate.
+	EnableDeflate bool
+	// TCP overrides connection options other than NoDelay.
+	TCP tcpsim.Options
+}
+
+func (c Config) applyProfile() Config {
+	switch c.Profile {
+	case ProfileApache:
+		if c.PerRequestCPU == 0 {
+			c.PerRequestCPU = 5 * time.Millisecond
+		}
+		if c.PerConnCPU == 0 {
+			c.PerConnCPU = 5 * time.Millisecond
+		}
+	default:
+		if c.PerRequestCPU == 0 {
+			c.PerRequestCPU = 10 * time.Millisecond
+		}
+		if c.PerConnCPU == 0 {
+			c.PerConnCPU = 9 * time.Millisecond
+		}
+	}
+	if c.ResponseBufferSize == 0 {
+		c.ResponseBufferSize = 4096
+	}
+	return c
+}
+
+// Stats counts server-side activity.
+type Stats struct {
+	Connections    int
+	Requests       int
+	Responses      int
+	NotModified    int
+	PartialContent int
+	DeflateServed  int
+	BytesOut       int64
+	EarlyCloses    int
+	ProtocolErrors int
+}
+
+// Server serves one site on one host and port.
+type Server struct {
+	cfg     Config
+	site    *webgen.Site
+	cpu     *sim.CPU
+	stats   Stats
+	deflate map[string][]byte // precomputed deflate bodies by path
+	date    string
+}
+
+// New creates a server and begins listening on host:port.
+func New(s *sim.Simulator, host *tcpsim.Host, port int, site *webgen.Site, cfg Config, rng *sim.Rand, cpuJitter float64) *Server {
+	srv := &Server{
+		cfg:     cfg.applyProfile(),
+		site:    site,
+		cpu:     sim.NewCPU(s, rng, cpuJitter),
+		deflate: make(map[string][]byte),
+		date:    "Mon, 07 Jul 1997 10:00:00 GMT",
+	}
+	if srv.cfg.EnableDeflate {
+		// "the server does not perform on-the-fly compression but sends
+		// out a pre-computed deflated version of the Microscape HTML
+		// page" — only text/html is precompressed; images are already
+		// compressed by their format.
+		for _, path := range site.Paths() {
+			obj, _ := site.Object(path)
+			if obj.ContentType == "text/html" {
+				srv.deflate[path] = flatez.Compress(obj.Body)
+			}
+		}
+	}
+	tcpOpts := srv.cfg.TCP
+	tcpOpts.NoDelay = srv.cfg.NoDelay
+	host.Listen(port, tcpOpts, func(c *tcpsim.Conn) tcpsim.Handler {
+		return newServerConn(srv, c)
+	})
+	return srv
+}
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// serverConn is the per-connection state machine.
+type serverConn struct {
+	srv    *Server
+	conn   *tcpsim.Conn
+	parser httpmsg.RequestParser
+
+	pending    []*httpmsg.Request // parsed, not yet processed
+	processing bool
+	served     int
+	closing    bool
+
+	outBuf []byte
+}
+
+func newServerConn(srv *Server, c *tcpsim.Conn) tcpsim.Handler {
+	sc := &serverConn{srv: srv, conn: c}
+	srv.stats.Connections++
+	return &tcpsim.Callbacks{
+		Connect: func(c *tcpsim.Conn) {
+			// Per-connection setup cost (accept, fork/thread, logging).
+			srv.cpu.Run(srv.cfg.PerConnCPU, func() {})
+		},
+		Data:      sc.onData,
+		PeerClose: sc.onPeerClose,
+		Error:     func(c *tcpsim.Conn, err error) {},
+		Close:     func(c *tcpsim.Conn) {},
+	}
+}
+
+func (sc *serverConn) onData(c *tcpsim.Conn, data []byte) {
+	if sc.closing {
+		return
+	}
+	reqs, err := sc.parser.Feed(data)
+	if err != nil {
+		sc.srv.stats.ProtocolErrors++
+		resp := httpmsg.NewResponse(httpmsg.Proto11, 400)
+		sc.conn.Write(resp.Marshal())
+		sc.close()
+		return
+	}
+	sc.pending = append(sc.pending, reqs...)
+	sc.processNext()
+}
+
+func (sc *serverConn) onPeerClose(c *tcpsim.Conn) {
+	// Client finished sending. Once all pending work drains, close our
+	// half too.
+	if !sc.processing && len(sc.pending) == 0 {
+		sc.flush()
+		sc.close()
+	}
+}
+
+// processNext serves queued requests one at a time through the host CPU.
+func (sc *serverConn) processNext() {
+	if sc.processing || sc.closing || len(sc.pending) == 0 {
+		return
+	}
+	req := sc.pending[0]
+	sc.pending = sc.pending[1:]
+	sc.processing = true
+	sc.srv.stats.Requests++
+	sc.srv.cpu.Run(sc.srv.cfg.PerRequestCPU, func() {
+		sc.processing = false
+		if sc.conn.State() == tcpsim.StateClosed {
+			return
+		}
+		sc.serve(req)
+	})
+}
+
+func (sc *serverConn) serve(req *httpmsg.Request) {
+	resp := sc.srv.respond(req)
+	sc.srv.stats.Responses++
+
+	lastOnConn := false
+	if sc.srv.cfg.MaxRequestsPerConn > 0 {
+		sc.served++
+		if sc.served >= sc.srv.cfg.MaxRequestsPerConn {
+			lastOnConn = true
+		}
+	}
+	clientClose := req.WantsClose()
+	if (lastOnConn || clientClose) && !sc.srv.cfg.NaiveClose {
+		resp.Header.Add("Connection", "close")
+	}
+
+	body := resp.MarshalFor(req.Method)
+	sc.srv.stats.BytesOut += int64(len(body))
+	sc.outBuf = append(sc.outBuf, body...)
+	// Buffering policy from the paper: flush when the buffer is full or
+	// when there are no more requests coming in on the connection.
+	if len(sc.outBuf) >= sc.srv.cfg.ResponseBufferSize || (len(sc.pending) == 0 && sc.parser.Buffered() == 0) {
+		sc.flush()
+	}
+
+	if lastOnConn || clientClose {
+		sc.srv.stats.EarlyCloses++
+		sc.flush()
+		sc.close()
+		return
+	}
+	sc.processNext()
+	// If the client already half-closed and everything is served, finish
+	// our half too.
+	if !sc.processing && len(sc.pending) == 0 && sc.conn.State() == tcpsim.StateCloseWait {
+		sc.flush()
+		sc.close()
+	}
+}
+
+// respond builds the response for one request; the caller marshals it
+// after adding any connection-management headers.
+func (s *Server) respond(req *httpmsg.Request) *httpmsg.Response {
+	proto := httpmsg.Proto11
+	if !req.IsHTTP11() {
+		proto = httpmsg.Proto10
+	}
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return s.finishHeaders(httpmsg.NewResponse(proto, 501))
+	}
+	obj, ok := s.site.Object(req.Target)
+	if !ok {
+		resp := httpmsg.NewResponse(proto, 404)
+		resp.Body = []byte("<html><body>404 Not Found</body></html>")
+		resp.Header.Add("Content-Type", "text/html")
+		return s.finishHeaders(resp)
+	}
+
+	// Conditional GET: entity tags take precedence over date validators.
+	if inm := req.Header.Get("If-None-Match"); inm != "" {
+		if etagMatch(inm, obj.ETag) {
+			resp := httpmsg.NewResponse(proto, 304)
+			resp.Header.Add("ETag", obj.ETag)
+			s.stats.NotModified++
+			return s.finishHeaders(resp)
+		}
+	} else if ims := req.Header.Get("If-Modified-Since"); ims != "" {
+		if !httpmsg.ModifiedSince(obj.LastModified, ims) {
+			resp := httpmsg.NewResponse(proto, 304)
+			s.stats.NotModified++
+			return s.finishHeaders(resp)
+		}
+	}
+
+	body := obj.Body
+	resp := httpmsg.NewResponse(proto, 200)
+	resp.Header.Add("Content-Type", obj.ContentType)
+
+	// Transport compression: precomputed deflate for HTML.
+	if s.cfg.EnableDeflate {
+		if comp, ok := s.deflate[req.Target]; ok && httpmsg.TokenListContains(req.Header.Get("Accept-Encoding"), "deflate") {
+			body = comp
+			resp.Header.Add("Content-Encoding", "deflate")
+			s.stats.DeflateServed++
+		}
+	}
+
+	// Byte ranges ("poor man's multiplexing"): honoured when If-Range
+	// matches or is absent.
+	if rangeHdr := req.Header.Get("Range"); rangeHdr != "" && req.IsHTTP11() {
+		ifRange := req.Header.Get("If-Range")
+		if ifRange == "" || ifRange == obj.ETag {
+			if lo, hi, ok := parseRange(rangeHdr, len(body)); ok {
+				resp.StatusCode = 206
+				resp.Reason = httpmsg.StatusText(206)
+				resp.Header.Add("Content-Range", fmt.Sprintf("bytes %d-%d/%d", lo, hi, len(body)))
+				body = body[lo : hi+1]
+				s.stats.PartialContent++
+			}
+		}
+	}
+
+	resp.Body = body
+	resp.Header.Add("ETag", obj.ETag)
+	resp.Header.Add("Last-Modified", obj.LastModified)
+	return s.finishHeaders(resp)
+}
+
+// finishHeaders adds the profile's standing headers.
+func (s *Server) finishHeaders(resp *httpmsg.Response) *httpmsg.Response {
+	h := &resp.Header
+	switch s.cfg.Profile {
+	case ProfileApache:
+		h.Add("Date", s.date)
+		h.Add("Server", "Apache/1.2b10")
+	default:
+		// Jigsaw's responses carried noticeably more header bytes; the
+		// difference shows in the paper's revalidation byte counts
+		// (17694 for Jigsaw vs 14009 for Apache).
+		h.Add("Date", s.date)
+		h.Add("Server", "Jigsaw/1.06")
+		h.Add("MIME-Version", "1.0")
+		h.Add("Cache-Control", "max-age=86400")
+		h.Add("Accept-Ranges", "bytes")
+	}
+	return resp
+}
+
+// etagMatch implements If-None-Match list matching.
+func etagMatch(headerVal, etag string) bool {
+	if strings.TrimSpace(headerVal) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(headerVal, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// parseRange parses a single "bytes=lo-hi" range.
+func parseRange(h string, size int) (lo, hi int, ok bool) {
+	h = strings.TrimSpace(h)
+	if !strings.HasPrefix(h, "bytes=") {
+		return 0, 0, false
+	}
+	spec := strings.TrimPrefix(h, "bytes=")
+	if strings.Contains(spec, ",") {
+		return 0, 0, false // multipart ranges unsupported
+	}
+	dash := strings.IndexByte(spec, '-')
+	if dash < 0 {
+		return 0, 0, false
+	}
+	loStr, hiStr := spec[:dash], spec[dash+1:]
+	if loStr == "" {
+		// suffix range: last N bytes
+		n, err := strconv.Atoi(hiStr)
+		if err != nil || n <= 0 {
+			return 0, 0, false
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, size - 1, size > 0
+	}
+	loV, err := strconv.Atoi(loStr)
+	if err != nil || loV < 0 || loV >= size {
+		return 0, 0, false
+	}
+	hiV := size - 1
+	if hiStr != "" {
+		hiV, err = strconv.Atoi(hiStr)
+		if err != nil || hiV < loV {
+			return 0, 0, false
+		}
+		if hiV >= size {
+			hiV = size - 1
+		}
+	}
+	return loV, hiV, true
+}
+
+// flush writes the buffered responses to the connection.
+func (sc *serverConn) flush() {
+	if len(sc.outBuf) == 0 {
+		return
+	}
+	sc.conn.Write(sc.outBuf)
+	sc.outBuf = nil
+}
+
+// close ends the connection: gracefully (half-close, drain) by default,
+// or naively (both halves) in NaiveClose mode.
+func (sc *serverConn) close() {
+	if sc.closing {
+		return
+	}
+	sc.closing = true
+	sc.flush()
+	if sc.srv.cfg.NaiveClose {
+		sc.conn.Close()
+		return
+	}
+	sc.conn.CloseWrite()
+}

@@ -1,0 +1,34 @@
+package lzw
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchData = []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 400))
+
+func BenchmarkCompress(b *testing.B) {
+	b.SetBytes(int64(len(benchData)))
+	for i := 0; i < b.N; i++ {
+		Compress(benchData, 8)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	comp := Compress(benchData, 8)
+	b.SetBytes(int64(len(benchData)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModemCompressor(b *testing.B) {
+	m := NewModemCompressor()
+	b.SetBytes(int64(len(benchData)))
+	for i := 0; i < b.N; i++ {
+		m.CompressedBits(benchData)
+	}
+}

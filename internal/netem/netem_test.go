@@ -1,0 +1,188 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSerializationDelay(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{BitsPerSecond: 8000}) // 1000 bytes/sec
+	if got := l.SerializationDelay(100); got != 100*time.Millisecond {
+		t.Fatalf("SerializationDelay(100) = %v, want 100ms", got)
+	}
+	l2 := NewLink(s, "inf", Config{})
+	if got := l2.SerializationDelay(100); got != 0 {
+		t.Fatalf("infinite link delay = %v, want 0", got)
+	}
+}
+
+func TestSendDeliversAfterTransit(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{BitsPerSecond: 8000, PropagationDelay: 50 * time.Millisecond})
+	var at sim.Time
+	l.Send(nil, 100, func() { at = s.Now() })
+	s.Run()
+	if want := sim.Time(150 * time.Millisecond); at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{BitsPerSecond: 8000, PropagationDelay: 10 * time.Millisecond})
+	var first, second sim.Time
+	// Two 100-byte packets sent back to back: second waits for the first's
+	// serialization (100ms each), then adds propagation.
+	l.Send(nil, 100, func() { first = s.Now() })
+	l.Send(nil, 100, func() { second = s.Now() })
+	s.Run()
+	if want := sim.Time(110 * time.Millisecond); first != want {
+		t.Fatalf("first at %v, want %v", first, want)
+	}
+	if want := sim.Time(210 * time.Millisecond); second != want {
+		t.Fatalf("second at %v, want %v", second, want)
+	}
+}
+
+func TestLinkIdleGapNoQueueing(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{BitsPerSecond: 8000, PropagationDelay: 0})
+	var second sim.Time
+	l.Send(nil, 100, func() {})
+	// Send the second packet well after the first finished.
+	s.Schedule(500*time.Millisecond, func() {
+		l.Send(nil, 100, func() { second = s.Now() })
+	})
+	s.Run()
+	if want := sim.Time(600 * time.Millisecond); second != want {
+		t.Fatalf("second at %v, want %v (no residual queueing)", second, want)
+	}
+}
+
+func TestMTUViolationPanics(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{MTU: 1500})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized packet")
+		}
+	}()
+	l.Send(nil, 1501, func() {})
+}
+
+func TestLossFunc(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{Loss: func(i, _ int) bool { return i == 1 }})
+	delivered := 0
+	for i := 0; i < 3; i++ {
+		l.Send(nil, 40, func() { delivered++ })
+	}
+	s.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+	if l.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", l.Dropped())
+	}
+	if l.Sent() != 3 {
+		t.Fatalf("sent %d, want 3", l.Sent())
+	}
+}
+
+type halfCompressor struct{ resets int }
+
+func (c *halfCompressor) CompressedBits(p []byte) int { return len(p) * 8 / 2 }
+func (c *halfCompressor) Reset()                      { c.resets++ }
+
+func TestCompressorHalvesSerialization(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{BitsPerSecond: 8000, Compressor: &halfCompressor{}})
+	var at sim.Time
+	l.Send(make([]byte, 100), 100, func() { at = s.Now() })
+	s.Run()
+	if want := sim.Time(50 * time.Millisecond); at != want {
+		t.Fatalf("delivered at %v, want %v (compressed)", at, want)
+	}
+	if l.WireBits() != 400 {
+		t.Fatalf("wire bits = %d, want 400", l.WireBits())
+	}
+}
+
+func TestPerPacketOverhead(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, "t", Config{BitsPerSecond: 8000, PerPacketOverheadBytes: 8})
+	var at sim.Time
+	l.Send(nil, 92, func() { at = s.Now() })
+	s.Run()
+	if want := sim.Time(100 * time.Millisecond); at != want {
+		t.Fatalf("delivered at %v, want %v (92+8 bytes)", at, want)
+	}
+}
+
+func TestProfilesMatchTable1(t *testing.T) {
+	for _, env := range Environments {
+		p := Profiles[env]
+		if p.MSS != 1460 {
+			t.Errorf("%v MSS = %d, want 1460", env, p.MSS)
+		}
+	}
+	if Profiles[PPP].Bandwidth != 28_800 {
+		t.Errorf("PPP bandwidth = %d, want 28800", Profiles[PPP].Bandwidth)
+	}
+	if Profiles[LAN].RTT >= time.Millisecond {
+		t.Errorf("LAN RTT = %v, want < 1ms", Profiles[LAN].RTT)
+	}
+	if Profiles[WAN].RTT != 90*time.Millisecond {
+		t.Errorf("WAN RTT = %v, want 90ms", Profiles[WAN].RTT)
+	}
+	if Profiles[PPP].RTT != 150*time.Millisecond {
+		t.Errorf("PPP RTT = %v, want 150ms", Profiles[PPP].RTT)
+	}
+}
+
+func TestNewEnvPathRoundTrip(t *testing.T) {
+	for _, env := range Environments {
+		s := sim.New()
+		p := NewEnvPath(s, env, PathOptions{})
+		var rtt sim.Time
+		// 40-byte packet each way approximates a SYN/SYN-ACK RTT probe.
+		p.AB.Send(nil, 40, func() {
+			p.BA.Send(nil, 40, func() { rtt = s.Now() })
+		})
+		s.Run()
+		want := Profiles[env].RTT
+		got := time.Duration(rtt)
+		// Allow serialization on top of propagation.
+		if got < want || got > want+2*p.AB.SerializationDelay(48)+time.Millisecond {
+			t.Errorf("%v probe RTT = %v, profile RTT %v", env, got, want)
+		}
+	}
+}
+
+func TestEnvironmentString(t *testing.T) {
+	if LAN.String() != "LAN" || WAN.String() != "WAN" || PPP.String() != "PPP" {
+		t.Fatal("environment names wrong")
+	}
+	if Environment(9).String() != "Environment(9)" {
+		t.Fatal("unknown environment formatting wrong")
+	}
+}
+
+func TestRTTJitterChangesDelay(t *testing.T) {
+	s := sim.New()
+	rng := sim.NewRand(3)
+	p := NewEnvPath(s, WAN, PathOptions{RTTJitterFrac: 0.05, Rng: rng})
+	base := Profiles[WAN].RTT / 2
+	got := p.AB.Config().PropagationDelay
+	if got == base {
+		t.Fatal("jitter did not perturb propagation delay")
+	}
+	lo := time.Duration(float64(base) * 0.95)
+	hi := time.Duration(float64(base) * 1.05)
+	if got < lo || got > hi {
+		t.Fatalf("jittered delay %v outside [%v,%v]", got, lo, hi)
+	}
+}

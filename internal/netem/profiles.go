@@ -1,0 +1,119 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Environment names the three network environments of the paper's Table 1.
+type Environment int
+
+const (
+	// LAN is the high-bandwidth, low-latency environment:
+	// 10 Mbit Ethernet, RTT < 1 ms, MSS 1460.
+	LAN Environment = iota
+	// WAN is the high-bandwidth, high-latency environment:
+	// transcontinental Internet, RTT ~90 ms, MSS 1460.
+	WAN
+	// PPP is the low-bandwidth, high-latency environment:
+	// 28.8 kbit/s dialup, RTT ~150 ms, MSS 1460.
+	PPP
+)
+
+// String returns the environment's short name as used in the paper.
+func (e Environment) String() string {
+	switch e {
+	case LAN:
+		return "LAN"
+	case WAN:
+		return "WAN"
+	case PPP:
+		return "PPP"
+	}
+	return fmt.Sprintf("Environment(%d)", int(e))
+}
+
+// Environments lists all three environments in paper order.
+var Environments = []Environment{LAN, WAN, PPP}
+
+// Profile summarizes an environment for display (Table 1).
+type Profile struct {
+	Env        Environment
+	Channel    string
+	Connection string
+	RTT        time.Duration
+	MSS        int
+	Bandwidth  int64 // bits per second, per direction
+}
+
+// Profiles reproduces Table 1 of the paper.
+var Profiles = map[Environment]Profile{
+	LAN: {
+		Env:        LAN,
+		Channel:    "High bandwidth, low latency",
+		Connection: "LAN - 10Mbit Ethernet",
+		RTT:        600 * time.Microsecond,
+		MSS:        1460,
+		Bandwidth:  10_000_000,
+	},
+	WAN: {
+		Env:        WAN,
+		Channel:    "High bandwidth, high latency",
+		Connection: "WAN - MA (MIT/LCS) to CA (LBL)",
+		RTT:        90 * time.Millisecond,
+		MSS:        1460,
+		Bandwidth:  1_500_000,
+	},
+	PPP: {
+		Env:        PPP,
+		Channel:    "Low bandwidth, high latency",
+		Connection: "PPP - 28.8k modem line",
+		RTT:        150 * time.Millisecond,
+		MSS:        1460,
+		Bandwidth:  28_800,
+	},
+}
+
+// PathOptions tunes profile instantiation.
+type PathOptions struct {
+	// ModemCompression enables a V.42bis-style stream compressor on both
+	// directions (only meaningful for PPP).
+	ModemCompression func() StreamCompressor
+	// RTTJitterFrac perturbs propagation delay by ±frac using rng
+	// (reproduces run-to-run network fluctuation). Zero disables.
+	RTTJitterFrac float64
+	Rng           *sim.Rand
+	// Loss injects deterministic loss on both directions.
+	Loss LossFunc
+}
+
+// NewEnvPath instantiates an environment as a Path. Endpoint A is the
+// client, B the server.
+func NewEnvPath(s *sim.Simulator, env Environment, opts PathOptions) *Path {
+	p, ok := Profiles[env]
+	if !ok {
+		panic(fmt.Sprintf("netem: unknown environment %v", env))
+	}
+	rtt := p.RTT
+	if opts.RTTJitterFrac > 0 && opts.Rng != nil {
+		rtt = opts.Rng.Jitter(rtt, opts.RTTJitterFrac)
+	}
+	cfg := Config{
+		BitsPerSecond:    p.Bandwidth,
+		PropagationDelay: rtt / 2,
+		MTU:              p.MSS + IPTCPHeaderBytes,
+		Loss:             opts.Loss,
+	}
+	if env == PPP {
+		// PPP framing: flag, address, control, protocol, FCS ≈ 8 bytes.
+		cfg.PerPacketOverheadBytes = 8
+	}
+	ab, ba := cfg, cfg
+	if opts.ModemCompression != nil {
+		ab.Compressor = opts.ModemCompression()
+		ba.Compressor = opts.ModemCompression()
+	}
+	return NewAsymPath(s, env.String(), ab, ba)
+}

@@ -1,0 +1,29 @@
+package pngenc
+
+// CRC32 computes the PNG CRC (IEEE 802.3 polynomial, reflected), as
+// specified in RFC 2083 appendix. Implemented here rather than importing
+// hash/crc32 so the codec is self-contained; the tests verify equality
+// with the standard library.
+func CRC32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crcTable[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}
+
+var crcTable = func() [256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xEDB88320 ^ c>>1
+			} else {
+				c >>= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}()

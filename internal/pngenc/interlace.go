@@ -1,0 +1,111 @@
+package pngenc
+
+// Adam7 interlacing: the progressive-display mode the paper credits for
+// PNG's "time to render benefits relative to GIF". Each of the seven
+// passes is an independent sub-image with its own filtered scanlines; a
+// decoder can render a coarse version of the picture from the early
+// passes while later ones are still arriving.
+
+// adam7 holds the pass geometry: start offsets and steps per pass.
+var adam7 = [7]struct{ x0, y0, dx, dy int }{
+	{0, 0, 8, 8},
+	{4, 0, 8, 8},
+	{0, 4, 4, 8},
+	{2, 0, 4, 4},
+	{0, 2, 2, 4},
+	{1, 0, 2, 2},
+	{0, 1, 1, 2},
+}
+
+// passSize returns the dimensions of one interlace pass for a W×H image.
+func passSize(pass, w, h int) (pw, ph int) {
+	p := adam7[pass]
+	if w > p.x0 {
+		pw = (w - p.x0 + p.dx - 1) / p.dx
+	}
+	if h > p.y0 {
+		ph = (h - p.y0 + p.dy - 1) / p.dy
+	}
+	return pw, ph
+}
+
+// interlaceScanlines serializes img as the concatenated filtered
+// scanlines of the seven Adam7 passes.
+func interlaceScanlines(img *Image, depth int) []byte {
+	var out []byte
+	for pass := 0; pass < 7; pass++ {
+		pw, ph := passSize(pass, img.W, img.H)
+		if pw == 0 || ph == 0 {
+			continue
+		}
+		p := adam7[pass]
+		sub := &Image{W: pw, H: ph, Palette: img.Palette, Pixels: make([]byte, pw*ph)}
+		for y := 0; y < ph; y++ {
+			for x := 0; x < pw; x++ {
+				sx, sy := p.x0+x*p.dx, p.y0+y*p.dy
+				sub.Pixels[y*pw+x] = img.Pixels[sy*img.W+sx]
+			}
+		}
+		raw := packScanlines(sub, depth)
+		out = append(out, filterScanlines(raw, ph, rowBytes(pw, depth), 1)...)
+	}
+	return out
+}
+
+// deinterlaceScanlines reconstructs pixels from the concatenated filtered
+// passes.
+func deinterlaceScanlines(filtered []byte, w, h, depth int) ([]byte, error) {
+	pixels := make([]byte, w*h)
+	off := 0
+	for pass := 0; pass < 7; pass++ {
+		pw, ph := passSize(pass, w, h)
+		if pw == 0 || ph == 0 {
+			continue
+		}
+		rb := rowBytes(pw, depth)
+		need := (rb + 1) * ph
+		if off+need > len(filtered) {
+			return nil, errTruncatedPass(pass)
+		}
+		raw, err := unfilterScanlines(filtered[off:off+need], ph, rb, 1)
+		if err != nil {
+			return nil, err
+		}
+		off += need
+		p := adam7[pass]
+		perByte := 8 / depth
+		for y := 0; y < ph; y++ {
+			row := raw[y*rb:]
+			for x := 0; x < pw; x++ {
+				var v byte
+				if depth == 8 {
+					v = row[x]
+				} else {
+					shift := uint((perByte - 1 - x%perByte) * depth)
+					v = row[x/perByte] >> shift & (1<<depth - 1)
+				}
+				pixels[(p.y0+y*p.dy)*w+p.x0+x*p.dx] = v
+			}
+		}
+	}
+	if off != len(filtered) {
+		return nil, errTrailingPassData(len(filtered) - off)
+	}
+	return pixels, nil
+}
+
+func errTruncatedPass(pass int) error {
+	return &passError{msg: "truncated interlace pass", pass: pass}
+}
+
+func errTrailingPassData(n int) error {
+	return &passError{msg: "trailing bytes after final pass", pass: n}
+}
+
+type passError struct {
+	msg  string
+	pass int
+}
+
+func (e *passError) Error() string { return "pngenc: " + e.msg }
+func (e *passError) Unwrap() error { return ErrFormat }

@@ -1,0 +1,391 @@
+package pngenc
+
+import (
+	"bytes"
+	"hash/crc32"
+	"image"
+	stdpng "image/png"
+	"testing"
+	"testing/quick"
+)
+
+// testImage builds a deterministic paletted image with banner-like
+// content.
+func testImage(w, h, colors int, seed uint64) *Image {
+	img := &Image{W: w, H: h, Palette: make([]Color, colors), Pixels: make([]byte, w*h)}
+	for i := range img.Palette {
+		img.Palette[i] = Color{byte(i * 41), byte(i * 13), byte(i * 89)}
+	}
+	s := seed
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := (x/8 + y/6) % colors
+			s = s*6364136223846793005 + 1442695040888963407
+			if s>>61 == 0 {
+				c = int(s>>32) % colors
+			}
+			img.Pixels[y*w+x] = byte(c)
+		}
+	}
+	return img
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	inputs := [][]byte{nil, {0}, []byte("IHDR"), bytes.Repeat([]byte("png!"), 1000)}
+	for _, in := range inputs {
+		if got, want := CRC32(in), crc32.ChecksumIEEE(in); got != want {
+			t.Fatalf("CRC32(%d bytes) = %08x, want %08x", len(in), got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ w, h, colors int }{
+		{1, 1, 2}, {7, 3, 2}, {31, 17, 4}, {64, 48, 16}, {90, 30, 200},
+	} {
+		img := testImage(tc.w, tc.h, tc.colors, 5)
+		data, err := Encode(img, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", tc, err)
+		}
+		if got.W != img.W || got.H != img.H || !bytes.Equal(got.Pixels, img.Pixels) {
+			t.Fatalf("%v: round trip mismatch", tc)
+		}
+		for i := range img.Palette {
+			if got.Palette[i] != img.Palette[i] {
+				t.Fatalf("%v: palette entry %d mismatch", tc, i)
+			}
+		}
+	}
+}
+
+func TestStdlibCanDecodeOurPNG(t *testing.T) {
+	for _, colors := range []int{2, 4, 16, 256} {
+		img := testImage(60, 40, colors, 7)
+		data, err := Encode(img, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := stdpng.Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("colors=%d: stdlib rejected our PNG: %v", colors, err)
+		}
+		pimg, ok := std.(*image.Paletted)
+		if !ok {
+			t.Fatalf("colors=%d: stdlib decoded %T, want paletted", colors, std)
+		}
+		if pimg.Bounds().Dx() != img.W || pimg.Bounds().Dy() != img.H {
+			t.Fatalf("stdlib dimensions mismatch")
+		}
+		for y := 0; y < img.H; y++ {
+			for x := 0; x < img.W; x++ {
+				if pimg.ColorIndexAt(x, y) != img.Pixels[y*img.W+x] {
+					t.Fatalf("colors=%d: pixel (%d,%d) differs under stdlib", colors, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestGammaChunkCosts16Bytes(t *testing.T) {
+	// The paper: "the converted PNG and MNG files contain gamma
+	// information ... this adds 16 bytes per image."
+	img := testImage(40, 20, 8, 1)
+	with, err := Encode(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Encode(img, Options{NoGamma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with)-len(without) != 16 {
+		t.Fatalf("gAMA chunk costs %d bytes, want 16", len(with)-len(without))
+	}
+}
+
+func TestLowBitDepthPacking(t *testing.T) {
+	// 2 colors → 1 bit/pixel: a 64x64 bilevel image should be tiny.
+	img := testImage(64, 64, 2, 3)
+	data, err := Encode(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 700 {
+		t.Fatalf("bilevel 64x64 PNG is %d bytes; packing broken?", len(data))
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pixels, img.Pixels) {
+		t.Fatal("bilevel round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	img := testImage(20, 20, 4, 9)
+	data, _ := Encode(img, Options{})
+	// Flip a byte inside the IDAT payload: the chunk CRC must catch it.
+	data[len(data)-20] ^= 0xff
+	if _, err := Decode(data); err == nil {
+		t.Fatal("corrupted PNG accepted")
+	}
+	if _, err := Decode([]byte("not a png at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(data[:10]); err == nil {
+		t.Fatal("truncated PNG accepted")
+	}
+}
+
+func TestValidateRejectsBadImages(t *testing.T) {
+	bad := []*Image{
+		{W: 0, H: 1, Palette: make([]Color, 2), Pixels: nil},
+		{W: 1, H: 1, Palette: nil, Pixels: []byte{0}},
+		{W: 1, H: 1, Palette: make([]Color, 2), Pixels: []byte{5}},
+		{W: 2, H: 2, Palette: make([]Color, 2), Pixels: []byte{0}},
+	}
+	for i, img := range bad {
+		if _, err := Encode(img, Options{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMNGRoundTrip(t *testing.T) {
+	var frames []*Image
+	delays := []int{10, 20, 30}
+	for i := 0; i < 3; i++ {
+		frames = append(frames, testImage(32, 24, 16, uint64(i+1)))
+	}
+	data, err := EncodeMNG(frames, delays, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := DecodeMNG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.W != 32 || info.H != 24 {
+		t.Fatalf("MNG dims %dx%d", info.W, info.H)
+	}
+	if len(info.Frames) != 3 {
+		t.Fatalf("MNG frames = %d, want 3", len(info.Frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(info.Frames[i].Pixels, frames[i].Pixels) {
+			t.Fatalf("frame %d pixels differ", i)
+		}
+		if info.DelaysCS[i] != delays[i] {
+			t.Fatalf("frame %d delay %d, want %d", i, info.DelaysCS[i], delays[i])
+		}
+	}
+}
+
+func TestMNGValidation(t *testing.T) {
+	frames := []*Image{testImage(8, 8, 4, 1), testImage(16, 16, 4, 2)}
+	if _, err := EncodeMNG(frames, []int{1, 1}, Options{}); err == nil {
+		t.Fatal("mismatched frame sizes accepted")
+	}
+	if _, err := EncodeMNG(nil, nil, Options{}); err == nil {
+		t.Fatal("empty animation accepted")
+	}
+	if _, err := EncodeMNG(frames[:1], []int{1, 2}, Options{}); err == nil {
+		t.Fatal("delay count mismatch accepted")
+	}
+	if _, err := DecodeMNG([]byte("garbage")); err == nil {
+		t.Fatal("garbage MNG accepted")
+	}
+}
+
+func TestMNGSharesPalette(t *testing.T) {
+	// The per-frame savings: a 3-frame MNG must be well under 3x a
+	// single-frame PNG of the same content, since PLTE and gAMA are not
+	// repeated.
+	frames := []*Image{}
+	for i := 0; i < 3; i++ {
+		frames = append(frames, testImage(48, 48, 256, uint64(i+10)))
+	}
+	mng, err := EncodeMNG(frames, []int{5, 5, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Encode(frames[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mng) >= 3*len(single) {
+		t.Fatalf("MNG %d bytes vs 3x single %d: no shared-palette saving", len(mng), 3*len(single))
+	}
+}
+
+// Property: arbitrary valid images round-trip through PNG.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(wRaw, hRaw, colRaw uint8, pix []byte) bool {
+		w := int(wRaw)%50 + 1
+		h := int(hRaw)%50 + 1
+		colors := int(colRaw)%255 + 2
+		img := &Image{W: w, H: h, Palette: make([]Color, colors), Pixels: make([]byte, w*h)}
+		for i := range img.Palette {
+			img.Palette[i] = Color{byte(i), byte(255 - i), byte(i * 7)}
+		}
+		for i := range img.Pixels {
+			v := 0
+			if len(pix) > 0 {
+				v = int(pix[i%len(pix)])
+			}
+			img.Pixels[i] = byte(v % colors)
+		}
+		data, err := Encode(img, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Pixels, img.Pixels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterlacedRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ w, h, colors int }{
+		{1, 1, 2}, {7, 5, 4}, {8, 8, 16}, {33, 17, 256}, {100, 3, 2}, {2, 100, 8},
+	} {
+		img := testImage(tc.w, tc.h, tc.colors, 11)
+		data, err := Encode(img, Options{Interlace: true})
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", tc, err)
+		}
+		if !bytes.Equal(got.Pixels, img.Pixels) {
+			t.Fatalf("%v: interlaced round trip mismatch", tc)
+		}
+	}
+}
+
+func TestStdlibDecodesOurInterlacedPNG(t *testing.T) {
+	img := testImage(50, 41, 16, 6)
+	data, err := Encode(img, Options{Interlace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := stdpng.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib rejected our interlaced PNG: %v", err)
+	}
+	pimg, ok := std.(*image.Paletted)
+	if !ok {
+		t.Fatalf("stdlib decoded %T", std)
+	}
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if pimg.ColorIndexAt(x, y) != img.Pixels[y*img.W+x] {
+				t.Fatalf("pixel (%d,%d) differs", x, y)
+			}
+		}
+	}
+}
+
+func TestPassSizes(t *testing.T) {
+	// An 8x8 image: pass sizes must total the pixel count.
+	total := 0
+	for pass := 0; pass < 7; pass++ {
+		pw, ph := passSize(pass, 8, 8)
+		total += pw * ph
+	}
+	if total != 64 {
+		t.Fatalf("pass pixels total %d, want 64", total)
+	}
+	// A 1x1 image appears only in pass 1.
+	for pass := 0; pass < 7; pass++ {
+		pw, ph := passSize(pass, 1, 1)
+		if pass == 0 && (pw != 1 || ph != 1) {
+			t.Fatalf("pass 1 of 1x1 = %dx%d", pw, ph)
+		}
+		if pass > 0 && pw*ph != 0 {
+			t.Fatalf("pass %d of 1x1 non-empty", pass+1)
+		}
+	}
+}
+
+func TestInterlaceCostsBytes(t *testing.T) {
+	// Interlacing scatters pixels, hurting filter locality; the file
+	// should not be smaller (and typically larger) — one reason the
+	// converted site images stay non-interlaced.
+	img := testImage(90, 60, 16, 2)
+	plain, _ := Encode(img, Options{})
+	inter, _ := Encode(img, Options{Interlace: true})
+	if len(inter) < len(plain) {
+		t.Fatalf("interlaced (%d) smaller than plain (%d)?", len(inter), len(plain))
+	}
+}
+
+func TestTruecolorRoundTrip(t *testing.T) {
+	src := testImage(37, 23, 64, 8)
+	rgb := src.Flatten()
+	data, err := EncodeRGB(rgb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRGB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != rgb.W || got.H != rgb.H || !bytes.Equal(got.Pix, rgb.Pix) {
+		t.Fatal("truecolor round trip mismatch")
+	}
+}
+
+func TestStdlibDecodesOurTruecolorPNG(t *testing.T) {
+	src := testImage(40, 30, 128, 3)
+	rgb := src.Flatten()
+	data, err := EncodeRGB(rgb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := stdpng.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stdlib rejected truecolor PNG: %v", err)
+	}
+	for y := 0; y < rgb.H; y++ {
+		for x := 0; x < rgb.W; x++ {
+			r, g, b, _ := std.At(x, y).RGBA()
+			i := 3 * (y*rgb.W + x)
+			if byte(r>>8) != rgb.Pix[i] || byte(g>>8) != rgb.Pix[i+1] || byte(b>>8) != rgb.Pix[i+2] {
+				t.Fatalf("pixel (%d,%d) differs under stdlib", x, y)
+			}
+		}
+	}
+}
+
+func TestTruecolorValidation(t *testing.T) {
+	if _, err := EncodeRGB(&RGBImage{W: 2, H: 2, Pix: make([]byte, 5)}, Options{}); err == nil {
+		t.Fatal("short pix accepted")
+	}
+	if _, err := EncodeRGB(&RGBImage{W: 0, H: 2}, Options{}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	// A paletted PNG is not decodable as truecolor.
+	pal := testImage(8, 8, 4, 1)
+	data, _ := Encode(pal, Options{})
+	if _, err := DecodeRGB(data); err == nil {
+		t.Fatal("paletted PNG decoded as truecolor")
+	}
+	// And vice versa.
+	rgbData, _ := EncodeRGB(pal.Flatten(), Options{})
+	if _, err := Decode(rgbData); err == nil {
+		t.Fatal("truecolor PNG decoded as paletted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package report renders the regenerated experiment tables as aligned
+// text, side by side with the paper's published numbers where available.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// line writes one formatted row.
+func line(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+func rule(w io.Writer, n int) {
+	fmt.Fprintln(w, strings.Repeat("-", n))
+}
+
+// MainTable renders a Tables 4-9 style table with paper comparison rows.
+func MainTable(w io.Writer, t core.Table) {
+	line(w, "%s", t.Title)
+	rule(w, 112)
+	line(w, "%-36s %s  %35s", "", "First Time Retrieval", "Cache Validation")
+	line(w, "%-36s %8s %9s %7s %5s | %8s %9s %7s %5s", "",
+		"Pa", "Bytes", "Sec", "%ov", "Pa", "Bytes", "Sec", "%ov")
+	rule(w, 112)
+	for _, r := range t.Rows {
+		line(w, "%-36s %8.1f %9.0f %7.2f %5.1f | %8.1f %9.0f %7.2f %5.1f",
+			r.Label,
+			r.First.Packets, r.First.Bytes, r.First.Seconds, r.First.OverheadPct,
+			r.Reval.Packets, r.Reval.Bytes, r.Reval.Seconds, r.Reval.OverheadPct)
+		if r.Paper != nil {
+			line(w, "%-36s %8.1f %9.0f %7.2f %5s | %8.1f %9.0f %7.2f %5s",
+				"  (paper)",
+				r.Paper.First.Packets, r.Paper.First.Bytes, r.Paper.First.Seconds, "",
+				r.Paper.Reval.Packets, r.Paper.Reval.Bytes, r.Paper.Reval.Seconds, "")
+		}
+	}
+	rule(w, 112)
+}
+
+// Table3 renders the initial-investigation table in the paper's layout
+// (metrics as rows, variants as columns).
+func Table3(w io.Writer, rows []core.Table3Row) {
+	line(w, "Table 3 - Jigsaw - Initial High Bandwidth, Low Latency Cache Revalidation Test")
+	rule(w, 96)
+	header := fmt.Sprintf("%-34s", "")
+	for _, r := range rows {
+		header += fmt.Sprintf(" %19s", r.Label)
+	}
+	line(w, "%s", header)
+	rule(w, 96)
+	metric := func(name string, f func(core.Table3Row) string, paper []float64) {
+		out := fmt.Sprintf("%-34s", name)
+		for _, r := range rows {
+			out += fmt.Sprintf(" %19s", f(r))
+		}
+		line(w, "%s", out)
+		if paper != nil {
+			out = fmt.Sprintf("%-34s", "  (paper)")
+			for _, v := range paper {
+				out += fmt.Sprintf(" %19.2f", v)
+			}
+			line(w, "%s", out)
+		}
+	}
+	p := core.PaperTable3
+	metric("Max simultaneous sockets", func(r core.Table3Row) string { return fmt.Sprintf("%d", r.MaxSockets) }, p.MaxSockets)
+	metric("Total number of sockets used", func(r core.Table3Row) string { return fmt.Sprintf("%d", r.TotalSockets) }, p.TotalSockets)
+	metric("Packets from client to server", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsC2S) }, p.PktsC2S)
+	metric("Packets from server to client", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsS2C) }, p.PktsS2C)
+	metric("Total number of packets", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsTotal) }, p.PktsAll)
+	metric("Total elapsed time [secs]", func(r core.Table3Row) string { return fmt.Sprintf("%.2f", r.Elapsed) }, p.Elapsed)
+	rule(w, 96)
+}
+
+// Environments renders Table 1.
+func Environments(w io.Writer) {
+	line(w, "Table 1 - Tested Network Environments")
+	rule(w, 86)
+	line(w, "%-30s %-32s %8s %6s", "Channel", "Connection", "RTT", "MSS")
+	rule(w, 86)
+	for _, env := range netem.Environments {
+		p := netem.Profiles[env]
+		line(w, "%-30s %-32s %8s %6d", p.Channel, p.Connection, p.RTT, p.MSS)
+	}
+	rule(w, 86)
+}
+
+// Modem renders the §8.2.1 modem-compression experiment.
+func Modem(w io.Writer, rows []core.ModemRow, profileName string) {
+	line(w, "Modem compression experiment (single GET of the HTML page over 28.8k PPP) - %s", profileName)
+	rule(w, 86)
+	line(w, "%-52s %8s %9s %8s", "", "Pa", "Bytes", "Sec")
+	rule(w, 86)
+	for _, r := range rows {
+		line(w, "%-52s %8.1f %9.0f %8.2f", r.Label, r.Packets, r.Bytes, r.Seconds)
+	}
+	p := core.PaperModem
+	line(w, "%-52s %8.1f %9s %8.2f", "  (paper: uncompressed HTML)", p.UncompressedPa, "", p.UncompressedSec)
+	line(w, "%-52s %8.1f %9s %8.2f", "  (paper: zlib-compressed HTML)", p.CompressedPa, "", p.CompressedSec)
+	rule(w, 86)
+}
+
+// TagCase renders the markup-case compression experiment.
+func TagCase(w io.Writer, rows []core.TagCaseRow) {
+	line(w, "HTML tag case vs deflate compression (paper: lower ≈ 0.27, mixed ≈ 0.35)")
+	rule(w, 64)
+	line(w, "%-24s %10s %10s %8s", "", "HTML", "deflated", "ratio")
+	rule(w, 64)
+	for _, r := range rows {
+		line(w, "%-24s %10d %10d %8.3f", r.Label, r.HTMLBytes, r.Deflated, r.Ratio)
+	}
+	rule(w, 64)
+}
+
+// Nagle renders the Nagle-interaction ablation.
+func Nagle(w io.Writer, rows []core.NagleRow) {
+	line(w, "Nagle interaction (WAN first-time retrieval; delayed final segments)")
+	rule(w, 72)
+	line(w, "%-44s %8s %8s", "", "Pa", "Sec")
+	rule(w, 72)
+	for _, r := range rows {
+		line(w, "%-44s %8.1f %8.2f", r.Label, r.Packets, r.Seconds)
+	}
+	rule(w, 72)
+}
+
+// Reset renders the connection-management experiment.
+func Reset(w io.Writer, rows []core.ResetRow) {
+	line(w, "Server early-close scenario (5 requests per connection, pipelined client, WAN)")
+	rule(w, 100)
+	line(w, "%-42s %8s %8s %8s %8s %10s", "", "Pa", "Sec", "Resets", "Retried", "Responses")
+	rule(w, 100)
+	for _, r := range rows {
+		line(w, "%-42s %8.1f %8.2f %8.1f %8.1f %10.1f", r.Label, r.Packets, r.Seconds, r.Errors, r.Retried, r.Responses)
+	}
+	rule(w, 100)
+}
+
+// Flush renders the flush-policy ablation grid.
+func Flush(w io.Writer, rows []core.FlushRow) {
+	line(w, "Pipelining flush-policy ablation (WAN first-time retrieval)")
+	rule(w, 64)
+	line(w, "%-12s %-14s %8s %8s", "buffer", "timer", "Pa", "Sec")
+	rule(w, 64)
+	for _, r := range rows {
+		line(w, "%-12d %-14s %8.1f %8.2f", r.BufferSize, r.FlushTimeout, r.Packets, r.Seconds)
+	}
+	rule(w, 64)
+}
+
+// CSS renders the image→CSS replacement analysis (Figure 1 and the
+// whole-page estimate).
+func CSS(w io.Writer, site *webgen.Site) {
+	fig := webgen.FigureOneReplacement()
+	line(w, "Figure 1 - the %q banner", "solutions")
+	line(w, "  GIF: %d bytes; HTML+CSS replacement: %d bytes (paper: 682 -> ~150)", fig.GIFBytes, fig.CSSBytes())
+	line(w, "  reduction factor: %.1fx", float64(fig.GIFBytes)/float64(fig.CSSBytes()))
+	line(w, "")
+	rep := site.CSSReplacements()
+	line(w, "Whole-page image -> HTML+CSS analysis")
+	rule(w, 70)
+	line(w, "  images replaced:        %d of %d", len(rep.Replacements), len(rep.Replacements)+len(rep.Kept))
+	line(w, "  HTTP requests saved:    %d of 43", rep.RequestsSaved)
+	line(w, "  image bytes removed:    %d", rep.GIFBytesRemoved)
+	line(w, "  HTML+CSS bytes added:   %d", rep.CSSBytesAdded)
+	line(w, "  net payload saving:     %d bytes", rep.NetSavings())
+	rule(w, 70)
+	line(w, "%-22s %-10s %10s %10s %8s", "image", "role", "GIF", "HTML+CSS", "saved")
+	for _, r := range rep.Replacements {
+		line(w, "%-22s %-10s %10d %10d %8d", r.Name, r.Role, r.GIFBytes, r.CSSBytes(), r.Saved())
+	}
+	rule(w, 70)
+}
+
+// PNG renders the GIF→PNG / animated GIF→MNG conversion report.
+func PNG(w io.Writer, site *webgen.Site) error {
+	rep, err := site.ConvertImages()
+	if err != nil {
+		return err
+	}
+	line(w, "GIF -> PNG and animated GIF -> MNG conversion")
+	rule(w, 76)
+	line(w, "  static GIFs:  %d -> %d bytes (saved %d, %.1f%%)  [paper: 103299 -> 92096]",
+		rep.StaticGIF, rep.StaticPNG, rep.StaticSaved(), 100*float64(rep.StaticSaved())/float64(rep.StaticGIF))
+	line(w, "  animations:   %d -> %d bytes (saved %d, %.1f%%)  [paper: 24988 -> 16329]",
+		rep.AnimGIF, rep.AnimMNG, rep.AnimSaved(), 100*float64(rep.AnimSaved())/float64(rep.AnimGIF))
+	rule(w, 76)
+	line(w, "%-22s %-10s %10s %10s %8s", "image", "role", "GIF", "PNG/MNG", "saved")
+	for _, c := range rep.Static {
+		line(w, "%-22s %-10s %10d %10d %8d", c.Name, c.Role, c.GIFBytes, c.NewBytes, c.Saved())
+	}
+	for _, c := range rep.Animations {
+		line(w, "%-22s %-10s %10d %10d %8d", c.Name, c.Role, c.GIFBytes, c.NewBytes, c.Saved())
+	}
+	rule(w, 76)
+	return nil
+}
+
+// Duration formats a duration for table cells.
+func Duration(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// Range renders the range-probe ("poor man's multiplexing") experiment.
+func Range(w io.Writer, rows []core.RangeRow) {
+	line(w, "Range-request revalidation after a site revision (PPP, pipelined, ~30%% of objects changed)")
+	rule(w, 110)
+	line(w, "%-46s %8s %9s %9s %13s %8s", "", "Pa", "Bytes", "Sec", "Metadata Sec", "206s")
+	rule(w, 110)
+	for _, r := range rows {
+		line(w, "%-46s %8.1f %9.0f %9.2f %13.2f %8.1f", r.Label, r.Packets, r.Bytes, r.Seconds, r.MetadataSeconds, r.Responses206)
+	}
+	rule(w, 110)
+}
+
+// HeaderRedundancy renders the compact-wire-representation estimate.
+func HeaderRedundancy(w io.Writer, rows []core.HeaderRedundancyRow) {
+	line(w, "Request redundancy on the 43-request revalidation (paper: ~10%% of bytes change between requests)")
+	rule(w, 86)
+	line(w, "%-52s %12s %8s", "", "bytes", "ratio")
+	rule(w, 86)
+	for _, r := range rows {
+		line(w, "%-52s %12d %8.3f", r.Label, r.RequestBytes, r.Ratio)
+	}
+	rule(w, 86)
+}
+
+// Cwnd renders the initial-window ablation.
+func Cwnd(w io.Writer, rows []core.CwndRow) {
+	line(w, "Slow-start initial window ablation (WAN first-time retrieval, pipelined)")
+	rule(w, 64)
+	line(w, "%-30s %8s %8s", "", "Pa", "Sec")
+	rule(w, 64)
+	for _, r := range rows {
+		line(w, "%-30s %8.1f %8.2f", r.Label, r.Packets, r.Seconds)
+	}
+	rule(w, 64)
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/webgen"
+)
+
+func TestEnvironmentsRendersTable1(t *testing.T) {
+	var buf bytes.Buffer
+	Environments(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "10Mbit Ethernet", "28.8k modem", "1460"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMainTableRendersPaperRows(t *testing.T) {
+	tab := core.Table{
+		Number: 4,
+		Title:  "Table 4 - test",
+		Rows: []core.Row{{
+			Label: "HTTP/1.0",
+			First: core.Cell{Packets: 533, Bytes: 196898, Seconds: 0.84, OverheadPct: 9.8},
+			Reval: core.Cell{Packets: 442, Bytes: 69516, Seconds: 0.82, OverheadPct: 20.3},
+			Paper: &core.PaperRow{
+				Label: "HTTP/1.0",
+				First: core.PaperCell{Packets: 510.2, Bytes: 216289, Seconds: 0.97},
+				Reval: core.PaperCell{Packets: 374.8, Bytes: 61117, Seconds: 0.78},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	MainTable(&buf, tab)
+	out := buf.String()
+	for _, want := range []string{"Table 4 - test", "HTTP/1.0", "(paper)", "533.0", "510.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	rows := []core.Table3Row{
+		{Label: "HTTP/1.0", MaxSockets: 6, TotalSockets: 43, PktsC2S: 229, PktsS2C: 218, PktsTotal: 447, Elapsed: 0.82},
+		{Label: "HTTP/1.1 Persistent", MaxSockets: 1, TotalSockets: 1, PktsC2S: 48, PktsS2C: 48, PktsTotal: 96, Elapsed: 3.69},
+		{Label: "HTTP/1.1 Pipeline", MaxSockets: 1, TotalSockets: 1, PktsC2S: 17, PktsS2C: 14, PktsTotal: 31, Elapsed: 4.91},
+	}
+	var buf bytes.Buffer
+	Table3(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Max simultaneous sockets", "Total elapsed time", "(paper)", "497.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSmallRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	Modem(&buf, []core.ModemRow{{Label: "x", Packets: 65, Bytes: 42000, Seconds: 12.6}}, "Jigsaw")
+	TagCase(&buf, []core.TagCaseRow{{Label: "lower", HTMLBytes: 42000, Deflated: 11000, Ratio: 0.26}})
+	Nagle(&buf, []core.NagleRow{{Label: "x", Packets: 10, Seconds: 1}})
+	Reset(&buf, []core.ResetRow{{Label: "x", Packets: 10, Seconds: 1, Errors: 1, Retried: 2, Responses: 43}})
+	Flush(&buf, []core.FlushRow{{BufferSize: 1024, FlushTimeout: 50 * time.Millisecond, Packets: 200, Seconds: 1.5}})
+	Range(&buf, []core.RangeRow{{Label: "x", Packets: 1, Bytes: 2, Seconds: 3, MetadataSeconds: 4, Responses206: 5}})
+	HeaderRedundancy(&buf, []core.HeaderRedundancyRow{{Label: "x", RequestBytes: 7000, Ratio: 1}})
+	Cwnd(&buf, []core.CwndRow{{Label: "x", Packets: 1, Seconds: 2}})
+	out := buf.String()
+	for _, want := range []string{"Modem compression", "tag case", "Nagle", "early-close", "flush-policy", "Range-request", "redundancy", "initial window"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestCSSAndPNGRender(t *testing.T) {
+	site, err := webgen.Microscape(webgen.Options{Seed: 4, HTMLBytes: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	CSS(&buf, site)
+	if !strings.Contains(buf.String(), "solutions") {
+		t.Error("CSS report missing Figure 1")
+	}
+	buf.Reset()
+	if err := PNG(&buf, site); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MNG") {
+		t.Error("PNG report missing MNG line")
+	}
+}
+
+func TestDurationFormat(t *testing.T) {
+	if Duration(1500*time.Millisecond) != "1.50s" {
+		t.Fatalf("Duration = %q", Duration(1500*time.Millisecond))
+	}
+}

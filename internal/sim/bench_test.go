@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,43 @@
+package sim
+
+// CPU models a single processor as a busy-until chain: work items run
+// back to back, never in parallel. The simulated client and server each
+// get one, which is what serializes per-request processing cost across
+// concurrent connections — the effect behind the paper's elapsed-time
+// differences between Jigsaw (interpreted Java) and Apache on a LAN.
+type CPU struct {
+	sim       *Simulator
+	busyUntil Time
+	rng       *Rand
+	jitter    float64
+	total     Duration
+}
+
+// NewCPU returns a CPU on simulator s. rng and jitterFrac add reproducible
+// run-to-run variation to every work item; rng may be nil for none.
+func NewCPU(s *Simulator, rng *Rand, jitterFrac float64) *CPU {
+	return &CPU{sim: s, rng: rng, jitter: jitterFrac}
+}
+
+// Run schedules fn after d of CPU work, queued behind any work already
+// scheduled. It returns the completion instant.
+func (c *CPU) Run(d Duration, fn func()) Time {
+	if c.rng != nil && c.jitter > 0 {
+		d = c.rng.Jitter(d, c.jitter)
+	}
+	start := c.sim.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	end := start.Add(d)
+	c.busyUntil = end
+	c.total += d
+	c.sim.At(end, fn)
+	return end
+}
+
+// BusyUntil returns the instant the CPU goes idle.
+func (c *CPU) BusyUntil() Time { return c.busyUntil }
+
+// TotalWork returns the cumulative CPU time consumed.
+func (c *CPU) TotalWork() Duration { return c.total }

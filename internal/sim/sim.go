@@ -1,0 +1,204 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All network, protocol, and application behaviour in this repository runs
+// on virtual time driven by a Simulator. Events scheduled for the same
+// instant fire in the order they were scheduled, so every run is exactly
+// reproducible. The engine is intentionally single-threaded: callbacks run
+// on the caller's goroutine inside Run, Step, or RunUntil.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for callers' convenience; all delays in
+// the simulator are expressed with it.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the instant as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// MaxTime is the largest representable instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Timer is a handle to a scheduled event. A Timer may be stopped before it
+// fires; stopping an already-fired or already-stopped timer is a no-op.
+type Timer struct {
+	when    Time
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	fn      func()
+	stopped bool
+}
+
+// When returns the instant the timer is scheduled to fire.
+func (t *Timer) When() Time { return t.when }
+
+// Stopped reports whether Stop was called before the timer fired.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// Simulator owns the virtual clock and the pending event queue.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	limit  uint64 // safety cap on events per Run; 0 = none
+	inStep bool
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// SetEventLimit caps the number of events a single Run may execute; it
+// guards against runaway feedback loops in tests. Zero removes the cap.
+func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. The returned Timer may be used to cancel the event.
+func (s *Simulator) Schedule(delay Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now.Add(delay), fn)
+}
+
+// At runs fn at instant t. If t is in the past it fires at the current
+// instant (but still through the queue, after already-queued events for
+// that instant).
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	tm := &Timer{when: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, tm)
+	return tm
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// actually prevented the event from firing.
+func (s *Simulator) Stop(t *Timer) bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, t.index)
+	t.stopped = true
+	return true
+}
+
+// Reschedule moves a pending timer to fire after delay from now. If the
+// timer already fired or was stopped, a fresh event is scheduled with the
+// same function. It returns the timer that is now pending.
+func (s *Simulator) Reschedule(t *Timer, delay Duration) *Timer {
+	if t == nil {
+		panic("sim: Reschedule of nil timer")
+	}
+	fn := t.fn
+	s.Stop(t)
+	return s.Schedule(delay, fn)
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Step executes the single next event, advancing the clock to its instant.
+// It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	tm := heap.Pop(&s.queue).(*Timer)
+	s.now = tm.when
+	s.fired++
+	tm.fn()
+	return true
+}
+
+// Run executes events until the queue is empty (or the event limit is hit,
+// in which case it panics to surface the bug).
+func (s *Simulator) Run() {
+	start := s.fired
+	for s.Step() {
+		if s.limit > 0 && s.fired-start > s.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+		}
+	}
+}
+
+// RunUntil executes events with instants <= t, then advances the clock to
+// t (even if the queue still holds later events).
+func (s *Simulator) RunUntil(t Time) {
+	for s.queue.Len() > 0 && s.queue[0].when <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from now.
+func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// eventQueue is a min-heap ordered by (when, seq) so that simultaneous
+// events fire in scheduling order.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	s := New()
+	var at Time
+	s.Schedule(5*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if want := Time(5 * time.Millisecond); at != want {
+		t.Fatalf("event fired at %v, want %v", at, want)
+	}
+	if s.Now() != at {
+		t.Fatalf("clock %v, want %v", s.Now(), at)
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO for equal instants)", i, v, i)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock moved to %v for negative delay", s.Now())
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.Schedule(time.Millisecond, func() { fired = true })
+	if !s.Stop(tm) {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if s.Stop(tm) {
+		t.Fatal("second Stop returned true")
+	}
+}
+
+func TestStopMiddleOfHeap(t *testing.T) {
+	s := New()
+	var order []int
+	t1 := s.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	t2 := s.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	t3 := s.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	_ = t1
+	_ = t3
+	s.Stop(t2)
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestRescheduleMovesPendingTimer(t *testing.T) {
+	s := New()
+	var at Time
+	tm := s.Schedule(time.Millisecond, func() { at = s.Now() })
+	s.Reschedule(tm, 10*time.Millisecond)
+	s.Run()
+	if want := Time(10 * time.Millisecond); at != want {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("fired %d events, want 1", s.Fired())
+	}
+}
+
+func TestRescheduleAfterFire(t *testing.T) {
+	s := New()
+	count := 0
+	tm := s.Schedule(time.Millisecond, func() { count++ })
+	s.Run()
+	s.Reschedule(tm, time.Millisecond)
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := New()
+	var fired []Time
+	s.Schedule(1*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.Schedule(5*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(Time(3 * time.Millisecond))
+	if len(fired) != 1 {
+		t.Fatalf("fired %d events, want 1", len(fired))
+	}
+	if s.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("clock = %v, want 3ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events after Run, want 2", len(fired))
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {})
+	s.RunFor(500 * time.Millisecond)
+	if s.Now() != Time(500*time.Millisecond) {
+		t.Fatalf("clock = %v, want 500ms", s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var depth3 Time
+	s.Schedule(time.Millisecond, func() {
+		s.Schedule(time.Millisecond, func() {
+			s.Schedule(time.Millisecond, func() { depth3 = s.Now() })
+		})
+	})
+	s.Run()
+	if want := Time(3 * time.Millisecond); depth3 != want {
+		t.Fatalf("nested event at %v, want %v", depth3, want)
+	}
+}
+
+func TestEventLimitPanics(t *testing.T) {
+	s := New()
+	s.SetEventLimit(100)
+	var loop func()
+	loop = func() { s.Schedule(time.Millisecond, loop) }
+	s.Schedule(time.Millisecond, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from event limit")
+		}
+	}()
+	s.Run()
+}
+
+func TestAtInPastFiresNow(t *testing.T) {
+	s := New()
+	s.Schedule(10*time.Millisecond, func() {
+		s.At(Time(1*time.Millisecond), func() {
+			if s.Now() != Time(10*time.Millisecond) {
+				t.Errorf("past event fired at %v, want now (10ms)", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(time.Second)
+	b := a.Add(500 * time.Millisecond)
+	if b.Sub(a) != 500*time.Millisecond {
+		t.Fatalf("Sub = %v, want 500ms", b.Sub(a))
+	}
+	if a.Seconds() != 1.0 {
+		t.Fatalf("Seconds = %v, want 1.0", a.Seconds())
+	}
+	if a.String() != "1.000000s" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless of
+// the scheduling order of their delays.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New()
+		var times []Time
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Microsecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fired always equals the number of scheduled minus stopped events
+// after a full Run.
+func TestPropertyFiredCount(t *testing.T) {
+	f := func(n uint8, stopEvery uint8) bool {
+		s := New()
+		var timers []*Timer
+		for i := 0; i < int(n); i++ {
+			timers = append(timers, s.Schedule(time.Duration(i)*time.Microsecond, func() {}))
+		}
+		stopped := 0
+		if stopEvery > 0 {
+			for i, tm := range timers {
+				if i%int(stopEvery) == 0 {
+					if s.Stop(tm) {
+						stopped++
+					}
+				}
+			}
+		}
+		s.Run()
+		return s.Fired() == uint64(int(n)-stopped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered %d values in 1000 draws", len(seen))
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(9)
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(d, 0.1)
+		if j < 90*time.Millisecond || j > 110*time.Millisecond {
+			t.Fatalf("jitter out of bounds: %v", j)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("zero-fraction jitter changed duration")
+	}
+}

@@ -1,0 +1,38 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// BenchmarkTransfer200KB measures simulator throughput for one WAN
+// request/response conversation moving 200 KB.
+func BenchmarkTransfer200KB(b *testing.B) {
+	payload := make([]byte, 200_000)
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		n := NewNetwork(s)
+		client := n.AddHost("client")
+		server := n.AddHost("server")
+		cfg := wanCfg()
+		n.ConnectHosts(client, server, netem.NewAsymPath(s, "t", cfg, cfg))
+		server.Listen(80, Options{}, func(c *Conn) Handler {
+			return &Callbacks{Data: func(c *Conn, d []byte) {
+				c.Write(payload)
+				c.CloseWrite()
+			}}
+		})
+		done := false
+		client.Dial("server", 80, Options{}, &Callbacks{
+			Connect:   func(c *Conn) { c.Write([]byte("GET")) },
+			PeerClose: func(c *Conn) { done = true; c.CloseWrite() },
+		})
+		s.Run()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+	b.SetBytes(200_000)
+}

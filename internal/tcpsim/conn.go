@@ -1,0 +1,771 @@
+package tcpsim
+
+import (
+	"repro/internal/sim"
+)
+
+// Conn is one endpoint of a simulated TCP connection.
+type Conn struct {
+	host    *Host
+	local   Addr
+	remote  Addr
+	opts    Options
+	handler Handler
+	state   State
+
+	// Send side. sndBuf holds bytes from sequence sndBase upward:
+	// unacknowledged bytes first, then not-yet-transmitted bytes.
+	iss        uint32
+	sndUna     uint32
+	sndNxt     uint32
+	sndMax     uint32
+	sndBase    uint32
+	sndBuf     []byte
+	cwnd       int
+	ssthresh   int
+	peerWnd    int
+	finPending bool
+	finSent    bool
+	finSeq     uint32
+	rtoTimer   *sim.Timer
+	rto        sim.Duration
+	retries    int
+	dupAcks    int
+
+	// RTT estimation (Jacobson/Karn).
+	srtt, rttvar  sim.Duration
+	rttSampling   bool
+	rttSampleSeq  uint32
+	rttSampleTime sim.Time
+
+	writeClosed  bool
+	totalWritten int64
+
+	// Receive side.
+	irs         uint32
+	rcvNxt      uint32
+	readClosed  bool
+	peerFin     bool
+	ackOwed     int
+	delackTimer *sim.Timer
+	totalRead   int64
+
+	segsSent, segsRcvd int
+	retransSegs        int
+	err                error
+	closeSignaled      bool
+	timeWaitTimer      *sim.Timer
+}
+
+func newConn(h *Host, local, remote Addr, opts Options, handler Handler) *Conn {
+	// Deterministic ISS derived from the endpoint tuple keeps traces
+	// readable while remaining distinct per port pair.
+	iss := uint32(1000 + local.Port*17 + remote.Port*13)
+	return &Conn{
+		host:     h,
+		local:    local,
+		remote:   remote,
+		opts:     opts,
+		handler:  handler,
+		state:    StateClosed,
+		iss:      iss,
+		sndUna:   iss,
+		sndNxt:   iss,
+		sndBase:  iss + 1,
+		cwnd:     opts.InitialCwndSegments * opts.MSS,
+		ssthresh: 65535,
+		peerWnd:  opts.MSS, // until the peer advertises
+		rto:      opts.InitialRTO,
+	}
+}
+
+func (c *Conn) key() connKey {
+	return connKey{localPort: c.local.Port, remoteHost: c.remote.Host, remotePort: c.remote.Port}
+}
+
+// LocalAddr returns the local endpoint address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer endpoint address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// State returns the current TCP state.
+func (c *Conn) State() State { return c.state }
+
+// Err returns the terminal error, if any.
+func (c *Conn) Err() error { return c.err }
+
+// Options returns the connection's effective options.
+func (c *Conn) Options() Options { return c.opts }
+
+// SetNoDelay enables or disables the Nagle algorithm at runtime.
+func (c *Conn) SetNoDelay(v bool) {
+	c.opts.NoDelay = v
+	if v {
+		c.trySend()
+	}
+}
+
+// BufferedSend returns the number of bytes written but not yet transmitted.
+func (c *Conn) BufferedSend() int {
+	unsent := len(c.sndBuf) - int(c.sndNxt-c.sndBase)
+	if c.finSent {
+		// sndNxt includes the FIN sequence slot.
+		unsent = len(c.sndBuf) - int(c.sndNxt-1-c.sndBase)
+	}
+	if unsent < 0 {
+		return 0
+	}
+	return unsent
+}
+
+// Unacked returns the number of payload bytes sent but not acknowledged.
+func (c *Conn) Unacked() int {
+	n := int(c.sndNxt - c.sndUna)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// TotalWritten returns the number of payload bytes the application wrote.
+func (c *Conn) TotalWritten() int64 { return c.totalWritten }
+
+// TotalRead returns the number of payload bytes delivered to the handler.
+func (c *Conn) TotalRead() int64 { return c.totalRead }
+
+// SegmentsSent returns the number of segments this endpoint transmitted.
+func (c *Conn) SegmentsSent() int { return c.segsSent }
+
+// SegmentsReceived returns the number of segments this endpoint received.
+func (c *Conn) SegmentsReceived() int { return c.segsRcvd }
+
+// Retransmissions returns the number of segments this endpoint sent more
+// than once (go-back-N resends and timer retransmits).
+func (c *Conn) Retransmissions() int { return c.retransSegs }
+
+// Cwnd returns the current congestion window in bytes.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+func (c *Conn) sim() *sim.Simulator { return c.host.net.Sim }
+
+// --- application calls ---
+
+// Write appends p to the send buffer and transmits as much as the windows
+// and Nagle allow. It returns ErrWriteAfterClose after CloseWrite.
+func (c *Conn) Write(p []byte) error {
+	if c.writeClosed {
+		return ErrWriteAfterClose
+	}
+	if c.state == StateClosed && c.err != nil {
+		return c.err
+	}
+	c.sndBuf = append(c.sndBuf, p...)
+	c.totalWritten += int64(len(p))
+	c.trySend()
+	return nil
+}
+
+// CloseWrite half-closes the sending direction: after all buffered data is
+// transmitted a FIN is sent. Reading continues to work.
+func (c *Conn) CloseWrite() {
+	if c.writeClosed {
+		return
+	}
+	c.writeClosed = true
+	c.finPending = true
+	c.trySend()
+}
+
+// CloseRead half-closes the receiving direction. Any data arriving
+// afterwards is answered with RST, destroying the connection — the naive
+// full close of both halves at once that the paper warns servers against.
+func (c *Conn) CloseRead() {
+	c.readClosed = true
+}
+
+// Close closes both directions at once (CloseWrite + CloseRead). A server
+// that calls Close with pipelined requests still in flight will reset the
+// connection when they arrive; use CloseWrite and drain instead.
+func (c *Conn) Close() {
+	c.CloseWrite()
+	c.CloseRead()
+}
+
+// Abort sends RST and destroys the connection immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.sendSegment(FlagRST|FlagACK, c.sndNxt, nil, false)
+	c.teardown(ErrConnectionAborted, false)
+}
+
+// --- connection establishment ---
+
+// updateRTT folds one round-trip sample into the Jacobson estimator and
+// recomputes the retransmission timeout.
+func (c *Conn) updateRTT(sample sim.Duration) {
+	if sample < 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		diff := sample - c.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar += (diff - c.rttvar) / 4
+		c.srtt += (sample - c.srtt) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.opts.MinRTO {
+		rto = c.opts.MinRTO
+	}
+	if rto > c.opts.MaxRTO {
+		rto = c.opts.MaxRTO
+	}
+	c.rto = rto
+}
+
+// SRTT returns the smoothed round-trip estimate (zero before the first
+// sample).
+func (c *Conn) SRTT() sim.Duration { return c.srtt }
+
+// takeRTTSample closes the open RTT measurement if ack covers it.
+func (c *Conn) takeRTTSample(ack uint32) {
+	if c.rttSampling && seqLT(c.rttSampleSeq, ack) {
+		c.rttSampling = false
+		c.updateRTT(c.sim().Now().Sub(c.rttSampleTime))
+	}
+}
+
+// bumpSndNxt advances the next-send sequence and records the high-water
+// mark, which processAck uses to validate ACKs that arrive after a
+// go-back-N rollback.
+func (c *Conn) bumpSndNxt(to uint32) {
+	c.sndNxt = to
+	if seqLT(c.sndMax, to) {
+		c.sndMax = to
+	}
+}
+
+func (c *Conn) startConnect() {
+	c.state = StateSynSent
+	c.rttSampling = true
+	c.rttSampleSeq = c.iss
+	c.rttSampleTime = c.sim().Now()
+	c.bumpSndNxt(c.iss + 1)
+	c.sendRaw(Segment{
+		From: c.local, To: c.remote,
+		Seq: c.iss, Flags: FlagSYN, Wnd: c.opts.RecvWindow,
+	}, false)
+	c.armRTO()
+}
+
+func (c *Conn) onSynReceived(seg Segment) {
+	c.state = StateSynRcvd
+	c.irs = seg.Seq
+	c.rcvNxt = seg.Seq + 1
+	c.peerWnd = seg.Wnd
+	c.segsRcvd++
+	c.bumpSndNxt(c.iss + 1)
+	c.sendRaw(Segment{
+		From: c.local, To: c.remote,
+		Seq: c.iss, Ack: c.rcvNxt, Flags: FlagSYN | FlagACK, Wnd: c.opts.RecvWindow,
+	}, false)
+	c.armRTO()
+}
+
+// --- segment processing ---
+
+func (c *Conn) onSegment(seg Segment) {
+	if c.state == StateClosed {
+		return
+	}
+	c.segsRcvd++
+	if seg.Flags&FlagRST != 0 {
+		c.handleRST()
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && seg.Ack == c.iss+1 {
+			c.irs = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.sndUna = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.stopRTO()
+			c.retries = 0
+			c.takeRTTSample(seg.Ack)
+			c.state = StateEstablished
+			// BSD behaviour: the handshake ACK goes out before the
+			// application gets a chance to write.
+			c.sendAck()
+			if c.handler != nil {
+				c.handler.OnConnect(c)
+			}
+			c.trySend()
+		}
+		return
+	case StateSynRcvd:
+		if seg.Flags&FlagACK != 0 && seg.Ack == c.iss+1 {
+			c.sndUna = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.stopRTO()
+			c.retries = 0
+			c.state = StateEstablished
+			if c.handler != nil {
+				c.handler.OnConnect(c)
+			}
+			// Fall through to process any piggybacked payload/FIN.
+		} else {
+			return
+		}
+	case StateTimeWait:
+		// Re-ACK retransmitted FINs.
+		if seg.Flags&FlagFIN != 0 {
+			c.sendAck()
+		}
+		return
+	}
+
+	if seg.Flags&FlagACK != 0 {
+		c.processAck(seg)
+		if c.state == StateClosed {
+			return
+		}
+	}
+	if len(seg.Payload) > 0 {
+		c.processData(seg)
+		if c.state == StateClosed {
+			return
+		}
+	}
+	if seg.Flags&FlagFIN != 0 {
+		c.processFin(seg)
+	}
+}
+
+func (c *Conn) handleRST() {
+	c.teardown(ErrConnectionReset, true)
+}
+
+func (c *Conn) processAck(seg Segment) {
+	c.peerWnd = seg.Wnd
+	ack := seg.Ack
+	if !seqLT(c.sndUna, ack) || !seqLE(ack, c.sndMax) {
+		// Duplicate ACK: three in a row trigger fast retransmit.
+		if ack == c.sndUna && c.sndNxt != c.sndUna && len(seg.Payload) == 0 && seg.Flags&(FlagFIN|FlagSYN) == 0 {
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				c.fastRetransmit()
+			}
+		}
+		return
+	}
+	c.sndUna = ack
+	c.retries = 0
+	c.dupAcks = 0
+
+	// RTT sample per Karn's rule: only segments never retransmitted.
+	c.takeRTTSample(ack)
+
+	// Trim acknowledged payload bytes from the send buffer.
+	if seqLT(c.sndBase, ack) {
+		trim := int(ack - c.sndBase)
+		if trim > len(c.sndBuf) {
+			trim = len(c.sndBuf) // FIN/SYN sequence slots
+		}
+		c.sndBuf = c.sndBuf[trim:]
+		c.sndBase += uint32(trim)
+	}
+
+	if seqLT(c.sndNxt, ack) {
+		// The ACK covers data beyond a go-back-N rollback point:
+		// fast-forward rather than resending what the peer already has.
+		c.sndNxt = ack
+		if c.finPending && !c.finSent && int(c.sndNxt-c.sndBase) == len(c.sndBuf)+1 {
+			// The rolled-back FIN is covered too: re-mark it sent.
+			c.finSent = true
+			c.finSeq = c.sndNxt - 1
+			switch c.state {
+			case StateEstablished:
+				c.state = StateFinWait1
+			case StateCloseWait:
+				c.state = StateLastAck
+			}
+		}
+	}
+
+	// Congestion window growth.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += c.opts.MSS // slow start
+	} else {
+		inc := c.opts.MSS * c.opts.MSS / c.cwnd
+		if inc < 1 {
+			inc = 1
+		}
+		c.cwnd += inc // congestion avoidance
+	}
+
+	if c.sndUna == c.sndNxt {
+		c.stopRTO()
+	} else {
+		c.armRTO()
+	}
+
+	finAcked := c.finSent && seqLT(c.finSeq, ack)
+	switch c.state {
+	case StateFinWait1:
+		if finAcked {
+			c.state = StateFinWait2
+		}
+	case StateClosing:
+		if finAcked {
+			c.enterTimeWait()
+			return
+		}
+	case StateLastAck:
+		if finAcked {
+			c.teardown(nil, false)
+			return
+		}
+	}
+	c.trySend()
+}
+
+func (c *Conn) processData(seg Segment) {
+	switch c.state {
+	case StateEstablished, StateFinWait1, StateFinWait2:
+	default:
+		return // peer already sent FIN; ignore spurious data
+	}
+	if c.readClosed {
+		// Data for a closed receive side: reset the connection. The
+		// sender's in-flight data — and anything it cannot distinguish —
+		// is lost. This reproduces the paper's early-close scenario.
+		c.sendSegment(FlagRST|FlagACK, c.sndNxt, nil, false)
+		c.teardown(ErrConnectionReset, false)
+		return
+	}
+	if seg.Seq != c.rcvNxt {
+		// Out of order or duplicate: immediate ACK, drop payload.
+		c.sendAck()
+		return
+	}
+	c.rcvNxt += uint32(len(seg.Payload))
+	c.totalRead += int64(len(seg.Payload))
+	c.ackOwed++
+	if c.handler != nil {
+		data := make([]byte, len(seg.Payload))
+		copy(data, seg.Payload)
+		c.handler.OnData(c, data)
+	}
+	if c.state == StateClosed {
+		return // handler aborted
+	}
+	// The handler may have written data, piggybacking our ACK.
+	if c.ackOwed == 0 {
+		return
+	}
+	if c.ackOwed >= c.opts.AckEvery {
+		c.sendAck()
+		return
+	}
+	c.armDelack()
+}
+
+func (c *Conn) processFin(seg Segment) {
+	finSeq := seg.Seq + uint32(len(seg.Payload))
+	if finSeq != c.rcvNxt {
+		c.sendAck() // out-of-order FIN
+		return
+	}
+	if c.peerFin {
+		return
+	}
+	c.peerFin = true
+	c.rcvNxt++
+	c.sendAck()
+	if c.handler != nil {
+		c.handler.OnPeerClose(c)
+	}
+	if c.state == StateClosed {
+		return
+	}
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		if c.finSent && seqLT(c.finSeq, c.sndUna) {
+			c.enterTimeWait()
+		} else {
+			c.state = StateClosing
+		}
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+}
+
+// --- transmission ---
+
+// trySend transmits buffered data subject to the congestion and peer
+// windows, MSS segmentation, and the Nagle algorithm, and finally the FIN
+// if the write side is closed and the buffer drained.
+func (c *Conn) trySend() {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateLastAck, StateClosing:
+	default:
+		return
+	}
+	for !c.finSent {
+		offset := int(c.sndNxt - c.sndBase)
+		if offset < 0 || offset > len(c.sndBuf) {
+			break
+		}
+		pending := len(c.sndBuf) - offset
+		if pending <= 0 {
+			break
+		}
+		wnd := c.cwnd
+		if c.peerWnd < wnd {
+			wnd = c.peerWnd
+		}
+		avail := wnd - int(c.sndNxt-c.sndUna)
+		if avail <= 0 {
+			break
+		}
+		n := pending
+		if n > c.opts.MSS {
+			n = c.opts.MSS
+		}
+		if n > avail {
+			n = avail
+		}
+		last := offset+n == len(c.sndBuf)
+		if n < c.opts.MSS && c.sndNxt != c.sndUna && !c.opts.NoDelay && !(c.finPending && last) {
+			// Nagle: a small segment waits while data is outstanding.
+			break
+		}
+		payload := make([]byte, n)
+		copy(payload, c.sndBuf[offset:offset+n])
+		flags := FlagACK
+		if last {
+			flags |= FlagPSH
+		}
+		fin := c.finPending && last
+		if fin {
+			flags |= FlagFIN
+		}
+		retrans := seqLT(c.sndNxt, c.sndMax)
+		if !retrans && !c.rttSampling {
+			c.rttSampling = true
+			c.rttSampleSeq = c.sndNxt
+			c.rttSampleTime = c.sim().Now()
+		}
+		c.sendSegment(flags, c.sndNxt, payload, retrans)
+		c.bumpSndNxt(c.sndNxt + uint32(n))
+		if fin {
+			c.markFinSent()
+		}
+		c.armRTO()
+	}
+	// Bare FIN when the buffer is fully transmitted.
+	if c.finPending && !c.finSent && int(c.sndNxt-c.sndBase) >= len(c.sndBuf) {
+		c.sendSegment(FlagFIN|FlagACK, c.sndNxt, nil, false)
+		c.markFinSent()
+		c.armRTO()
+	}
+}
+
+func (c *Conn) markFinSent() {
+	c.finSent = true
+	c.finSeq = c.sndNxt
+	c.bumpSndNxt(c.sndNxt + 1)
+	switch c.state {
+	case StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	}
+}
+
+func (c *Conn) sendSegment(flags Flags, seq uint32, payload []byte, retrans bool) {
+	c.sendRaw(Segment{
+		From: c.local, To: c.remote,
+		Seq: seq, Ack: c.rcvNxt, Flags: flags,
+		Wnd: c.opts.RecvWindow, Payload: payload,
+	}, retrans)
+	// Every segment we send carries our current ACK.
+	c.clearAckOwed()
+}
+
+func (c *Conn) sendRaw(seg Segment, retrans bool) {
+	c.segsSent++
+	if retrans {
+		c.retransSegs++
+	}
+	c.host.net.transmit(seg, retrans)
+}
+
+func (c *Conn) sendAck() {
+	c.sendSegment(FlagACK, c.sndNxt, nil, false)
+}
+
+func (c *Conn) clearAckOwed() {
+	c.ackOwed = 0
+	if c.delackTimer != nil {
+		c.sim().Stop(c.delackTimer)
+		c.delackTimer = nil
+	}
+}
+
+// armDelack schedules a pure ACK at the next delayed-ACK heartbeat
+// boundary, mimicking the BSD 200ms fast timer.
+func (c *Conn) armDelack() {
+	if c.delackTimer != nil {
+		return
+	}
+	interval := sim.Time(c.opts.DelAckInterval)
+	now := c.sim().Now()
+	next := (now/interval + 1) * interval
+	c.delackTimer = c.sim().At(next, func() {
+		c.delackTimer = nil
+		if c.ackOwed > 0 && c.state != StateClosed {
+			c.sendAck()
+		}
+	})
+}
+
+// --- retransmission ---
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.sim().Stop(c.rtoTimer)
+	}
+	c.rtoTimer = c.sim().Schedule(c.rto, c.onRTO)
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoTimer != nil {
+		c.sim().Stop(c.rtoTimer)
+		c.rtoTimer = nil
+	}
+}
+
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	if c.state == StateClosed || c.state == StateTimeWait {
+		return
+	}
+	c.retries++
+	if c.retries > c.opts.MaxRetries {
+		c.teardown(ErrTimeout, true)
+		return
+	}
+	c.rto *= 2
+	if c.rto > c.opts.MaxRTO {
+		c.rto = c.opts.MaxRTO
+	}
+
+	switch c.state {
+	case StateSynSent:
+		c.sendRaw(Segment{
+			From: c.local, To: c.remote,
+			Seq: c.iss, Flags: FlagSYN, Wnd: c.opts.RecvWindow,
+		}, true)
+		c.armRTO()
+		return
+	case StateSynRcvd:
+		c.sendRaw(Segment{
+			From: c.local, To: c.remote,
+			Seq: c.iss, Ack: c.rcvNxt, Flags: FlagSYN | FlagACK, Wnd: c.opts.RecvWindow,
+		}, true)
+		c.armRTO()
+		return
+	}
+
+	c.goBackN(c.opts.MSS)
+	c.armRTO()
+}
+
+// fastRetransmit reacts to three duplicate ACKs without waiting for the
+// retransmission timer (a go-back-N approximation of Reno fast recovery;
+// the receiver does not buffer out-of-order data, so everything past the
+// hole must be resent anyway).
+func (c *Conn) fastRetransmit() {
+	c.goBackN(c.ssthreshAfterLoss())
+	c.armRTO()
+}
+
+func (c *Conn) ssthreshAfterLoss() int {
+	inflight := int(c.sndNxt - c.sndUna)
+	half := inflight / 2
+	if half < 2*c.opts.MSS {
+		half = 2 * c.opts.MSS
+	}
+	return half
+}
+
+// goBackN performs multiplicative decrease and rewinds transmission to the
+// first unacknowledged byte.
+func (c *Conn) goBackN(newCwnd int) {
+	c.ssthresh = c.ssthreshAfterLoss()
+	c.cwnd = newCwnd
+	c.rttSampling = false // Karn's rule
+
+	c.sndNxt = c.sndUna
+	if c.finSent && !seqLT(c.finSeq, c.sndNxt) {
+		// The FIN itself must be retransmitted by trySend.
+		c.finSent = false
+		// Reverse the state transition taken when the FIN first went out.
+		switch c.state {
+		case StateFinWait1, StateClosing:
+			c.state = StateEstablished
+		case StateLastAck:
+			c.state = StateCloseWait
+		}
+	}
+	c.trySend()
+}
+
+// --- teardown ---
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.stopRTO()
+	c.timeWaitTimer = c.sim().Schedule(c.opts.TimeWait, func() {
+		c.teardown(nil, false)
+	})
+}
+
+func (c *Conn) teardown(err error, notifyErr bool) {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	c.err = err
+	c.stopRTO()
+	if c.delackTimer != nil {
+		c.sim().Stop(c.delackTimer)
+		c.delackTimer = nil
+	}
+	if c.timeWaitTimer != nil {
+		c.sim().Stop(c.timeWaitTimer)
+		c.timeWaitTimer = nil
+	}
+	c.host.removeConn(c)
+	if c.handler != nil {
+		if err != nil && notifyErr {
+			c.handler.OnError(c, err)
+		}
+		if !c.closeSignaled {
+			c.closeSignaled = true
+			c.handler.OnClose(c)
+		}
+	}
+}

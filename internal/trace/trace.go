@@ -1,0 +1,176 @@
+// Package trace captures simulated packets and computes the statistics the
+// paper reports for every run: packets (Pa), payload bytes (Bytes), elapsed
+// seconds (Sec), and TCP/IP header overhead (%ov). It fills the role that
+// tcpdump, tcpshow, and xplot played in the original study.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// Capture accumulates packet events from a tcpsim.Network.
+type Capture struct {
+	events []tcpsim.PacketEvent
+	prev   func(tcpsim.PacketEvent)
+}
+
+// Attach installs the capture as the network's packet hook, chaining any
+// hook already present.
+func Attach(n *tcpsim.Network) *Capture {
+	c := &Capture{prev: n.PacketHook}
+	n.PacketHook = func(ev tcpsim.PacketEvent) {
+		c.events = append(c.events, ev)
+		if c.prev != nil {
+			c.prev(ev)
+		}
+	}
+	return c
+}
+
+// Events returns the captured packet events in transmission order.
+func (c *Capture) Events() []tcpsim.PacketEvent { return c.events }
+
+// Reset discards captured events.
+func (c *Capture) Reset() { c.events = c.events[:0] }
+
+// Stats summarizes a capture in the paper's terms.
+type Stats struct {
+	// Packets is the total number of segments transmitted in both
+	// directions, including retransmissions and dropped segments (a
+	// client-side tcpdump sees the original transmission of everything
+	// on a point-to-point path).
+	Packets int
+	// ClientToServer and ServerToClient split Packets by direction.
+	ClientToServer, ServerToClient int
+	// PayloadBytes is the total TCP payload carried (HTTP headers and
+	// bodies), both directions.
+	PayloadBytes int64
+	// WireBytes adds the 40-byte TCP/IP header per packet.
+	WireBytes int64
+	// Retransmissions and Dropped count pathological segments.
+	Retransmissions, Dropped int
+	// Connections is the number of SYNs from the client (sockets used).
+	Connections int
+	// First and Last bound the capture in virtual time.
+	First, Last sim.Time
+}
+
+// OverheadPct is the paper's %ov: header bytes as a percentage of total
+// bytes on the wire.
+func (s Stats) OverheadPct() float64 {
+	hdr := float64(s.Packets) * netem.IPTCPHeaderBytes
+	total := float64(s.PayloadBytes) + hdr
+	if total == 0 {
+		return 0
+	}
+	return 100 * hdr / total
+}
+
+// Elapsed is the capture duration, first to last packet.
+func (s Stats) Elapsed() sim.Duration { return s.Last.Sub(s.First) }
+
+// Stats computes summary statistics, treating clientHost as the
+// measurement point for direction labelling.
+func (c *Capture) Stats(clientHost string) Stats {
+	var s Stats
+	for i, ev := range c.events {
+		s.Packets++
+		s.PayloadBytes += int64(len(ev.Seg.Payload))
+		s.WireBytes += int64(ev.WireBytes)
+		if ev.Seg.From.Host == clientHost {
+			s.ClientToServer++
+		} else {
+			s.ServerToClient++
+		}
+		if ev.Retrans {
+			s.Retransmissions++
+		}
+		if ev.Dropped {
+			s.Dropped++
+		}
+		if ev.Seg.Flags&tcpsim.FlagSYN != 0 && ev.Seg.Flags&tcpsim.FlagACK == 0 && ev.Seg.From.Host == clientHost {
+			s.Connections++
+		}
+		if i == 0 {
+			s.First = ev.Time
+		}
+		s.Last = ev.Time
+	}
+	return s
+}
+
+// Dump writes a tcpdump-style text rendering of the capture.
+func (c *Capture) Dump(w io.Writer) error {
+	for _, ev := range c.events {
+		seg := ev.Seg
+		var note string
+		if ev.Dropped {
+			note = " [dropped]"
+		} else if ev.Retrans {
+			note = " [retransmission]"
+		}
+		var span string
+		if n := len(seg.Payload); n > 0 || seg.Flags&(tcpsim.FlagSYN|tcpsim.FlagFIN) != 0 {
+			span = fmt.Sprintf(" %d:%d(%d)", seg.Seq, seg.Seq+uint32(len(seg.Payload)), n)
+		}
+		var ack string
+		if seg.Flags&tcpsim.FlagACK != 0 {
+			ack = fmt.Sprintf(" ack %d", seg.Ack)
+		}
+		_, err := fmt.Fprintf(w, "%012.6f %s > %s: %s%s%s win %d%s\n",
+			ev.Time.Seconds(),
+			seg.From, seg.To, seg.Flags, span, ack, seg.Wnd, note)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeqPoint is one point of an xplot-style time-sequence diagram.
+type SeqPoint struct {
+	Time    sim.Time
+	SeqLo   uint32
+	SeqHi   uint32
+	Kind    string // "data", "ack", "retransmit", "syn", "fin", "rst"
+	Dropped bool
+}
+
+// TimeSequence extracts the time-sequence series for packets sent from
+// fromHost, the raw material of the xplot graphs the authors used to find
+// implementation bugs.
+func (c *Capture) TimeSequence(fromHost string) []SeqPoint {
+	var pts []SeqPoint
+	for _, ev := range c.events {
+		if ev.Seg.From.Host != fromHost {
+			continue
+		}
+		p := SeqPoint{
+			Time:    ev.Time,
+			SeqLo:   ev.Seg.Seq,
+			SeqHi:   ev.Seg.Seq + uint32(len(ev.Seg.Payload)),
+			Dropped: ev.Dropped,
+		}
+		switch {
+		case ev.Seg.Flags&tcpsim.FlagRST != 0:
+			p.Kind = "rst"
+		case ev.Seg.Flags&tcpsim.FlagSYN != 0:
+			p.Kind = "syn"
+		case ev.Seg.Flags&tcpsim.FlagFIN != 0:
+			p.Kind = "fin"
+		case ev.Retrans:
+			p.Kind = "retransmit"
+		case len(ev.Seg.Payload) > 0:
+			p.Kind = "data"
+		default:
+			p.Kind = "ack"
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tcpsim"
+)
+
+// WriteXplot renders the time-sequence diagram of one direction in the
+// xplot(1) input format used by Tim Shepard's TCP trace analysis tools —
+// the program the authors used to find "a number of problems in our
+// implementation not visible in the raw dumps". Data segments appear as
+// vertical lines spanning their sequence range, ACKs as a step line,
+// retransmissions and drops highlighted.
+func (c *Capture) WriteXplot(w io.Writer, fromHost, title string) error {
+	if _, err := fmt.Fprintf(w, "timeval unsigned\ntitle\n%s\nxlabel\ntime\nylabel\nsequence number\n", title); err != nil {
+		return err
+	}
+	var base uint32
+	haveBase := false
+	rel := func(seq uint32) uint32 {
+		return seq - base
+	}
+	var lastAckTime float64
+	var lastAck uint32
+	haveAck := false
+	for _, ev := range c.events {
+		seg := ev.Seg
+		t := ev.Time.Seconds()
+		switch {
+		case seg.From.Host == fromHost:
+			if !haveBase {
+				base = seg.Seq
+				haveBase = true
+			}
+			if len(seg.Payload) == 0 && seg.Flags&(tcpsim.FlagSYN|tcpsim.FlagFIN|tcpsim.FlagRST) == 0 {
+				continue // pure ACK of the reverse direction
+			}
+			color := "white"
+			if ev.Retrans {
+				color = "red"
+			}
+			if ev.Dropped {
+				color = "orange"
+			}
+			lo, hi := rel(seg.Seq), rel(seg.Seq+uint32(len(seg.Payload)))
+			if hi == lo {
+				hi = lo + 1 // SYN/FIN/RST markers get unit height
+			}
+			if _, err := fmt.Fprintf(w, "line %.6f %d %.6f %d %s\n", t, lo, t, hi, color); err != nil {
+				return err
+			}
+			if ev.Dropped {
+				if _, err := fmt.Fprintf(w, "x %.6f %d orange\n", t, hi); err != nil {
+					return err
+				}
+			}
+		case seg.To.Host == fromHost && seg.Flags&tcpsim.FlagACK != 0 && haveBase:
+			ack := rel(seg.Ack)
+			if haveAck {
+				if _, err := fmt.Fprintf(w, "line %.6f %d %.6f %d green\n", lastAckTime, lastAck, t, lastAck); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "dot %.6f %d green\n", t, ack); err != nil {
+				return err
+			}
+			lastAckTime, lastAck, haveAck = t, ack, true
+		}
+	}
+	_, err := fmt.Fprintln(w, "go")
+	return err
+}

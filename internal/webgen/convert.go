@@ -1,0 +1,78 @@
+package webgen
+
+import (
+	"repro/internal/gifenc"
+	"repro/internal/pngenc"
+)
+
+// Conversion is one image's GIF→PNG (or animated GIF→MNG) size
+// comparison.
+type Conversion struct {
+	Name     string
+	Role     Role
+	GIFBytes int
+	NewBytes int // PNG or MNG
+}
+
+// Saved is the byte saving (negative when PNG is larger, which the paper
+// observed for very small images).
+func (c Conversion) Saved() int { return c.GIFBytes - c.NewBytes }
+
+// ConversionReport aggregates the format-conversion experiment.
+type ConversionReport struct {
+	Static     []Conversion
+	Animations []Conversion
+
+	StaticGIF, StaticPNG int
+	AnimGIF, AnimMNG     int
+}
+
+// StaticSaved is the byte saving over the static images.
+func (r ConversionReport) StaticSaved() int { return r.StaticGIF - r.StaticPNG }
+
+// AnimSaved is the byte saving over the animations.
+func (r ConversionReport) AnimSaved() int { return r.AnimGIF - r.AnimMNG }
+
+// toPNGImage converts the shared paletted representation.
+func toPNGImage(img *gifenc.Image) *pngenc.Image {
+	out := &pngenc.Image{W: img.W, H: img.H, Pixels: img.Pixels}
+	out.Palette = make([]pngenc.Color, len(img.Palette))
+	for i, c := range img.Palette {
+		out.Palette[i] = pngenc.Color{R: c.R, G: c.G, B: c.B}
+	}
+	return out
+}
+
+// ConvertImages runs the paper's batch conversion: every static GIF to
+// PNG, every animation to MNG.
+func (s *Site) ConvertImages() (ConversionReport, error) {
+	var rep ConversionReport
+	for _, img := range s.Images {
+		if img.Static() {
+			data, err := pngenc.Encode(toPNGImage(img.Image), pngenc.Options{})
+			if err != nil {
+				return rep, err
+			}
+			c := Conversion{Name: img.Spec.Name, Role: img.Spec.Role, GIFBytes: len(img.GIF), NewBytes: len(data)}
+			rep.Static = append(rep.Static, c)
+			rep.StaticGIF += c.GIFBytes
+			rep.StaticPNG += c.NewBytes
+			continue
+		}
+		frames := make([]*pngenc.Image, len(img.Frames))
+		delays := make([]int, len(img.Frames))
+		for i, f := range img.Frames {
+			frames[i] = toPNGImage(f.Image)
+			delays[i] = f.DelayCS
+		}
+		data, err := pngenc.EncodeMNG(frames, delays, pngenc.Options{})
+		if err != nil {
+			return rep, err
+		}
+		c := Conversion{Name: img.Spec.Name, Role: img.Spec.Role, GIFBytes: len(img.GIF), NewBytes: len(data)}
+		rep.Animations = append(rep.Animations, c)
+		rep.AnimGIF += c.GIFBytes
+		rep.AnimMNG += c.NewBytes
+	}
+	return rep, nil
+}

@@ -1,0 +1,278 @@
+package webgen
+
+import (
+	"fmt"
+
+	"repro/internal/gifenc"
+	"repro/internal/sim"
+)
+
+// SynthImage is one synthesized site image with its encodings.
+type SynthImage struct {
+	Spec   Spec
+	Image  *gifenc.Image  // static image (nil for animations)
+	Frames []gifenc.Frame // animation frames (nil for statics)
+	GIF    []byte         // encoded GIF
+}
+
+// Static reports whether the image is a single frame.
+func (s *SynthImage) Static() bool { return s.Spec.Role != RoleAnimation }
+
+// FirstFrame returns the image content (first frame for animations).
+func (s *SynthImage) FirstFrame() *gifenc.Image {
+	if s.Image != nil {
+		return s.Image
+	}
+	return s.Frames[0].Image
+}
+
+// Synthesize builds an image whose encoded GIF size approximates
+// spec.Target. Synthesis is deterministic in (spec, seed).
+func Synthesize(spec Spec, seed uint64) (*SynthImage, error) {
+	if spec.Role == RoleAnimation {
+		return synthesizeAnimation(spec, seed)
+	}
+	// Binary search a scale parameter; encoded size grows monotonically
+	// with scale for a fixed style.
+	lo, hi := 1, 600
+	var best *SynthImage
+	bestErr := 1 << 30
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		img := renderStatic(spec, mid, seed)
+		data, err := gifenc.Encode(img)
+		if err != nil {
+			return nil, err
+		}
+		if d := abs(len(data) - spec.Target); d < bestErr {
+			bestErr = d
+			best = &SynthImage{Spec: spec, Image: img, GIF: data}
+		}
+		if len(data) < spec.Target {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("webgen: could not synthesize %s", spec.Name)
+	}
+	return best, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// nameHash mixes an image name into the synthesis seed (FNV-1a) so
+// same-length specs do not produce identical pixels.
+func nameHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// renderStatic draws an image of the given style at a scale.
+func renderStatic(spec Spec, scale int, seed uint64) *gifenc.Image {
+	rng := sim.NewRand(seed ^ nameHash(spec.Name) ^ uint64(scale)<<48)
+	switch spec.Role {
+	case RoleSpacer:
+		// Thin rules and spacers: mostly flat with dithered edges, so
+		// size grows steadily with width.
+		w := 4 * scale
+		img := newImage(w, 2, 2)
+		for i := range img.Pixels {
+			if rng.Intn(3) == 0 {
+				img.Pixels[i] = 1
+			}
+		}
+		return img
+	case RoleBullet:
+		// Small disc/arrow glyphs with a little anti-aliasing noise.
+		s := 4 + scale/2
+		img := newImage(s, s, 4)
+		cx, cy := s/2, s/2
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				dx, dy := x-cx, y-cy
+				switch {
+				case dx*dx+dy*dy < (s*s)/9:
+					img.Pixels[y*s+x] = 1
+				case dx*dx+dy*dy < (s*s)/6:
+					img.Pixels[y*s+x] = 2
+				}
+				if rng.Intn(24) == 0 {
+					img.Pixels[y*s+x] = byte(rng.Intn(4))
+				}
+			}
+		}
+		return img
+	case RoleBanner:
+		// Wide text-as-image: blocky glyph pattern on a flat background,
+		// like the paper's "solutions" banner.
+		w, h := 6*scale, 2+scale/2
+		if h < 8 {
+			h = 8
+		}
+		img := newImage(w, h, 4)
+		// Background color 1 (the #FC0 of Figure 1), glyph color 0.
+		for i := range img.Pixels {
+			img.Pixels[i] = 1
+		}
+		x := h / 2
+		for x+h/2 < w*2/3 {
+			glyphW := h/2 + rng.Intn(h/2+1)
+			drawGlyph(img, x, h/4, glyphW, h/2, rng)
+			x += glyphW + h/4
+		}
+		return img
+	case RoleIcon:
+		// Structured art with moderate noise.
+		s := 4 + scale
+		img := newImage(s, s, 16)
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				c := (x/3 + y/3) % 8
+				if rng.Intn(6) == 0 {
+					c = 8 + rng.Intn(8)
+				}
+				img.Pixels[y*s+x] = byte(c)
+			}
+		}
+		return img
+	case RolePhoto:
+		// High-entropy dithered content: compresses poorly, like
+		// photographic GIFs.
+		w := 5 * scale / 2
+		h := 3 * scale / 2
+		if w < 4 {
+			w = 4
+		}
+		if h < 4 {
+			h = 4
+		}
+		img := newImage(w, h, 128)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				base := (x*255/w + y*255/h) / 4
+				img.Pixels[y*w+x] = byte((base + rng.Intn(96)) % 128)
+			}
+		}
+		return img
+	default:
+		panic("webgen: renderStatic on animation spec")
+	}
+}
+
+func newImage(w, h, colors int) *gifenc.Image {
+	img := &gifenc.Image{W: w, H: h, Palette: make([]gifenc.Color, colors), Pixels: make([]byte, w*h)}
+	for i := range img.Palette {
+		img.Palette[i] = gifenc.Color{R: byte(17 * i), G: byte(11*i + 64), B: byte(7*i + 128)}
+	}
+	// Entry 1 is the Figure 1 banner background (#FC0).
+	if colors > 1 {
+		img.Palette[1] = gifenc.Color{R: 0xFF, G: 0xCC, B: 0x00}
+	}
+	return img
+}
+
+// drawGlyph draws a blocky letterform-like shape.
+func drawGlyph(img *gifenc.Image, x0, y0, w, h int, rng *sim.Rand) {
+	kind := rng.Intn(4)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px, py := x0+x, y0+y
+			if px >= img.W || py >= img.H {
+				continue
+			}
+			var on bool
+			switch kind {
+			case 0: // vertical bars
+				on = x < w/4 || x >= w-w/4
+			case 1: // ring
+				on = x < w/4 || x >= w-w/4 || y < h/4 || y >= h-h/4
+			case 2: // diagonal
+				on = abs(x*h-y*w) < h*w/4
+			default: // horizontal bars
+				on = y < h/4 || (y >= h/2-h/8 && y < h/2+h/8)
+			}
+			if on {
+				img.Pixels[py*img.W+px] = 0
+			}
+		}
+	}
+}
+
+// synthesizeAnimation builds an N-frame animated GIF near the target.
+func synthesizeAnimation(spec Spec, seed uint64) (*SynthImage, error) {
+	const nFrames = 5
+	lo, hi := 1, 400
+	var best *SynthImage
+	bestErr := 1 << 30
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		frames := renderAnimation(spec, mid, seed, nFrames)
+		data, err := gifenc.EncodeAnimation(frames, 0)
+		if err != nil {
+			return nil, err
+		}
+		if d := abs(len(data) - spec.Target); d < bestErr {
+			bestErr = d
+			best = &SynthImage{Spec: spec, Frames: frames, GIF: data}
+		}
+		if len(data) < spec.Target {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("webgen: could not synthesize %s", spec.Name)
+	}
+	return best, nil
+}
+
+// renderAnimation draws frames that share a palette and differ by a
+// moving highlight, like a rotating-logo banner ad.
+func renderAnimation(spec Spec, scale int, seed uint64, nFrames int) []gifenc.Frame {
+	w, h := 4*scale, scale
+	if h < 8 {
+		h = 8
+	}
+	rng := sim.NewRand(seed ^ nameHash(spec.Name) ^ 0xA11A)
+	base := newImage(w, h, 32)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := (x/4 + y/4) % 12
+			if rng.Intn(5) == 0 {
+				c = 12 + rng.Intn(20)
+			}
+			base.Pixels[y*w+x] = byte(c)
+		}
+	}
+	var frames []gifenc.Frame
+	for f := 0; f < nFrames; f++ {
+		img := &gifenc.Image{W: w, H: h, Palette: base.Palette, Pixels: append([]byte(nil), base.Pixels...)}
+		// The moving highlight band plus a little per-frame sparkle, so
+		// consecutive frames are similar but not identical.
+		x0 := f * w / nFrames
+		for y := 0; y < h; y++ {
+			for x := x0; x < x0+w/8 && x < w; x++ {
+				img.Pixels[y*w+x] = byte(20 + (x+y)%12)
+			}
+		}
+		for i := range img.Pixels {
+			if rng.Intn(160) == 0 {
+				img.Pixels[i] = byte(rng.Intn(32))
+			}
+		}
+		frames = append(frames, gifenc.Frame{Image: img, DelayCS: 15})
+	}
+	return frames
+}

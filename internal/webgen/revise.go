@@ -1,0 +1,66 @@
+package webgen
+
+import "repro/internal/sim"
+
+// revisedLastModified is the timestamp carried by objects changed in a
+// revision.
+const revisedLastModified = "Sun, 06 Jul 1997 09:00:00 GMT"
+
+// Revise returns a copy of the site as it might look on a later visit:
+// the page text has been edited and roughly `fraction` of the images have
+// been replaced (new pixels, new validators), while paths and page
+// structure are unchanged so a cache primed on the original still maps
+// onto it. This is the workload behind the paper's range-request
+// discussion: "When a browser revisits a page ... it can both make a
+// validation request and also simultaneously request the metadata of the
+// embedded object if there has been any change."
+func (s *Site) Revise(fraction float64, seed uint64) (*Site, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := sim.NewRand(seed ^ 0x5EED1E)
+	site := &Site{objects: make(map[string]*Object)}
+	var imagePaths []string
+	for i, img := range s.Images {
+		use := img
+		if rng.Float64() < fraction {
+			fresh, err := Synthesize(img.Spec, seed+uint64(i)*977+13)
+			if err != nil {
+				return nil, err
+			}
+			use = fresh
+		}
+		site.Images = append(site.Images, use)
+		path := "/images/" + use.Spec.Name
+		imagePaths = append(imagePaths, path)
+		site.addObject(&Object{Path: path, ContentType: "image/gif", Body: use.GIF})
+		if use != img {
+			if obj, ok := site.Object(path); ok {
+				obj.LastModified = revisedLastModified
+			}
+		}
+	}
+	// The page itself is always edited on a revision.
+	html := GenerateHTML(HTMLOptions{
+		Images: imagePaths,
+		Seed:   seed ^ 0xED17,
+	})
+	site.HTML = &Object{Path: "/", ContentType: "text/html", Body: html}
+	site.addObjectFirst(site.HTML)
+	site.HTML.LastModified = revisedLastModified
+	return site, nil
+}
+
+// ChangedFrom counts objects whose validators differ from the original
+// site's (including the page).
+func (s *Site) ChangedFrom(orig *Site) int {
+	n := 0
+	for _, path := range s.Paths() {
+		a, _ := s.Object(path)
+		b, ok := orig.Object(path)
+		if !ok || a.ETag != b.ETag {
+			n++
+		}
+	}
+	return n
+}

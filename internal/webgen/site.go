@@ -1,0 +1,124 @@
+package webgen
+
+import (
+	"fmt"
+
+	"repro/internal/flatez"
+)
+
+// Object is one servable resource.
+type Object struct {
+	Path         string
+	ContentType  string
+	Body         []byte
+	ETag         string
+	LastModified string
+}
+
+// lastModified is the fixed timestamp all site objects carry (the site is
+// static during a run, like the paper's).
+const lastModified = "Fri, 20 Jun 1997 08:30:00 GMT"
+
+// Site is a synthesized web site: one HTML page plus its inline images.
+type Site struct {
+	HTML    *Object
+	Images  []*SynthImage
+	objects map[string]*Object
+	paths   []string
+}
+
+// Options tunes site synthesis.
+type Options struct {
+	// Seed drives all deterministic randomness (default 1).
+	Seed uint64
+	// TagCase selects HTML markup case (default lower).
+	TagCase TagCase
+	// HTMLBytes overrides the page size (default the paper's 42 KB).
+	HTMLBytes int
+}
+
+// Microscape synthesizes the paper's test site.
+func Microscape(opts Options) (*Site, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	specs := MicroscapeSpecs()
+	site := &Site{objects: make(map[string]*Object)}
+	var imagePaths []string
+	for _, spec := range specs {
+		img, err := Synthesize(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		site.Images = append(site.Images, img)
+		path := "/images/" + spec.Name
+		imagePaths = append(imagePaths, path)
+		site.addObject(&Object{
+			Path:        path,
+			ContentType: "image/gif",
+			Body:        img.GIF,
+		})
+	}
+	html := GenerateHTML(HTMLOptions{
+		TargetBytes: opts.HTMLBytes,
+		Images:      imagePaths,
+		TagCase:     opts.TagCase,
+		Seed:        opts.Seed,
+	})
+	site.HTML = &Object{Path: "/", ContentType: "text/html", Body: html}
+	site.addObjectFirst(site.HTML)
+	return site, nil
+}
+
+func (s *Site) addObject(o *Object) {
+	o.ETag = fmt.Sprintf("%q", fmt.Sprintf("%x-%x", flatez.Adler32(1, o.Body), len(o.Body)))
+	o.LastModified = lastModified
+	s.objects[o.Path] = o
+	s.paths = append(s.paths, o.Path)
+}
+
+func (s *Site) addObjectFirst(o *Object) {
+	o.ETag = fmt.Sprintf("%q", fmt.Sprintf("%x-%x", flatez.Adler32(1, o.Body), len(o.Body)))
+	o.LastModified = lastModified
+	s.objects[o.Path] = o
+	s.paths = append([]string{o.Path}, s.paths...)
+}
+
+// Object returns the resource at path.
+func (s *Site) Object(path string) (*Object, bool) {
+	o, ok := s.objects[path]
+	return o, ok
+}
+
+// Paths lists all resource paths, page first.
+func (s *Site) Paths() []string { return s.paths }
+
+// ObjectCount returns the number of resources (1 page + images).
+func (s *Site) ObjectCount() int { return len(s.paths) }
+
+// StaticImageBytes totals the encoded static GIFs.
+func (s *Site) StaticImageBytes() int {
+	n := 0
+	for _, img := range s.Images {
+		if img.Static() {
+			n += len(img.GIF)
+		}
+	}
+	return n
+}
+
+// AnimationBytes totals the encoded GIF animations.
+func (s *Site) AnimationBytes() int {
+	n := 0
+	for _, img := range s.Images {
+		if !img.Static() {
+			n += len(img.GIF)
+		}
+	}
+	return n
+}
+
+// TotalBytes is the full payload: HTML plus all images.
+func (s *Site) TotalBytes() int {
+	return len(s.HTML.Body) + s.StaticImageBytes() + s.AnimationBytes()
+}

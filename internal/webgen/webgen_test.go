@@ -1,0 +1,483 @@
+package webgen
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/css"
+	"repro/internal/flatez"
+	"repro/internal/gifenc"
+	"repro/internal/htmlparse"
+	"repro/internal/pngenc"
+)
+
+var (
+	siteOnce sync.Once
+	siteVal  *Site
+	siteErr  error
+)
+
+// site synthesizes Microscape once for the whole test package.
+func site(t *testing.T) *Site {
+	t.Helper()
+	siteOnce.Do(func() { siteVal, siteErr = Microscape(Options{Seed: 1}) })
+	if siteErr != nil {
+		t.Fatal(siteErr)
+	}
+	return siteVal
+}
+
+func TestSiteShape(t *testing.T) {
+	s := site(t)
+	if s.ObjectCount() != 43 {
+		t.Fatalf("objects = %d, want 43 (1 page + 42 images)", s.ObjectCount())
+	}
+	if s.Paths()[0] != "/" {
+		t.Fatalf("first path = %q, want /", s.Paths()[0])
+	}
+	if len(s.Images) != 42 {
+		t.Fatalf("images = %d, want 42", len(s.Images))
+	}
+	if got := len(s.HTML.Body); got < 38000 || got > 46000 {
+		t.Fatalf("HTML = %d bytes, want ≈42000", got)
+	}
+}
+
+func TestImageTotalsNearPaper(t *testing.T) {
+	s := site(t)
+	static := s.StaticImageBytes()
+	if ratio := float64(static) / PaperStaticGIFBytes; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("static GIF total = %d, want within 10%% of %d", static, PaperStaticGIFBytes)
+	}
+	anim := s.AnimationBytes()
+	if ratio := float64(anim) / PaperAnimationGIFBytes; ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("animation total = %d, want within 15%% of %d", anim, PaperAnimationGIFBytes)
+	}
+	// "Over half of the data was contained in a single image and two
+	// animations."
+	var splash int
+	for _, img := range s.Images {
+		if img.Spec.Name == "splash_main.gif" {
+			splash = len(img.GIF)
+		}
+	}
+	if splash+anim <= (static+anim)/2 {
+		t.Fatalf("largest image (%d) + animations (%d) should dominate total %d", splash, anim, static+anim)
+	}
+}
+
+func TestImageSizeHistogram(t *testing.T) {
+	s := site(t)
+	var under1K, oneTo2K, twoTo3K int
+	for _, img := range s.Images {
+		if !img.Static() {
+			continue
+		}
+		switch n := len(img.GIF); {
+		case n < 1024:
+			under1K++
+		case n < 2048:
+			oneTo2K++
+		case n < 3072:
+			twoTo3K++
+		}
+	}
+	// The paper: 19 under 1KB, 7 in 1-2KB, 6 in 2-3KB. Allow ±2 for
+	// boundary noise in the synthesis.
+	if under1K < 17 || under1K > 21 {
+		t.Errorf("images under 1KB = %d, want ≈19", under1K)
+	}
+	if oneTo2K < 5 || oneTo2K > 9 {
+		t.Errorf("images 1-2KB = %d, want ≈7", oneTo2K)
+	}
+	if twoTo3K < 4 || twoTo3K > 8 {
+		t.Errorf("images 2-3KB = %d, want ≈6", twoTo3K)
+	}
+}
+
+func TestEveryImageTargetHit(t *testing.T) {
+	s := site(t)
+	for _, img := range s.Images {
+		got, want := len(img.GIF), img.Spec.Target
+		tol := want / 5
+		if tol < 60 {
+			tol = 60
+		}
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s: %d bytes, target %d", img.Spec.Name, got, want)
+		}
+	}
+}
+
+func TestHTMLReferencesAllImages(t *testing.T) {
+	s := site(t)
+	var e htmlparse.LinkExtractor
+	links := e.Feed(s.HTML.Body)
+	var imgs []string
+	for _, l := range links {
+		if l.Kind == htmlparse.LinkImage {
+			imgs = append(imgs, l.URL)
+		}
+	}
+	if len(imgs) != 42 {
+		t.Fatalf("HTML references %d images, want 42", len(imgs))
+	}
+	for _, u := range imgs {
+		if _, ok := s.Object(u); !ok {
+			t.Errorf("referenced image %q not servable", u)
+		}
+	}
+}
+
+func TestImagesAreValidGIFs(t *testing.T) {
+	s := site(t)
+	for _, img := range s.Images {
+		frames, err := gifenc.DecodeAll(img.GIF)
+		if err != nil {
+			t.Fatalf("%s: %v", img.Spec.Name, err)
+		}
+		if img.Static() && len(frames) != 1 {
+			t.Errorf("%s: %d frames for static image", img.Spec.Name, len(frames))
+		}
+		if !img.Static() && len(frames) < 2 {
+			t.Errorf("%s: %d frames for animation", img.Spec.Name, len(frames))
+		}
+	}
+}
+
+func TestDeterministicSynthesis(t *testing.T) {
+	a, err := Microscape(Options{Seed: 42, HTMLBytes: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Microscape(Options{Seed: 42, HTMLBytes: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.HTML.Body, b.HTML.Body) {
+		t.Fatal("HTML not deterministic")
+	}
+	for i := range a.Images {
+		if !bytes.Equal(a.Images[i].GIF, b.Images[i].GIF) {
+			t.Fatalf("image %d not deterministic", i)
+		}
+	}
+}
+
+func TestETagsDistinct(t *testing.T) {
+	s := site(t)
+	seen := map[string]string{}
+	for _, p := range s.Paths() {
+		o, _ := s.Object(p)
+		if o.ETag == "" || o.LastModified == "" {
+			t.Fatalf("%s: missing validators", p)
+		}
+		if prev, dup := seen[o.ETag]; dup {
+			t.Fatalf("ETag %s shared by %s and %s", o.ETag, prev, p)
+		}
+		seen[o.ETag] = p
+	}
+}
+
+func TestHTMLCompressesLikePaper(t *testing.T) {
+	// "the Microscape HTML page ... compressed more than a factor of
+	// three from 42K to 11K".
+	s := site(t)
+	comp := flatez.Compress(s.HTML.Body)
+	ratio := float64(len(comp)) / float64(len(s.HTML.Body))
+	if ratio > 0.40 {
+		t.Fatalf("HTML deflate ratio %.3f, want ≤ 0.40", ratio)
+	}
+	if ratio < 0.15 {
+		t.Fatalf("HTML deflate ratio %.3f suspiciously strong; content too repetitive", ratio)
+	}
+}
+
+func TestTagCaseAffectsCompression(t *testing.T) {
+	// The paper: lower-case tags compress best (~0.27 vs ~0.35).
+	lower, err := Microscape(Options{Seed: 3, TagCase: TagsLower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Microscape(Options{Seed: 3, TagCase: TagsMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLower := flatez.Ratio(lower.HTML.Body, flatez.Compress(lower.HTML.Body))
+	rMixed := flatez.Ratio(mixed.HTML.Body, flatez.Compress(mixed.HTML.Body))
+	if rLower >= rMixed {
+		t.Fatalf("lower-case ratio %.3f not better than mixed %.3f", rLower, rMixed)
+	}
+}
+
+func TestFigureOneReplacement(t *testing.T) {
+	r := FigureOneReplacement()
+	if r.GIFBytes != 682 {
+		t.Fatalf("Figure 1 GIF bytes = %d", r.GIFBytes)
+	}
+	// "The HTML and CSS version only takes up around 150 bytes."
+	if r.CSSBytes() < 100 || r.CSSBytes() > 170 {
+		t.Fatalf("Figure 1 replacement = %d bytes, want ≈150", r.CSSBytes())
+	}
+	// "the number of bytes ... reduced by a factor of more than 4".
+	if r.GIFBytes < 4*r.CSSBytes() {
+		t.Fatalf("reduction factor %.1f, want > 4", float64(r.GIFBytes)/float64(r.CSSBytes()))
+	}
+}
+
+func TestCSSReplacementsReport(t *testing.T) {
+	s := site(t)
+	rep := s.CSSReplacements()
+	if rep.RequestsSaved < 10 {
+		t.Fatalf("requests saved = %d, want a substantial fraction of 42", rep.RequestsSaved)
+	}
+	if len(rep.Replacements)+len(rep.Kept) != 42 {
+		t.Fatalf("replacement partition %d+%d != 42", len(rep.Replacements), len(rep.Kept))
+	}
+	if rep.NetSavings() <= 0 {
+		t.Fatalf("net savings = %d, want positive", rep.NetSavings())
+	}
+	for _, r := range rep.Replacements {
+		if !r.Role.Replaceable() {
+			t.Errorf("%s: role %v should not be replaceable", r.Name, r.Role)
+		}
+	}
+	for _, k := range rep.Kept {
+		if k.Spec.Role.Replaceable() {
+			t.Errorf("%s: replaceable image kept", k.Spec.Name)
+		}
+	}
+}
+
+func TestCSSifiedSite(t *testing.T) {
+	s := site(t)
+	rep := s.CSSReplacements()
+	cssified, err := s.CSSified(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cssified.ObjectCount(), 43-rep.RequestsSaved; got != want {
+		t.Fatalf("cssified objects = %d, want %d", got, want)
+	}
+	if !bytes.Contains(cssified.HTML.Body, []byte("<style")) {
+		t.Fatal("cssified page has no style block")
+	}
+	if cssified.TotalBytes() >= s.TotalBytes() {
+		t.Fatalf("cssified payload %d not smaller than original %d", cssified.TotalBytes(), s.TotalBytes())
+	}
+	// The page still parses and references only the kept images.
+	var e htmlparse.LinkExtractor
+	imgs := 0
+	for _, l := range e.Feed(cssified.HTML.Body) {
+		if l.Kind == htmlparse.LinkImage {
+			imgs++
+		}
+	}
+	if imgs != len(rep.Kept) {
+		t.Fatalf("cssified page references %d images, want %d", imgs, len(rep.Kept))
+	}
+}
+
+func TestConvertImages(t *testing.T) {
+	s := site(t)
+	rep, err := s.ConvertImages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Static) != 40 || len(rep.Animations) != 2 {
+		t.Fatalf("conversion covers %d static + %d anim", len(rep.Static), len(rep.Animations))
+	}
+	// The paper: PNG saves ~11% of static image bytes overall...
+	if rep.StaticSaved() <= 0 {
+		t.Fatalf("PNG conversion grew statics: GIF %d → PNG %d", rep.StaticGIF, rep.StaticPNG)
+	}
+	// ...but the smallest images get bigger ("PNG does not perform as
+	// well on the very low bit depth images in the sub-200 byte
+	// category").
+	grew := 0
+	for _, c := range rep.Static {
+		if c.GIFBytes < 400 && c.Saved() < 0 {
+			grew++
+		}
+	}
+	if grew == 0 {
+		t.Error("expected some tiny images to grow under PNG, like the paper")
+	}
+	// MNG beats animated GIF clearly (paper: 24988 → 16329).
+	if rep.AnimSaved() <= 0 {
+		t.Fatalf("MNG conversion grew animations: %d → %d", rep.AnimGIF, rep.AnimMNG)
+	}
+	// Converted files must be valid.
+	for _, img := range s.Images {
+		if img.Static() {
+			data, err := pngenc.Encode(toPNGImage(img.Image), pngenc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pngenc.Decode(data); err != nil {
+				t.Fatalf("%s: converted PNG invalid: %v", img.Spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for r := RoleSpacer; r <= RoleAnimation; r++ {
+		if r.String() == "unknown" {
+			t.Errorf("role %d unnamed", r)
+		}
+	}
+	if !RoleBanner.Replaceable() || RolePhoto.Replaceable() {
+		t.Fatal("replaceability wrong")
+	}
+}
+
+func TestSpecTargetsMatchPaperTotals(t *testing.T) {
+	var static, anim int
+	count := map[Role]int{}
+	for _, s := range MicroscapeSpecs() {
+		count[s.Role]++
+		if s.Role == RoleAnimation {
+			anim += s.Target
+		} else {
+			static += s.Target
+		}
+	}
+	if static != PaperStaticGIFBytes {
+		t.Fatalf("static targets sum to %d, want %d", static, PaperStaticGIFBytes)
+	}
+	if anim != PaperAnimationGIFBytes {
+		t.Fatalf("animation targets sum to %d, want %d", anim, PaperAnimationGIFBytes)
+	}
+	if count[RoleAnimation] != 2 {
+		t.Fatalf("animations = %d, want 2", count[RoleAnimation])
+	}
+}
+
+func TestTagCaseString(t *testing.T) {
+	if TagsLower.String() != "lower" || TagsMixed.String() != "mixed" || TagsUpper.String() != "upper" {
+		t.Fatal("tag case names wrong")
+	}
+}
+
+func TestHTMLContainsNoUnclosedTables(t *testing.T) {
+	s := site(t)
+	html := string(s.HTML.Body)
+	if strings.Count(html, "<table") != strings.Count(html, "</table>") {
+		t.Fatal("unbalanced tables")
+	}
+	if strings.Count(html, "<p>") != strings.Count(html, "</p>") {
+		t.Fatal("unbalanced paragraphs")
+	}
+}
+
+func TestRevise(t *testing.T) {
+	s := site(t)
+	revised, err := s.Revise(0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revised.ObjectCount() != s.ObjectCount() {
+		t.Fatalf("revision changed object count: %d vs %d", revised.ObjectCount(), s.ObjectCount())
+	}
+	for i, p := range s.Paths() {
+		if revised.Paths()[i] != p {
+			t.Fatalf("revision changed paths: %s vs %s", revised.Paths()[i], p)
+		}
+	}
+	changed := revised.ChangedFrom(s)
+	// The page always changes; ~30% of 42 images should.
+	if changed < 8 || changed > 22 {
+		t.Fatalf("changed objects = %d, want ≈13", changed)
+	}
+	// The page must be among the changed.
+	a, _ := revised.Object("/")
+	b, _ := s.Object("/")
+	if a.ETag == b.ETag {
+		t.Fatal("revision did not change the page")
+	}
+	if a.LastModified == b.LastModified {
+		t.Fatal("revised page kept the old Last-Modified")
+	}
+	// Unchanged objects keep identical bytes and validators.
+	same := 0
+	for _, p := range s.Paths()[1:] {
+		ra, _ := revised.Object(p)
+		rb, _ := s.Object(p)
+		if ra.ETag == rb.ETag {
+			if !bytes.Equal(ra.Body, rb.Body) {
+				t.Fatalf("%s: same ETag, different body", p)
+			}
+			same++
+		}
+	}
+	if same == 0 {
+		t.Fatal("no object survived the revision unchanged")
+	}
+	// Deterministic.
+	again, err := s.Revise(0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ChangedFrom(revised) != 0 {
+		t.Fatal("revision not deterministic")
+	}
+}
+
+func TestCSSReplacementRulesMatchTheirMarkup(t *testing.T) {
+	// End-to-end through the CSS1 engine: every generated replacement
+	// rule must actually match the element its markup creates, and give
+	// banners the font/background treatment of the paper's Figure 1.
+	s := site(t)
+	rep := s.CSSReplacements()
+	var src strings.Builder
+	for _, r := range rep.Replacements {
+		src.WriteString(r.Style)
+		src.WriteString("\n")
+	}
+	sheet, err := css.Parse(src.String())
+	if err != nil {
+		t.Fatalf("generated styles do not parse: %v", err)
+	}
+	if warns := sheet.Validate(); len(warns) != 0 {
+		t.Fatalf("generated styles use non-CSS1 properties: %v", warns)
+	}
+	cascade := css.NewCascade(sheet)
+	for _, r := range rep.Replacements {
+		if r.Markup == "" {
+			continue // spacers are replaced by layout properties alone
+		}
+		var z htmlparse.Tokenizer
+		toks := z.Feed([]byte(r.Markup + ">"))
+		var elem css.Element
+		found := false
+		for _, tok := range toks {
+			if tok.Type == htmlparse.StartTag {
+				elem.Tag = tok.Data
+				if class, ok := tok.Attr("class"); ok {
+					elem.Classes = []string{class}
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: markup %q has no start tag", r.Name, r.Markup)
+			continue
+		}
+		style := cascade.Style([]css.Element{elem})
+		if len(style) == 0 {
+			t.Errorf("%s: no rule matches markup %q", r.Name, r.Markup)
+			continue
+		}
+		if r.Role == RoleBanner {
+			for _, prop := range []string{"color", "background", "font", "padding"} {
+				if _, ok := style[prop]; !ok {
+					t.Errorf("%s: banner style missing %q", r.Name, prop)
+				}
+			}
+		}
+	}
+}
