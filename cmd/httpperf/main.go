@@ -1,6 +1,9 @@
 // Command httpperf regenerates the measurements of "Network Performance
 // Effects of HTTP/1.1, CSS1, and PNG" (SIGCOMM '97) on the simulated
-// testbed.
+// testbed. The experiments come from the registry populated by
+// internal/experiments; independent simulation runs fan out across a
+// worker pool whose aggregation is deterministic, so the tables are
+// byte-identical at any -parallel level.
 //
 // Usage:
 //
@@ -16,9 +19,13 @@
 //	httpperf -table range    # range-probe revalidation after a site revision
 //	httpperf -table headers  # request-redundancy (compact encoding) estimate
 //	httpperf -table cwnd     # slow-start initial window ablation
+//	httpperf -table sweep    # per-run structured metrics sweep
 //	httpperf -list-envs      # Table 1
 //	httpperf -runs 5         # averaging runs per cell (default 5)
-//	httpperf -json           # machine-readable output
+//	httpperf -seeds 2        # independent seed families per cell (default 1)
+//	httpperf -parallel 8     # worker goroutines (default NumCPU)
+//	httpperf -json           # machine-readable output (tables + per-run metrics)
+//	httpperf -csv            # per-run metrics as CSV
 package main
 
 import (
@@ -26,153 +33,55 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
-	"repro/internal/httpserver"
+	"repro/internal/exp"
+	_ "repro/internal/experiments"
 	"repro/internal/report"
-	"repro/internal/webgen"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, all)")
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, sweep, all)")
 	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")
+	seeds := flag.Int("seeds", 1, "independent seed families per cell (multiplies -runs)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs")
 	listEnvs := flag.Bool("list-envs", false, "print Table 1 (network environments) and exit")
-	asJSON := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	asJSON := flag.Bool("json", false, "emit results as JSON (tables plus per-run metrics) instead of text tables")
+	asCSV := flag.Bool("csv", false, "emit per-run metrics as CSV instead of text tables")
 	flag.Parse()
 
 	if *listEnvs {
 		report.Environments(os.Stdout)
 		return
 	}
-	if err := run(*table, *runs, *asJSON); err != nil {
+	s := &exp.Session{Runs: *runs, Seeds: *seeds, Parallel: *parallel}
+	if err := run(s, *table, *asJSON, *asCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "httpperf:", err)
 		os.Exit(1)
 	}
 }
 
-// modemPair bundles both server profiles' modem experiments.
-type modemPair struct {
-	Jigsaw, Apache []core.ModemRow
-}
-
-// step is one regenerable experiment: generate produces the data, render
-// prints it as a text table.
-type step struct {
-	generate func(site *webgen.Site, runs int) (any, error)
-	render   func(site *webgen.Site, data any)
-}
-
-func steps() (map[string]step, []string) {
-	out := os.Stdout
-	mainTable := func(n int) step {
-		return step{
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.MainTable(n, site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.MainTable(out, d.(core.Table)) },
-		}
-	}
-	browserTable := func(n int) step {
-		return step{
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.BrowserTable(n, site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.MainTable(out, d.(core.Table)) },
-		}
-	}
-	m := map[string]step{
-		"1": {
-			generate: func(*webgen.Site, int) (any, error) { return nil, nil },
-			render:   func(*webgen.Site, any) { report.Environments(out) },
-		},
-		"3": {
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.Table3(site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.Table3(out, d.([]core.Table3Row)) },
-		},
-		"4": mainTable(4), "5": mainTable(5), "6": mainTable(6),
-		"7": mainTable(7), "8": mainTable(8), "9": mainTable(9),
-		"10": browserTable(10), "11": browserTable(11),
-		"modem": {
-			generate: func(site *webgen.Site, runs int) (any, error) {
-				j, err := core.ModemTable(site, httpserver.ProfileJigsaw, runs)
-				if err != nil {
-					return nil, err
-				}
-				a, err := core.ModemTable(site, httpserver.ProfileApache, runs)
-				if err != nil {
-					return nil, err
-				}
-				return modemPair{Jigsaw: j, Apache: a}, nil
-			},
-			render: func(_ *webgen.Site, d any) {
-				v := d.(modemPair)
-				report.Modem(out, v.Jigsaw, "Jigsaw")
-				fmt.Fprintln(out)
-				report.Modem(out, v.Apache, "Apache")
-			},
-		},
-		"tagcase": {
-			generate: func(*webgen.Site, int) (any, error) { return core.TagCaseTable() },
-			render:   func(_ *webgen.Site, d any) { report.TagCase(out, d.([]core.TagCaseRow)) },
-		},
-		"css": {
-			generate: func(site *webgen.Site, _ int) (any, error) { return site.CSSReplacements(), nil },
-			render:   func(site *webgen.Site, _ any) { report.CSS(out, site) },
-		},
-		"png": {
-			generate: func(site *webgen.Site, _ int) (any, error) { return site.ConvertImages() },
-			render: func(site *webgen.Site, _ any) {
-				if err := report.PNG(out, site); err != nil {
-					fmt.Fprintln(os.Stderr, "httpperf:", err)
-				}
-			},
-		},
-		"nagle": {
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.NagleTable(site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.Nagle(out, d.([]core.NagleRow)) },
-		},
-		"reset": {
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.ResetTable(site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.Reset(out, d.([]core.ResetRow)) },
-		},
-		"flush": {
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.FlushAblation(site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.Flush(out, d.([]core.FlushRow)) },
-		},
-		"range": {
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.RangeTable(site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.Range(out, d.([]core.RangeRow)) },
-		},
-		"headers": {
-			generate: func(site *webgen.Site, _ int) (any, error) { return core.HeaderRedundancy(site) },
-			render:   func(_ *webgen.Site, d any) { report.HeaderRedundancy(out, d.([]core.HeaderRedundancyRow)) },
-		},
-		"cwnd": {
-			generate: func(site *webgen.Site, runs int) (any, error) { return core.CwndTable(site, runs) },
-			render:   func(_ *webgen.Site, d any) { report.Cwnd(out, d.([]core.CwndRow)) },
-		},
-	}
-	order := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11",
-		"modem", "tagcase", "css", "png", "nagle", "reset", "flush",
-		"range", "headers", "cwnd"}
-	return m, order
-}
-
-func run(table string, runs int, asJSON bool) error {
+func run(s *exp.Session, table string, asJSON, asCSV bool) error {
 	site, err := core.DefaultSite()
 	if err != nil {
 		return err
 	}
-	all, order := steps()
+	s.Site = site
 
-	names := order
+	names := exp.Names()
 	if table != "all" {
-		if _, ok := all[table]; !ok {
-			return fmt.Errorf("unknown table %q", table)
+		if _, ok := exp.Lookup(table); !ok {
+			return fmt.Errorf("unknown table %q (known: %v)", table, exp.AllNames())
 		}
 		names = []string{table}
 	}
 
-	if asJSON {
-		results := make(map[string]any, len(names))
+	if asJSON || asCSV {
+		s.Collector = exp.NewCollector()
+		results := make(map[string]any, len(names)+1)
 		for _, name := range names {
-			data, err := all[name].generate(site, runs)
+			data, err := s.Generate(name)
 			if err != nil {
 				return fmt.Errorf("table %s: %w", name, err)
 			}
@@ -180,17 +89,24 @@ func run(table string, runs int, asJSON bool) error {
 				results[name] = data
 			}
 		}
+		if asCSV {
+			return s.Collector.WriteCSV(os.Stdout)
+		}
+		results["runs"] = s.Collector.Records()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)
 	}
 
 	for _, name := range names {
-		data, err := all[name].generate(site, runs)
+		e, _ := exp.Lookup(name)
+		data, err := e.Generate(s)
 		if err != nil {
 			return fmt.Errorf("table %s: %w", name, err)
 		}
-		all[name].render(site, data)
+		if err := e.Render(os.Stdout, s, data); err != nil {
+			return fmt.Errorf("table %s: %w", name, err)
+		}
 		fmt.Println()
 	}
 	return nil

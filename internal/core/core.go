@@ -5,8 +5,10 @@
 //
 // A Scenario names one cell of the paper's measurement matrix — server
 // profile × client mode × network environment × workload. Run executes it
-// once deterministically; RunAveraged repeats it with seeded jitter, as
-// the paper averaged five runs "to make up for network fluctuations".
+// once deterministically, with functional options selecting packet
+// capture, a seed override, or structured per-run metrics; Sweep repeats
+// it with seeded jitter across a worker pool, as the paper averaged five
+// runs "to make up for network fluctuations".
 package core
 
 import (
@@ -15,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/httpclient"
 	"repro/internal/httpserver"
 	"repro/internal/lzw"
@@ -79,17 +82,43 @@ var ErrDidNotFinish = errors.New("core: client did not finish the fetch")
 // serverPort is the simulated origin's port.
 const serverPort = 80
 
+// Option configures one Run call.
+type Option func(*runConfig)
+
+type runConfig struct {
+	capture bool
+	seed    *uint64
+	metrics *exp.Metrics
+}
+
+// WithCapture retains the full packet trace in the result.
+func WithCapture() Option { return func(c *runConfig) { c.capture = true } }
+
+// WithSeed overrides the scenario's seed for this run.
+func WithSeed(seed uint64) Option {
+	return func(c *runConfig) { c.seed = &seed }
+}
+
+// WithMetrics fills m with the run's structured measurements: packet and
+// byte counts, retransmissions and drops, connection accounting, and
+// simulated CPU time for both endpoints.
+func WithMetrics(m *exp.Metrics) Option {
+	return func(c *runConfig) { c.metrics = m }
+}
+
 // Run executes the scenario against the site and returns its measurements.
-func Run(sc Scenario, site *webgen.Site) (*RunResult, error) {
-	return run(sc, site, false)
+func Run(sc Scenario, site *webgen.Site, opts ...Option) (*RunResult, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.seed != nil {
+		sc.Seed = *cfg.seed
+	}
+	return run(sc, site, cfg)
 }
 
-// RunCaptured is Run but retains the full packet trace in the result.
-func RunCaptured(sc Scenario, site *webgen.Site) (*RunResult, error) {
-	return run(sc, site, true)
-}
-
-func run(sc Scenario, site *webgen.Site, keepCapture bool) (*RunResult, error) {
+func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	s := sim.New()
 	s.SetEventLimit(50_000_000)
 	net := tcpsim.NewNetwork(s)
@@ -170,8 +199,34 @@ func run(sc Scenario, site *webgen.Site, keepCapture bool) (*RunResult, error) {
 		Server:   server.Stats(),
 	}
 	res.Elapsed = res.Stats.Elapsed()
-	if keepCapture {
+	if cfg.capture {
 		res.Capture = capture
+	}
+	if m := cfg.metrics; m != nil {
+		st := res.Stats
+		m.Scenario = sc.String()
+		m.Seed = sc.Seed
+		m.Packets = st.Packets
+		m.PacketsC2S = st.ClientToServer
+		m.PacketsS2C = st.ServerToClient
+		m.PayloadBytes = st.PayloadBytes
+		m.WireBytes = st.WireBytes
+		m.LinkWireBytes = path.WireBits() / 8
+		m.OverheadPct = st.OverheadPct()
+		m.ElapsedSeconds = res.Elapsed.Seconds()
+		m.Retransmissions = st.Retransmissions
+		m.RTOTimeouts = int(net.RTOTimeouts())
+		m.Drops = path.Dropped()
+		m.Dials = int(clientHost.Dials())
+		m.SocketsUsed = res.Client.SocketsUsed
+		m.MaxOpenConns = res.Client.MaxSimultaneousConns
+		m.ClientCPUSeconds = robot.CPUTime().Seconds()
+		m.ServerCPUSeconds = server.CPUTime().Seconds()
+		m.Responses200 = res.Client.Responses200
+		m.Responses304 = res.Client.Responses304
+		m.Responses206 = res.Client.Responses206
+		m.Errors = res.Client.Errors
+		m.Retried = res.Client.Retried
 	}
 	return res, nil
 }
@@ -188,39 +243,6 @@ type Avg struct {
 
 	SocketsUsed float64
 	Errors      int
-}
-
-// RunAveraged executes the scenario n times with varying seeds and jitter
-// and averages the measurements, like the paper's five-run methodology.
-func RunAveraged(sc Scenario, site *webgen.Site, n int) (Avg, error) {
-	if n <= 0 {
-		n = 1
-	}
-	var avg Avg
-	for i := 0; i < n; i++ {
-		one := sc
-		one.Seed = sc.Seed + uint64(i)*7919
-		one.Jitter = n > 1
-		res, err := Run(one, site)
-		if err != nil {
-			return avg, err
-		}
-		avg.Runs++
-		avg.Packets += float64(res.Stats.Packets)
-		avg.Bytes += float64(res.Stats.PayloadBytes)
-		avg.Seconds += res.Elapsed.Seconds()
-		avg.SocketsUsed += float64(res.Client.SocketsUsed)
-		avg.Errors += res.Client.Errors
-	}
-	avg.Packets /= float64(avg.Runs)
-	avg.Bytes /= float64(avg.Runs)
-	avg.Seconds /= float64(avg.Runs)
-	avg.SocketsUsed /= float64(avg.Runs)
-	hdr := avg.Packets * netem.IPTCPHeaderBytes
-	if total := avg.Bytes + hdr; total > 0 {
-		avg.OverheadPct = 100 * hdr / total
-	}
-	return avg, nil
 }
 
 // DefaultRuns is the paper's repetition count.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/httpserver"
+	"repro/internal/webgen"
+)
+
+// This file keeps the pre-Sweep function signatures alive as thin
+// wrappers. New code should construct a Sweep (for repetition, seed
+// families, parallelism, and metrics collection) or call Run with
+// options directly.
+
+// RunCaptured is Run but retains the full packet trace in the result.
+//
+// Deprecated: use Run(sc, site, WithCapture()).
+func RunCaptured(sc Scenario, site *webgen.Site) (*RunResult, error) {
+	return Run(sc, site, WithCapture())
+}
+
+// RunAveraged executes the scenario n times with varying seeds and jitter
+// and averages the measurements.
+//
+// Deprecated: use Sweep{Runs: n}.RunAveraged.
+func RunAveraged(sc Scenario, site *webgen.Site, n int) (Avg, error) {
+	return Sweep{Runs: n}.RunAveraged(sc, site)
+}
+
+// MainTable regenerates one of Tables 4-9 with the given averaging depth.
+//
+// Deprecated: use Sweep{Runs: runs}.MainTable.
+func MainTable(number int, site *webgen.Site, runs int) (Table, error) {
+	return Sweep{Runs: runs}.MainTable(number, site)
+}
+
+// BrowserTable regenerates Table 10 or 11.
+//
+// Deprecated: use Sweep{Runs: runs}.BrowserTable.
+func BrowserTable(number int, site *webgen.Site, runs int) (Table, error) {
+	return Sweep{Runs: runs}.BrowserTable(number, site)
+}
+
+// Table3 reproduces the initial LAN revalidation investigation.
+//
+// Deprecated: use Sweep{Runs: runs}.Table3.
+func Table3(site *webgen.Site, runs int) ([]Table3Row, error) {
+	return Sweep{Runs: runs}.Table3(site)
+}
+
+// ModemTable reproduces the modem-compression comparison.
+//
+// Deprecated: use Sweep{Runs: runs}.ModemTable.
+func ModemTable(site *webgen.Site, profile httpserver.Profile, runs int) ([]ModemRow, error) {
+	return Sweep{Runs: runs}.ModemTable(site, profile)
+}
+
+// NagleTable demonstrates the Nagle/delayed-ACK interaction.
+//
+// Deprecated: use Sweep{Runs: runs}.NagleTable.
+func NagleTable(site *webgen.Site, runs int) ([]NagleRow, error) {
+	return Sweep{Runs: runs}.NagleTable(site)
+}
+
+// ResetTable demonstrates the early-close scenario.
+//
+// Deprecated: use Sweep{Runs: runs}.ResetTable.
+func ResetTable(site *webgen.Site, runs int) ([]ResetRow, error) {
+	return Sweep{Runs: runs}.ResetTable(site)
+}
+
+// FlushAblation sweeps the pipelining buffer and flush-timer settings.
+//
+// Deprecated: use Sweep{Runs: runs}.FlushAblation.
+func FlushAblation(site *webgen.Site, runs int) ([]FlushRow, error) {
+	return Sweep{Runs: runs}.FlushAblation(site)
+}
+
+// RangeTable explores the range-request prediction.
+//
+// Deprecated: use Sweep{Runs: runs}.RangeTable.
+func RangeTable(site *webgen.Site, runs int) ([]RangeRow, error) {
+	return Sweep{Runs: runs}.RangeTable(site)
+}
+
+// CwndTable varies the slow-start initial window.
+//
+// Deprecated: use Sweep{Runs: runs}.CwndTable.
+func CwndTable(site *webgen.Site, runs int) ([]CwndRow, error) {
+	return Sweep{Runs: runs}.CwndTable(site)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/exp"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// seedFamilyStride separates the independent seed families a Sweep's
+// Seeds knob adds. Family 0 uses the legacy single-family seed schedule
+// unchanged, so Seeds=1 output is byte-identical to the historical code.
+const seedFamilyStride = 1_000_003
+
+// Sweep executes the repeated runs behind each experiment cell. The zero
+// value performs a single serial run per cell; Runs and Seeds control
+// the averaged population (Runs repetitions in each of Seeds seed
+// families), Parallel the worker-pool width, and Collector — stamped
+// with Experiment — gathers one exp.Metrics record per simulation run.
+//
+// Aggregation is deterministic and order-independent: runs are indexed,
+// workers write into per-index slots, and averaging walks the slots in
+// index order, so the same seeds give byte-identical tables at any
+// Parallel level.
+type Sweep struct {
+	Runs     int
+	Seeds    int
+	Parallel int
+	// Experiment names the registry entry on collected metrics records.
+	Experiment string
+	// Collector, when non-nil, receives one record per simulation run.
+	Collector *exp.Collector
+}
+
+// series executes the sweep's Runs×Seeds repetitions of sc, stepping the
+// seed by stride between repetitions — each table keeps its historical
+// stride so regenerated output matches the serial code — and by
+// seedFamilyStride between families. Results are indexed by repetition.
+func (sw Sweep) series(sc Scenario, site *webgen.Site, stride uint64) ([]*RunResult, error) {
+	runs, seeds := sw.Runs, sw.Seeds
+	if runs <= 0 {
+		runs = 1
+	}
+	if seeds <= 0 {
+		seeds = 1
+	}
+	n := runs * seeds
+	results := make([]*RunResult, n)
+	var metrics []*exp.Metrics
+	if sw.Collector != nil {
+		metrics = make([]*exp.Metrics, n)
+	}
+	err := exp.ForEach(sw.Parallel, n, func(i int) error {
+		family, rep := i/runs, i%runs
+		one := sc
+		one.Seed = sc.Seed + uint64(family)*seedFamilyStride + uint64(rep)*stride
+		one.Jitter = n > 1
+		var opts []Option
+		if metrics != nil {
+			metrics[i] = &exp.Metrics{Experiment: sw.Experiment, Run: i}
+			opts = append(opts, WithMetrics(metrics[i]))
+		}
+		res, err := Run(one, site, opts...)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sw.Collector != nil {
+		for _, m := range metrics {
+			sw.Collector.Add(*m)
+		}
+	}
+	return results, nil
+}
+
+// RunAveraged executes the scenario across the sweep's population and
+// averages the measurements, like the paper's five-run methodology.
+func (sw Sweep) RunAveraged(sc Scenario, site *webgen.Site) (Avg, error) {
+	var avg Avg
+	results, err := sw.series(sc, site, 7919)
+	if err != nil {
+		return avg, err
+	}
+	for _, res := range results {
+		avg.Runs++
+		avg.Packets += float64(res.Stats.Packets)
+		avg.Bytes += float64(res.Stats.PayloadBytes)
+		avg.Seconds += res.Elapsed.Seconds()
+		avg.SocketsUsed += float64(res.Client.SocketsUsed)
+		avg.Errors += res.Client.Errors
+	}
+	avg.Packets /= float64(avg.Runs)
+	avg.Bytes /= float64(avg.Runs)
+	avg.Seconds /= float64(avg.Runs)
+	avg.SocketsUsed /= float64(avg.Runs)
+	hdr := avg.Packets * netem.IPTCPHeaderBytes
+	if total := avg.Bytes + hdr; total > 0 {
+		avg.OverheadPct = 100 * hdr / total
+	}
+	return avg, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+)
+
+// testScenario is a cheap LAN cell used throughout the sweep tests.
+func testScenario() Scenario {
+	return Scenario{
+		Server: httpserver.ProfileApache, Client: httpclient.ModeHTTP11Pipelined,
+		Env: netem.LAN, Workload: httpclient.FirstTime, Seed: 42,
+	}
+}
+
+// TestSweepMatchesLegacyRunAveraged pins the compatibility contract: a
+// single-family sweep reproduces the historical RunAveraged schedule
+// exactly.
+func TestSweepMatchesLegacyRunAveraged(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenario()
+	want, err := RunAveraged(sc, site, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sweep{Runs: 3, Parallel: 8}.RunAveraged(sc, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Errorf("parallel sweep diverged from legacy: %+v vs %+v", got, want)
+	}
+}
+
+// TestSweepParallelDeterminism runs the same sweep serially and on a
+// wide pool and requires identical aggregates and identical collected
+// metrics records.
+func TestSweepParallelDeterminism(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenario()
+	run := func(parallel int) (Avg, []exp.Metrics, error) {
+		col := exp.NewCollector()
+		sw := Sweep{Runs: 2, Seeds: 2, Parallel: parallel, Experiment: "det", Collector: col}
+		avg, err := sw.RunAveraged(sc, site)
+		return avg, col.Records(), err
+	}
+	serialAvg, serialRecs, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parAvg, parRecs, err := run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialAvg != parAvg {
+		t.Errorf("aggregates differ: serial %+v parallel %+v", serialAvg, parAvg)
+	}
+	if !reflect.DeepEqual(serialRecs, parRecs) {
+		t.Errorf("metrics records differ between parallel levels")
+	}
+	if len(serialRecs) != 4 {
+		t.Fatalf("got %d records, want 4", len(serialRecs))
+	}
+	// CSV emission must be byte-identical too.
+	var a, b bytes.Buffer
+	ca, cb := exp.NewCollector(), exp.NewCollector()
+	for _, m := range serialRecs {
+		ca.Add(m)
+	}
+	for _, m := range parRecs {
+		cb.Add(m)
+	}
+	if err := ca.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("CSV output differs between parallel levels")
+	}
+}
+
+// TestSweepTableDeterminism exercises a whole table generator (the
+// Nagle ablation, which mixes server overrides) at both pool widths.
+func TestSweepTableDeterminism(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Sweep{Runs: 2, Parallel: 1}.NagleTable(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep{Runs: 2, Parallel: 8}.NagleTable(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("NagleTable differs between parallel levels:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestWithMetricsCounters checks the structured record against the run
+// result it was filled from.
+func TestWithMetricsCounters(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenario()
+	var m exp.Metrics
+	res, err := Run(sc, site, WithMetrics(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scenario != sc.String() {
+		t.Errorf("Scenario = %q, want %q", m.Scenario, sc.String())
+	}
+	if m.Seed != sc.Seed {
+		t.Errorf("Seed = %d, want %d", m.Seed, sc.Seed)
+	}
+	if m.Packets != res.Stats.Packets || m.Packets <= 0 {
+		t.Errorf("Packets = %d, want %d (> 0)", m.Packets, res.Stats.Packets)
+	}
+	if m.PacketsC2S+m.PacketsS2C != m.Packets {
+		t.Errorf("directional packets %d+%d != total %d", m.PacketsC2S, m.PacketsS2C, m.Packets)
+	}
+	if m.PayloadBytes != res.Stats.PayloadBytes {
+		t.Errorf("PayloadBytes = %d, want %d", m.PayloadBytes, res.Stats.PayloadBytes)
+	}
+	if m.WireBytes != m.PayloadBytes+int64(m.Packets)*int64(netem.IPTCPHeaderBytes) {
+		t.Errorf("WireBytes = %d inconsistent with %d packets over %d payload bytes",
+			m.WireBytes, m.Packets, m.PayloadBytes)
+	}
+	// Without modem compression the link serializes full wire bytes
+	// plus per-packet framing, so it can never be below WireBytes.
+	if m.LinkWireBytes < m.WireBytes {
+		t.Errorf("LinkWireBytes = %d < WireBytes = %d", m.LinkWireBytes, m.WireBytes)
+	}
+	if m.ElapsedSeconds <= 0 {
+		t.Errorf("ElapsedSeconds = %v, want > 0", m.ElapsedSeconds)
+	}
+	if m.Dials < 1 || m.SocketsUsed != res.Client.SocketsUsed {
+		t.Errorf("Dials = %d, SocketsUsed = %d (result %d)", m.Dials, m.SocketsUsed, res.Client.SocketsUsed)
+	}
+	if m.MaxOpenConns < 1 {
+		t.Errorf("MaxOpenConns = %d, want >= 1", m.MaxOpenConns)
+	}
+	if m.ClientCPUSeconds <= 0 || m.ServerCPUSeconds <= 0 {
+		t.Errorf("CPU seconds = %v / %v, want > 0", m.ClientCPUSeconds, m.ServerCPUSeconds)
+	}
+	if m.Responses200 != res.Client.Responses200 {
+		t.Errorf("Responses200 = %d, want %d", m.Responses200, res.Client.Responses200)
+	}
+}
+
+// TestWithSeedOverride checks that WithSeed replaces the scenario seed
+// and is recorded in the metrics.
+func TestWithSeedOverride(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenario()
+	var m exp.Metrics
+	if _, err := Run(sc, site, WithSeed(777), WithMetrics(&m)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 777 {
+		t.Errorf("Seed = %d, want 777", m.Seed)
+	}
+}
+
+// TestSweepSeedFamilies checks that Seeds widens the population with
+// distinct seeds while family 0 keeps the legacy schedule.
+func TestSweepSeedFamilies(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenario()
+	col := exp.NewCollector()
+	if _, err := (Sweep{Runs: 2, Seeds: 2, Collector: col}).RunAveraged(sc, site); err != nil {
+		t.Fatal(err)
+	}
+	recs := col.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	seen := make(map[uint64]bool)
+	for _, m := range recs {
+		if seen[m.Seed] {
+			t.Errorf("duplicate seed %d across families", m.Seed)
+		}
+		seen[m.Seed] = true
+	}
+	if !seen[sc.Seed] || !seen[sc.Seed+7919] {
+		t.Errorf("family 0 lost the legacy seed schedule: %v", seen)
+	}
+}

@@ -70,7 +70,7 @@ func tableConfig(number int) (httpserver.Profile, netem.Environment, bool) {
 // MainTable regenerates one of Tables 4-9: a server × environment page,
 // all protocol modes × both workloads. Tables 8 and 9 omit HTTP/1.0, as
 // the paper did.
-func MainTable(number int, site *webgen.Site, runs int) (Table, error) {
+func (sw Sweep) MainTable(number int, site *webgen.Site) (Table, error) {
 	profile, env, ok := tableConfig(number)
 	if !ok {
 		return Table{}, fmt.Errorf("core: no main table %d", number)
@@ -97,7 +97,7 @@ func MainTable(number int, site *webgen.Site, runs int) (Table, error) {
 		}
 		for _, wl := range []httpclient.Workload{httpclient.FirstTime, httpclient.Revalidate} {
 			sc := Scenario{Server: profile, Client: mode, Env: env, Workload: wl, Seed: uint64(number)*1000 + uint64(i)}
-			avg, err := RunAveraged(sc, site, runs)
+			avg, err := sw.RunAveraged(sc, site)
 			if err != nil {
 				return t, fmt.Errorf("%s: %w", sc, err)
 			}
@@ -114,7 +114,7 @@ func MainTable(number int, site *webgen.Site, runs int) (Table, error) {
 
 // BrowserTable regenerates Table 10 (Jigsaw) or 11 (Apache): product
 // browser profiles over PPP.
-func BrowserTable(number int, site *webgen.Site, runs int) (Table, error) {
+func (sw Sweep) BrowserTable(number int, site *webgen.Site) (Table, error) {
 	var profile httpserver.Profile
 	switch number {
 	case 10:
@@ -150,7 +150,7 @@ func BrowserTable(number int, site *webgen.Site, runs int) (Table, error) {
 				Seed:           uint64(number)*1000 + uint64(i),
 				ClientOverride: &cfg,
 			}
-			avg, err := RunAveraged(sc, site, runs)
+			avg, err := sw.RunAveraged(sc, site)
 			if err != nil {
 				return t, fmt.Errorf("%s: %w", sc, err)
 			}
@@ -181,7 +181,7 @@ type Table3Row struct {
 // revalidation test: HTTP/1.0, naive persistent HTTP/1.1, and the first
 // pipelined implementation with its untuned 1-second flush timer and no
 // explicit application flush.
-func Table3(site *webgen.Site, runs int) ([]Table3Row, error) {
+func (sw Sweep) Table3(site *webgen.Site) ([]Table3Row, error) {
 	type variant struct {
 		label string
 		cfg   httpclient.Config
@@ -219,15 +219,12 @@ func Table3(site *webgen.Site, runs int) ([]Table3Row, error) {
 			Seed:           3000 + uint64(i),
 			ClientOverride: &cfg,
 		}
+		results, err := sw.series(sc, site, 101)
+		if err != nil {
+			return nil, err
+		}
 		var c2s, s2c, total, secs, socks, maxSock float64
-		for run := 0; run < runs; run++ {
-			one := sc
-			one.Seed += uint64(run) * 101
-			one.Jitter = runs > 1
-			res, err := Run(one, site)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			c2s += float64(res.Stats.ClientToServer)
 			s2c += float64(res.Stats.ServerToClient)
 			total += float64(res.Stats.Packets)
@@ -237,7 +234,7 @@ func Table3(site *webgen.Site, runs int) ([]Table3Row, error) {
 				maxSock = m
 			}
 		}
-		n := float64(runs)
+		n := float64(len(results))
 		rows = append(rows, Table3Row{
 			Label:        v.label,
 			MaxSockets:   int(maxSock),
@@ -262,7 +259,7 @@ type ModemRow struct {
 // ModemTable reproduces the modem-compression comparison: a single GET of
 // the Microscape HTML page over the 28.8k link, with and without deflate
 // content coding, and with and without V.42bis-style modem compression.
-func ModemTable(site *webgen.Site, profile httpserver.Profile, runs int) ([]ModemRow, error) {
+func (sw Sweep) ModemTable(site *webgen.Site, profile httpserver.Profile) ([]ModemRow, error) {
 	type variant struct {
 		label   string
 		deflate bool
@@ -289,7 +286,7 @@ func ModemTable(site *webgen.Site, profile httpserver.Profile, runs int) ([]Mode
 			ModemCompression: v.modem,
 			ClientOverride:   &cfg,
 		}
-		avg, err := RunAveraged(sc, site, runs)
+		avg, err := sw.RunAveraged(sc, site)
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +338,7 @@ type NagleRow struct {
 // partial gets that segment held at the server until the client's delayed
 // ACK of the earlier segments arrives. "We recommend therefore that
 // HTTP/1.1 implementations that buffer output disable Nagle's algorithm."
-func NagleTable(site *webgen.Site, runs int) ([]NagleRow, error) {
+func (sw Sweep) NagleTable(site *webgen.Site) ([]NagleRow, error) {
 	type variant struct {
 		label      string
 		mode       httpclient.Mode
@@ -362,7 +359,7 @@ func NagleTable(site *webgen.Site, runs int) ([]NagleRow, error) {
 			Seed:           9000 + uint64(i),
 			ServerOverride: &srv,
 		}
-		avg, err := RunAveraged(sc, site, runs)
+		avg, err := sw.RunAveraged(sc, site)
 		if err != nil {
 			return nil, err
 		}
@@ -386,7 +383,7 @@ type ResetRow struct {
 // halves at once — the connection is reset and pipelined responses are
 // lost) or gracefully (independent half-close — the client finishes over
 // several connections without loss).
-func ResetTable(site *webgen.Site, runs int) ([]ResetRow, error) {
+func (sw Sweep) ResetTable(site *webgen.Site) ([]ResetRow, error) {
 	type variant struct {
 		label string
 		naive bool
@@ -413,22 +410,19 @@ func ResetTable(site *webgen.Site, runs int) ([]ResetRow, error) {
 			Seed:           9500 + uint64(i),
 			ServerOverride: &srv,
 		}
+		results, err := sw.series(sc, site, 31)
+		if err != nil {
+			return nil, err
+		}
 		var pa, secs, errs, retried, resp float64
-		for run := 0; run < runs; run++ {
-			one := sc
-			one.Seed += uint64(run) * 31
-			one.Jitter = runs > 1
-			res, err := Run(one, site)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			pa += float64(res.Stats.Packets)
 			secs += res.Elapsed.Seconds()
 			errs += float64(res.Client.Errors)
 			retried += float64(res.Client.Retried)
 			resp += float64(res.Client.Responses200 + res.Client.Responses304)
 		}
-		n := float64(runs)
+		n := float64(len(results))
 		rows = append(rows, ResetRow{
 			Label: v.label, Packets: pa / n, Seconds: secs / n,
 			Errors: errs / n, Retried: retried / n, Responses: resp / n,
@@ -448,7 +442,7 @@ type FlushRow struct {
 // FlushAblation sweeps the pipelining output-buffer size and flush-timer
 // settings the paper experimented with, on the WAN first-time workload
 // (where batching granularity is visible in both packets and RTT stalls).
-func FlushAblation(site *webgen.Site, runs int) ([]FlushRow, error) {
+func (sw Sweep) FlushAblation(site *webgen.Site) ([]FlushRow, error) {
 	var rows []FlushRow
 	for _, buf := range []int{256, 512, 1024, 2048, 4096} {
 		for _, timeout := range []time.Duration{time.Millisecond, 50 * time.Millisecond, time.Second} {
@@ -462,7 +456,7 @@ func FlushAblation(site *webgen.Site, runs int) ([]FlushRow, error) {
 				Seed:           uint64(9700 + buf + int(timeout/time.Millisecond)),
 				ClientOverride: &cfg,
 			}
-			avg, err := RunAveraged(sc, site, runs)
+			avg, err := sw.RunAveraged(sc, site)
 			if err != nil {
 				return nil, err
 			}
@@ -487,7 +481,7 @@ type RangeRow struct {
 // validate every object and simultaneously ask for just the head of any
 // changed entity, so that one large changed image cannot monopolize the
 // pipelined connection ahead of the other objects' metadata.
-func RangeTable(site *webgen.Site, runs int) ([]RangeRow, error) {
+func (sw Sweep) RangeTable(site *webgen.Site) ([]RangeRow, error) {
 	type variant struct {
 		label string
 		probe int
@@ -509,22 +503,19 @@ func RangeTable(site *webgen.Site, runs int) ([]RangeRow, error) {
 			Seed:           9900,
 			ClientOverride: &cfg,
 		}
+		results, err := sw.series(sc, site, 13)
+		if err != nil {
+			return nil, err
+		}
 		var pa, bytes, secs, meta, r206 float64
-		for run := 0; run < runs; run++ {
-			one := sc
-			one.Seed += uint64(run) * 13
-			one.Jitter = runs > 1
-			res, err := Run(one, site)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			pa += float64(res.Stats.Packets)
 			bytes += float64(res.Stats.PayloadBytes)
 			secs += res.Elapsed.Seconds()
 			meta += res.Client.MetadataSeconds
 			r206 += float64(res.Client.Responses206)
 		}
-		n := float64(runs)
+		n := float64(len(results))
 		rows = append(rows, RangeRow{
 			Label: v.label, Packets: pa / n, Bytes: bytes / n,
 			Seconds: secs / n, MetadataSeconds: meta / n, Responses206: r206 / n,
@@ -594,7 +585,7 @@ type CwndRow struct {
 // compression: with more HTML in the first segments, follow-on request
 // batches form sooner, so compression matters more when the initial
 // window is small.
-func CwndTable(site *webgen.Site, runs int) ([]CwndRow, error) {
+func (sw Sweep) CwndTable(site *webgen.Site) ([]CwndRow, error) {
 	type variant struct {
 		label string
 		iw    int
@@ -622,7 +613,7 @@ func CwndTable(site *webgen.Site, runs int) ([]CwndRow, error) {
 			ClientOverride: &cfg,
 			ServerOverride: &srv,
 		}
-		avg, err := RunAveraged(sc, site, runs)
+		avg, err := sw.RunAveraged(sc, site)
 		if err != nil {
 			return nil, err
 		}

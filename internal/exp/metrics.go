@@ -1,0 +1,175 @@
+// Package exp orchestrates experiment sweeps. It provides the three
+// pieces the paper's measurement methodology needs at scale: a
+// declarative registry of named experiments (registry.go), a
+// deterministic worker pool that fans independent simulation runs out
+// across goroutines (pool.go), and a structured per-run metrics record
+// emitted as JSON or CSV alongside the text tables (this file).
+//
+// The package sits below internal/core: core fills Metrics records and
+// drives the pool, while experiment registration and rendering live in
+// internal/experiments, above both.
+package exp
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Metrics is the structured record of one scenario execution — the
+// quantities a tcpdump-plus-accounting harness would extract from a
+// single run. Every field is filled by core.Run when the run is executed
+// with core.WithMetrics.
+type Metrics struct {
+	// Experiment names the registry entry the run belongs to ("" for
+	// direct core.Run calls).
+	Experiment string `json:"experiment,omitempty"`
+	// Scenario is the scenario's display string
+	// (server/client/env/workload).
+	Scenario string `json:"scenario"`
+	// Seed is the effective seed of this run; Run is the repetition
+	// index within its sweep cell.
+	Seed uint64 `json:"seed"`
+	Run  int    `json:"run"`
+
+	// Packets counts segments in both directions, split into the
+	// client→server and server→client components.
+	Packets    int `json:"packets"`
+	PacketsC2S int `json:"packets_c2s"`
+	PacketsS2C int `json:"packets_s2c"`
+
+	// PayloadBytes is TCP payload; WireBytes adds the 40-byte TCP/IP
+	// header per packet; LinkWireBytes is what the link actually
+	// serialized (after V.42bis modem compression, with framing).
+	PayloadBytes  int64 `json:"payload_bytes"`
+	WireBytes     int64 `json:"wire_bytes"`
+	LinkWireBytes int64 `json:"link_wire_bytes"`
+
+	// OverheadPct is the paper's %ov metric.
+	OverheadPct float64 `json:"overhead_pct"`
+	// ElapsedSeconds is first packet to last packet, like the paper's
+	// tcpdump-based timings.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	// Retransmissions counts segments sent more than once;
+	// RTOTimeouts counts retransmission-timer expirations; Drops counts
+	// packets discarded by the link loss model.
+	Retransmissions int `json:"retransmissions"`
+	RTOTimeouts     int `json:"rto_timeouts"`
+	Drops           int `json:"drops"`
+
+	// Dials is the number of outbound connections opened; SocketsUsed
+	// the number the fetch consumed; MaxOpenConns the simultaneous-
+	// connection high-water mark.
+	Dials        int `json:"dials"`
+	SocketsUsed  int `json:"sockets_used"`
+	MaxOpenConns int `json:"max_open_conns"`
+
+	// ClientCPUSeconds and ServerCPUSeconds are total simulated CPU
+	// work consumed by each endpoint (sim.CPU.TotalWork).
+	ClientCPUSeconds float64 `json:"client_cpu_seconds"`
+	ServerCPUSeconds float64 `json:"server_cpu_seconds"`
+
+	Responses200 int `json:"responses_200"`
+	Responses304 int `json:"responses_304"`
+	Responses206 int `json:"responses_206"`
+	Errors       int `json:"errors"`
+	Retried      int `json:"retried"`
+}
+
+// csvHeader lists the CSV columns, in Metrics field order.
+var csvHeader = []string{
+	"experiment", "scenario", "seed", "run",
+	"packets", "packets_c2s", "packets_s2c",
+	"payload_bytes", "wire_bytes", "link_wire_bytes",
+	"overhead_pct", "elapsed_seconds",
+	"retransmissions", "rto_timeouts", "drops",
+	"dials", "sockets_used", "max_open_conns",
+	"client_cpu_seconds", "server_cpu_seconds",
+	"responses_200", "responses_304", "responses_206",
+	"errors", "retried",
+}
+
+// csvRow renders the record in csvHeader order.
+func (m Metrics) csvRow() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	return []string{
+		m.Experiment, m.Scenario,
+		strconv.FormatUint(m.Seed, 10), strconv.Itoa(m.Run),
+		strconv.Itoa(m.Packets), strconv.Itoa(m.PacketsC2S), strconv.Itoa(m.PacketsS2C),
+		strconv.FormatInt(m.PayloadBytes, 10), strconv.FormatInt(m.WireBytes, 10), strconv.FormatInt(m.LinkWireBytes, 10),
+		f(m.OverheadPct), f(m.ElapsedSeconds),
+		strconv.Itoa(m.Retransmissions), strconv.Itoa(m.RTOTimeouts), strconv.Itoa(m.Drops),
+		strconv.Itoa(m.Dials), strconv.Itoa(m.SocketsUsed), strconv.Itoa(m.MaxOpenConns),
+		f(m.ClientCPUSeconds), f(m.ServerCPUSeconds),
+		strconv.Itoa(m.Responses200), strconv.Itoa(m.Responses304), strconv.Itoa(m.Responses206),
+		strconv.Itoa(m.Errors), strconv.Itoa(m.Retried),
+	}
+}
+
+// Collector accumulates per-run metrics from concurrent workers. The
+// zero value is ready to use; Add is safe for concurrent use, and
+// Records returns a deterministically ordered snapshot so that sweep
+// output is byte-identical at any parallelism level.
+type Collector struct {
+	mu   sync.Mutex
+	recs []Metrics
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends one record.
+func (c *Collector) Add(m Metrics) {
+	c.mu.Lock()
+	c.recs = append(c.recs, m)
+	c.mu.Unlock()
+}
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Records returns a sorted copy of the collected records, ordered by
+// (experiment, scenario, seed, run) — an order independent of worker
+// scheduling.
+func (c *Collector) Records() []Metrics {
+	c.mu.Lock()
+	out := make([]Metrics, len(c.recs))
+	copy(out, c.recs)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Run < b.Run
+	})
+	return out
+}
+
+// WriteCSV writes the collected records as CSV with a header row.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, m := range c.Records() {
+		if err := cw.Write(m.csvRow()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,220 @@
+// Package experiments declares the paper's regenerable experiments in
+// the exp registry, replacing the hardcoded step table the httpperf
+// command used to carry. Blank-importing the package populates the
+// registry; each entry's Generate drives scenarios through a core.Sweep
+// built from the session (averaging depth, seed families, parallelism,
+// metrics collection), and Render prints the paper-style text table.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/report"
+)
+
+// sweepFor derives the core.Sweep an experiment's scenarios run under,
+// stamping the experiment name on collected metrics records.
+func sweepFor(s *exp.Session, name string) core.Sweep {
+	return core.Sweep{
+		Runs:       s.Runs,
+		Seeds:      s.Seeds,
+		Parallel:   s.Parallel,
+		Experiment: name,
+		Collector:  s.Collector,
+	}
+}
+
+// ModemPair bundles both server profiles' modem experiments.
+type ModemPair struct {
+	Jigsaw, Apache []core.ModemRow
+}
+
+func renderMainTable(w io.Writer, _ *exp.Session, d any) error {
+	report.MainTable(w, d.(core.Table))
+	return nil
+}
+
+func init() {
+	exp.Register(exp.Experiment{
+		Name: "1", Title: "Table 1 - Tested network environments",
+		Generate: func(*exp.Session) (any, error) { return nil, nil },
+		Render: func(w io.Writer, _ *exp.Session, _ any) error {
+			report.Environments(w)
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "3", Title: "Table 3 - Initial LAN cache revalidation test",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "3").Table3(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Table3(w, d.([]core.Table3Row))
+			return nil
+		},
+	})
+	for _, n := range []int{4, 5, 6, 7, 8, 9} {
+		n := n
+		exp.Register(exp.Experiment{
+			Name:  fmt.Sprint(n),
+			Title: fmt.Sprintf("Table %d - protocol comparison (server × environment)", n),
+			Generate: func(s *exp.Session) (any, error) {
+				return sweepFor(s, fmt.Sprint(n)).MainTable(n, s.Site)
+			},
+			Render: renderMainTable,
+		})
+	}
+	for _, n := range []int{10, 11} {
+		n := n
+		exp.Register(exp.Experiment{
+			Name:  fmt.Sprint(n),
+			Title: fmt.Sprintf("Table %d - product browsers over PPP", n),
+			Generate: func(s *exp.Session) (any, error) {
+				return sweepFor(s, fmt.Sprint(n)).BrowserTable(n, s.Site)
+			},
+			Render: renderMainTable,
+		})
+	}
+	exp.Register(exp.Experiment{
+		Name: "modem", Title: "§8.2.1 modem-compression experiment",
+		Generate: func(s *exp.Session) (any, error) {
+			sw := sweepFor(s, "modem")
+			j, err := sw.ModemTable(s.Site, httpserver.ProfileJigsaw)
+			if err != nil {
+				return nil, err
+			}
+			a, err := sw.ModemTable(s.Site, httpserver.ProfileApache)
+			if err != nil {
+				return nil, err
+			}
+			return ModemPair{Jigsaw: j, Apache: a}, nil
+		},
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			v := d.(ModemPair)
+			report.Modem(w, v.Jigsaw, "Jigsaw")
+			fmt.Fprintln(w)
+			report.Modem(w, v.Apache, "Apache")
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "tagcase", Title: "HTML tag case vs deflate ratio",
+		Generate: func(*exp.Session) (any, error) { return core.TagCaseTable() },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.TagCase(w, d.([]core.TagCaseRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "css", Title: "Figure 1 + whole-page CSS replacement",
+		Generate: func(s *exp.Session) (any, error) { return s.Site.CSSReplacements(), nil },
+		Render: func(w io.Writer, s *exp.Session, _ any) error {
+			report.CSS(w, s.Site)
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "png", Title: "GIF->PNG / animated GIF->MNG conversion",
+		Generate: func(s *exp.Session) (any, error) { return s.Site.ConvertImages() },
+		Render: func(w io.Writer, s *exp.Session, _ any) error {
+			return report.PNG(w, s.Site)
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "nagle", Title: "Nagle interaction ablation",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "nagle").NagleTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Nagle(w, d.([]core.NagleRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "reset", Title: "Server early-close scenario",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "reset").ResetTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Reset(w, d.([]core.ResetRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "flush", Title: "Buffer/flush-timer ablation",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "flush").FlushAblation(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Flush(w, d.([]core.FlushRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "range", Title: "Range-probe revalidation after a site revision",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "range").RangeTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Range(w, d.([]core.RangeRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "headers", Title: "Request-redundancy (compact encoding) estimate",
+		Generate: func(s *exp.Session) (any, error) { return core.HeaderRedundancy(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.HeaderRedundancy(w, d.([]core.HeaderRedundancyRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "cwnd", Title: "Slow-start initial window ablation",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "cwnd").CwndTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Cwnd(w, d.([]core.CwndRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "sweep", Title: "Per-run structured metrics sweep (protocol modes × environments)",
+		Skip: true,
+		Generate: func(s *exp.Session) (any, error) {
+			// The sweep gathers structured per-run metrics over the main
+			// protocol × environment matrix; it is not one of the paper's
+			// tables, so it runs only when requested by name.
+			col := exp.NewCollector()
+			modes := []httpclient.Mode{
+				httpclient.ModeHTTP10,
+				httpclient.ModeHTTP11Serial,
+				httpclient.ModeHTTP11Pipelined,
+				httpclient.ModeHTTP11PipelinedDeflate,
+			}
+			for ei, env := range []netem.Environment{netem.LAN, netem.WAN, netem.PPP} {
+				ms := modes
+				if env == netem.PPP {
+					ms = ms[1:] // the paper has no HTTP/1.0 runs over PPP
+				}
+				for mi, mode := range ms {
+					sw := sweepFor(s, "sweep")
+					sw.Collector = col
+					sc := core.Scenario{
+						Server: httpserver.ProfileApache, Client: mode,
+						Env: env, Workload: httpclient.FirstTime,
+						Seed: 12000 + uint64(ei)*100 + uint64(mi),
+					}
+					if _, err := sw.RunAveraged(sc, s.Site); err != nil {
+						return nil, err
+					}
+				}
+			}
+			recs := col.Records()
+			if s.Collector != nil {
+				for _, m := range recs {
+					s.Collector.Add(m)
+				}
+			}
+			return recs, nil
+		},
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.MetricsTable(w, d.([]exp.Metrics))
+			return nil
+		},
+	})
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+func session(t *testing.T, parallel int) *exp.Session {
+	t.Helper()
+	site, err := core.DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &exp.Session{Site: site, Runs: 2, Parallel: parallel, Collector: exp.NewCollector()}
+}
+
+// render generates the named experiment under the session and returns
+// the rendered table bytes.
+func render(t *testing.T, s *exp.Session, name string) []byte {
+	t.Helper()
+	e, ok := exp.Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	data, err := e.Generate(s)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := e.Render(&buf, s, data); err != nil {
+		t.Fatalf("%s: render: %v", name, err)
+	}
+	return buf.Bytes()
+}
+
+// TestRegisteredNames pins the registry to the historical step order.
+func TestRegisteredNames(t *testing.T) {
+	want := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11",
+		"modem", "tagcase", "css", "png", "nagle", "reset", "flush",
+		"range", "headers", "cwnd"}
+	got := exp.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if _, ok := exp.Lookup("sweep"); !ok {
+		t.Error("skip-listed sweep experiment not registered")
+	}
+}
+
+// TestRenderedBytesDeterministic requires the full rendered output of a
+// scenario-driven experiment — and its collected metrics CSV — to be
+// byte-identical between a serial and a wide worker pool.
+func TestRenderedBytesDeterministic(t *testing.T) {
+	for _, name := range []string{"3", "nagle"} {
+		s1 := session(t, 1)
+		s8 := session(t, 8)
+		out1 := render(t, s1, name)
+		out8 := render(t, s8, name)
+		if !bytes.Equal(out1, out8) {
+			t.Errorf("%s: rendered table differs between -parallel 1 and 8:\n%s\nvs\n%s", name, out1, out8)
+		}
+		var csv1, csv8 bytes.Buffer
+		if err := s1.Collector.WriteCSV(&csv1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s8.Collector.WriteCSV(&csv8); err != nil {
+			t.Fatal(err)
+		}
+		if s1.Collector.Len() == 0 {
+			t.Errorf("%s: no metrics collected", name)
+		}
+		if !bytes.Equal(csv1.Bytes(), csv8.Bytes()) {
+			t.Errorf("%s: metrics CSV differs between -parallel 1 and 8", name)
+		}
+	}
+}
+
+// TestSweepExperiment runs the skip-listed metrics sweep and checks it
+// produces one record per run with the experiment stamp.
+func TestSweepExperiment(t *testing.T) {
+	s := session(t, 4)
+	s.Runs = 1
+	e, _ := exp.Lookup("sweep")
+	data, err := e.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := data.([]exp.Metrics)
+	// 4 modes on LAN and WAN, 3 on PPP, one run each.
+	if len(recs) != 11 {
+		t.Fatalf("got %d records, want 11", len(recs))
+	}
+	for _, m := range recs {
+		if m.Experiment != "sweep" {
+			t.Errorf("record experiment = %q, want sweep", m.Experiment)
+		}
+		if m.Packets <= 0 {
+			t.Errorf("%s: no packets recorded", m.Scenario)
+		}
+	}
+	if s.Collector.Len() != len(recs) {
+		t.Errorf("session collector has %d records, want %d", s.Collector.Len(), len(recs))
+	}
+	var buf bytes.Buffer
+	if err := e.Render(&buf, s, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("Per-run metrics")) {
+		t.Errorf("sweep render missing title:\n%s", buf.Bytes())
+	}
+}

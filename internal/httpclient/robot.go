@@ -79,6 +79,9 @@ func NewRobot(s *sim.Simulator, host *tcpsim.Host, serverHost string, serverPort
 // Cache returns the robot's cache.
 func (r *Robot) Cache() *Cache { return r.cache }
 
+// CPUTime returns the total simulated CPU work the robot has consumed.
+func (r *Robot) CPUTime() sim.Duration { return r.cpu.TotalWork() }
+
 // Result returns the fetch summary so far.
 func (r *Robot) Result() Result { return r.result }
 

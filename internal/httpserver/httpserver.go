@@ -152,6 +152,9 @@ func New(s *sim.Simulator, host *tcpsim.Host, port int, site *webgen.Site, cfg C
 // Stats returns a copy of the server counters.
 func (s *Server) Stats() Stats { return s.stats }
 
+// CPUTime returns the total simulated CPU work the server has consumed.
+func (s *Server) CPUTime() sim.Duration { return s.cpu.TotalWork() }
+
 // serverConn is the per-connection state machine.
 type serverConn struct {
 	srv    *Server

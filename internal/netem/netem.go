@@ -159,6 +159,19 @@ type Path struct {
 	AB, BA *Link
 }
 
+// Sent returns the number of packets accepted for transmission on both
+// directions together (including dropped ones).
+func (p *Path) Sent() int { return p.AB.Sent() + p.BA.Sent() }
+
+// Dropped returns the number of packets dropped by the loss model on
+// both directions together.
+func (p *Path) Dropped() int { return p.AB.Dropped() + p.BA.Dropped() }
+
+// WireBits returns the cumulative serialized size of both directions,
+// after link compression — the quantity a line monitor on the physical
+// channel would count.
+func (p *Path) WireBits() int64 { return p.AB.WireBits() + p.BA.WireBits() }
+
 // NewPath builds a symmetric path from a single direction config.
 func NewPath(s *sim.Simulator, name string, cfg Config) *Path {
 	cfgBA := cfg

@@ -1,5 +1,8 @@
 // Package report renders the regenerated experiment tables as aligned
 // text, side by side with the paper's published numbers where available.
+// Every table is described declaratively as a Spec (tablespec.go) — a
+// column list with formats and value extractors — and rendered by the
+// one shared engine.
 package report
 
 import (
@@ -9,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/netem"
 	"repro/internal/webgen"
 )
@@ -22,138 +26,193 @@ func rule(w io.Writer, n int) {
 	fmt.Fprintln(w, strings.Repeat("-", n))
 }
 
+// avgCols builds the four measurement columns (Pa, Bytes, Sec, %ov) for
+// one workload of a main-table row.
+func avgCols(pick func(core.Row) core.Cell) []Col[core.Row] {
+	return []Col[core.Row]{
+		{Head: "Pa", Format: "%8.1f", Value: func(r core.Row) any { return pick(r).Packets }},
+		{Head: "Bytes", Format: "%9.0f", Value: func(r core.Row) any { return pick(r).Bytes }},
+		{Head: "Sec", Format: "%7.2f", Value: func(r core.Row) any { return pick(r).Seconds }},
+		{Head: "%ov", Format: "%5.1f", Value: func(r core.Row) any { return pick(r).OverheadPct }},
+	}
+}
+
 // MainTable renders a Tables 4-9 style table with paper comparison rows.
 func MainTable(w io.Writer, t core.Table) {
-	line(w, "%s", t.Title)
-	rule(w, 112)
-	line(w, "%-36s %s  %35s", "", "First Time Retrieval", "Cache Validation")
-	line(w, "%-36s %8s %9s %7s %5s | %8s %9s %7s %5s", "",
-		"Pa", "Bytes", "Sec", "%ov", "Pa", "Bytes", "Sec", "%ov")
-	rule(w, 112)
-	for _, r := range t.Rows {
-		line(w, "%-36s %8.1f %9.0f %7.2f %5.1f | %8.1f %9.0f %7.2f %5.1f",
-			r.Label,
-			r.First.Packets, r.First.Bytes, r.First.Seconds, r.First.OverheadPct,
-			r.Reval.Packets, r.Reval.Bytes, r.Reval.Seconds, r.Reval.OverheadPct)
-		if r.Paper != nil {
-			line(w, "%-36s %8.1f %9.0f %7.2f %5s | %8.1f %9.0f %7.2f %5s",
+	cols := []Col[core.Row]{{Format: "%-36s", Value: func(r core.Row) any { return r.Label }}}
+	cols = append(cols, avgCols(func(r core.Row) core.Cell { return r.First })...)
+	cols = append(cols, Col[core.Row]{Format: "|"})
+	cols = append(cols, avgCols(func(r core.Row) core.Cell { return r.Reval })...)
+	s := Spec[core.Row]{
+		Title:     t.Title,
+		Width:     112,
+		PreHeader: []string{fmt.Sprintf("%-36s %s  %35s", "", "First Time Retrieval", "Cache Validation")},
+		Cols:      cols,
+		SubRows: func(r core.Row) []string {
+			if r.Paper == nil {
+				return nil
+			}
+			p := r.Paper
+			return []string{fmt.Sprintf("%-36s %8.1f %9.0f %7.2f %5s | %8.1f %9.0f %7.2f %5s",
 				"  (paper)",
-				r.Paper.First.Packets, r.Paper.First.Bytes, r.Paper.First.Seconds, "",
-				r.Paper.Reval.Packets, r.Paper.Reval.Bytes, r.Paper.Reval.Seconds, "")
-		}
+				p.First.Packets, p.First.Bytes, p.First.Seconds, "",
+				p.Reval.Packets, p.Reval.Bytes, p.Reval.Seconds, "")}
+		},
 	}
-	rule(w, 112)
+	s.Render(w, t.Rows)
+}
+
+// table3Metric is one transposed row of Table 3: a metric across all
+// variant columns.
+type table3Metric struct {
+	name  string
+	cell  func(core.Table3Row) string
+	paper []float64
 }
 
 // Table3 renders the initial-investigation table in the paper's layout
 // (metrics as rows, variants as columns).
 func Table3(w io.Writer, rows []core.Table3Row) {
-	line(w, "Table 3 - Jigsaw - Initial High Bandwidth, Low Latency Cache Revalidation Test")
-	rule(w, 96)
-	header := fmt.Sprintf("%-34s", "")
+	cols := []Col[table3Metric]{{Format: "%-34s", Value: func(m table3Metric) any { return m.name }}}
 	for _, r := range rows {
-		header += fmt.Sprintf(" %19s", r.Label)
-	}
-	line(w, "%s", header)
-	rule(w, 96)
-	metric := func(name string, f func(core.Table3Row) string, paper []float64) {
-		out := fmt.Sprintf("%-34s", name)
-		for _, r := range rows {
-			out += fmt.Sprintf(" %19s", f(r))
-		}
-		line(w, "%s", out)
-		if paper != nil {
-			out = fmt.Sprintf("%-34s", "  (paper)")
-			for _, v := range paper {
-				out += fmt.Sprintf(" %19.2f", v)
-			}
-			line(w, "%s", out)
-		}
+		r := r
+		cols = append(cols, Col[table3Metric]{Head: r.Label, Format: "%19s",
+			Value: func(m table3Metric) any { return m.cell(r) }})
 	}
 	p := core.PaperTable3
-	metric("Max simultaneous sockets", func(r core.Table3Row) string { return fmt.Sprintf("%d", r.MaxSockets) }, p.MaxSockets)
-	metric("Total number of sockets used", func(r core.Table3Row) string { return fmt.Sprintf("%d", r.TotalSockets) }, p.TotalSockets)
-	metric("Packets from client to server", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsC2S) }, p.PktsC2S)
-	metric("Packets from server to client", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsS2C) }, p.PktsS2C)
-	metric("Total number of packets", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsTotal) }, p.PktsAll)
-	metric("Total elapsed time [secs]", func(r core.Table3Row) string { return fmt.Sprintf("%.2f", r.Elapsed) }, p.Elapsed)
-	rule(w, 96)
+	metrics := []table3Metric{
+		{"Max simultaneous sockets", func(r core.Table3Row) string { return fmt.Sprintf("%d", r.MaxSockets) }, p.MaxSockets},
+		{"Total number of sockets used", func(r core.Table3Row) string { return fmt.Sprintf("%d", r.TotalSockets) }, p.TotalSockets},
+		{"Packets from client to server", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsC2S) }, p.PktsC2S},
+		{"Packets from server to client", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsS2C) }, p.PktsS2C},
+		{"Total number of packets", func(r core.Table3Row) string { return fmt.Sprintf("%.1f", r.PktsTotal) }, p.PktsAll},
+		{"Total elapsed time [secs]", func(r core.Table3Row) string { return fmt.Sprintf("%.2f", r.Elapsed) }, p.Elapsed},
+	}
+	s := Spec[table3Metric]{
+		Title: "Table 3 - Jigsaw - Initial High Bandwidth, Low Latency Cache Revalidation Test",
+		Width: 96,
+		Cols:  cols,
+		SubRows: func(m table3Metric) []string {
+			if m.paper == nil {
+				return nil
+			}
+			out := fmt.Sprintf("%-34s", "  (paper)")
+			for _, v := range m.paper {
+				out += fmt.Sprintf(" %19.2f", v)
+			}
+			return []string{out}
+		},
+	}
+	s.Render(w, metrics)
 }
 
 // Environments renders Table 1.
 func Environments(w io.Writer) {
-	line(w, "Table 1 - Tested Network Environments")
-	rule(w, 86)
-	line(w, "%-30s %-32s %8s %6s", "Channel", "Connection", "RTT", "MSS")
-	rule(w, 86)
-	for _, env := range netem.Environments {
-		p := netem.Profiles[env]
-		line(w, "%-30s %-32s %8s %6d", p.Channel, p.Connection, p.RTT, p.MSS)
+	s := Spec[netem.Environment]{
+		Title: "Table 1 - Tested Network Environments",
+		Width: 86,
+		Cols: []Col[netem.Environment]{
+			{Head: "Channel", Format: "%-30s", Value: func(e netem.Environment) any { return netem.Profiles[e].Channel }},
+			{Head: "Connection", Format: "%-32s", Value: func(e netem.Environment) any { return netem.Profiles[e].Connection }},
+			{Head: "RTT", Format: "%8s", Value: func(e netem.Environment) any { return netem.Profiles[e].RTT }},
+			{Head: "MSS", Format: "%6d", Value: func(e netem.Environment) any { return netem.Profiles[e].MSS }},
+		},
 	}
-	rule(w, 86)
+	s.Render(w, netem.Environments)
 }
 
 // Modem renders the §8.2.1 modem-compression experiment.
 func Modem(w io.Writer, rows []core.ModemRow, profileName string) {
-	line(w, "Modem compression experiment (single GET of the HTML page over 28.8k PPP) - %s", profileName)
-	rule(w, 86)
-	line(w, "%-52s %8s %9s %8s", "", "Pa", "Bytes", "Sec")
-	rule(w, 86)
-	for _, r := range rows {
-		line(w, "%-52s %8.1f %9.0f %8.2f", r.Label, r.Packets, r.Bytes, r.Seconds)
+	s := Spec[core.ModemRow]{
+		Title: fmt.Sprintf("Modem compression experiment (single GET of the HTML page over 28.8k PPP) - %s", profileName),
+		Width: 86,
+		Cols: []Col[core.ModemRow]{
+			{Format: "%-52s", Value: func(r core.ModemRow) any { return r.Label }},
+			{Head: "Pa", Format: "%8.1f", Value: func(r core.ModemRow) any { return r.Packets }},
+			{Head: "Bytes", Format: "%9.0f", Value: func(r core.ModemRow) any { return r.Bytes }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.ModemRow) any { return r.Seconds }},
+		},
+		Footer: func() []string {
+			p := core.PaperModem
+			return []string{
+				fmt.Sprintf("%-52s %8.1f %9s %8.2f", "  (paper: uncompressed HTML)", p.UncompressedPa, "", p.UncompressedSec),
+				fmt.Sprintf("%-52s %8.1f %9s %8.2f", "  (paper: zlib-compressed HTML)", p.CompressedPa, "", p.CompressedSec),
+			}
+		},
 	}
-	p := core.PaperModem
-	line(w, "%-52s %8.1f %9s %8.2f", "  (paper: uncompressed HTML)", p.UncompressedPa, "", p.UncompressedSec)
-	line(w, "%-52s %8.1f %9s %8.2f", "  (paper: zlib-compressed HTML)", p.CompressedPa, "", p.CompressedSec)
-	rule(w, 86)
+	s.Render(w, rows)
 }
 
 // TagCase renders the markup-case compression experiment.
 func TagCase(w io.Writer, rows []core.TagCaseRow) {
-	line(w, "HTML tag case vs deflate compression (paper: lower ≈ 0.27, mixed ≈ 0.35)")
-	rule(w, 64)
-	line(w, "%-24s %10s %10s %8s", "", "HTML", "deflated", "ratio")
-	rule(w, 64)
-	for _, r := range rows {
-		line(w, "%-24s %10d %10d %8.3f", r.Label, r.HTMLBytes, r.Deflated, r.Ratio)
+	s := Spec[core.TagCaseRow]{
+		Title: "HTML tag case vs deflate compression (paper: lower ≈ 0.27, mixed ≈ 0.35)",
+		Width: 64,
+		Cols: []Col[core.TagCaseRow]{
+			{Format: "%-24s", Value: func(r core.TagCaseRow) any { return r.Label }},
+			{Head: "HTML", Format: "%10d", Value: func(r core.TagCaseRow) any { return r.HTMLBytes }},
+			{Head: "deflated", Format: "%10d", Value: func(r core.TagCaseRow) any { return r.Deflated }},
+			{Head: "ratio", Format: "%8.3f", Value: func(r core.TagCaseRow) any { return r.Ratio }},
+		},
 	}
-	rule(w, 64)
+	s.Render(w, rows)
 }
 
 // Nagle renders the Nagle-interaction ablation.
 func Nagle(w io.Writer, rows []core.NagleRow) {
-	line(w, "Nagle interaction (WAN first-time retrieval; delayed final segments)")
-	rule(w, 72)
-	line(w, "%-44s %8s %8s", "", "Pa", "Sec")
-	rule(w, 72)
-	for _, r := range rows {
-		line(w, "%-44s %8.1f %8.2f", r.Label, r.Packets, r.Seconds)
+	s := Spec[core.NagleRow]{
+		Title: "Nagle interaction (WAN first-time retrieval; delayed final segments)",
+		Width: 72,
+		Cols: []Col[core.NagleRow]{
+			{Format: "%-44s", Value: func(r core.NagleRow) any { return r.Label }},
+			{Head: "Pa", Format: "%8.1f", Value: func(r core.NagleRow) any { return r.Packets }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.NagleRow) any { return r.Seconds }},
+		},
 	}
-	rule(w, 72)
+	s.Render(w, rows)
 }
 
 // Reset renders the connection-management experiment.
 func Reset(w io.Writer, rows []core.ResetRow) {
-	line(w, "Server early-close scenario (5 requests per connection, pipelined client, WAN)")
-	rule(w, 100)
-	line(w, "%-42s %8s %8s %8s %8s %10s", "", "Pa", "Sec", "Resets", "Retried", "Responses")
-	rule(w, 100)
-	for _, r := range rows {
-		line(w, "%-42s %8.1f %8.2f %8.1f %8.1f %10.1f", r.Label, r.Packets, r.Seconds, r.Errors, r.Retried, r.Responses)
+	s := Spec[core.ResetRow]{
+		Title: "Server early-close scenario (5 requests per connection, pipelined client, WAN)",
+		Width: 100,
+		Cols: []Col[core.ResetRow]{
+			{Format: "%-42s", Value: func(r core.ResetRow) any { return r.Label }},
+			{Head: "Pa", Format: "%8.1f", Value: func(r core.ResetRow) any { return r.Packets }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.ResetRow) any { return r.Seconds }},
+			{Head: "Resets", Format: "%8.1f", Value: func(r core.ResetRow) any { return r.Errors }},
+			{Head: "Retried", Format: "%8.1f", Value: func(r core.ResetRow) any { return r.Retried }},
+			{Head: "Responses", Format: "%10.1f", Value: func(r core.ResetRow) any { return r.Responses }},
+		},
 	}
-	rule(w, 100)
+	s.Render(w, rows)
 }
 
 // Flush renders the flush-policy ablation grid.
 func Flush(w io.Writer, rows []core.FlushRow) {
-	line(w, "Pipelining flush-policy ablation (WAN first-time retrieval)")
-	rule(w, 64)
-	line(w, "%-12s %-14s %8s %8s", "buffer", "timer", "Pa", "Sec")
-	rule(w, 64)
-	for _, r := range rows {
-		line(w, "%-12d %-14s %8.1f %8.2f", r.BufferSize, r.FlushTimeout, r.Packets, r.Seconds)
+	s := Spec[core.FlushRow]{
+		Title: "Pipelining flush-policy ablation (WAN first-time retrieval)",
+		Width: 64,
+		Cols: []Col[core.FlushRow]{
+			{Head: "buffer", Format: "%-12d", Value: func(r core.FlushRow) any { return r.BufferSize }},
+			{Head: "timer", Format: "%-14s", Value: func(r core.FlushRow) any { return r.FlushTimeout }},
+			{Head: "Pa", Format: "%8.1f", Value: func(r core.FlushRow) any { return r.Packets }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.FlushRow) any { return r.Seconds }},
+		},
 	}
-	rule(w, 64)
+	s.Render(w, rows)
+}
+
+// cssSpec lists the image→CSS replacements.
+var cssSpec = Spec[webgen.Replacement]{
+	Cols: []Col[webgen.Replacement]{
+		{Head: "image", Format: "%-22s", Value: func(r webgen.Replacement) any { return r.Name }},
+		{Head: "role", Format: "%-10s", Value: func(r webgen.Replacement) any { return r.Role }},
+		{Head: "GIF", Format: "%10d", Value: func(r webgen.Replacement) any { return r.GIFBytes }},
+		{Head: "HTML+CSS", Format: "%10d", Value: func(r webgen.Replacement) any { return r.CSSBytes() }},
+		{Head: "saved", Format: "%8d", Value: func(r webgen.Replacement) any { return r.Saved() }},
+	},
 }
 
 // CSS renders the image→CSS replacement analysis (Figure 1 and the
@@ -173,11 +232,22 @@ func CSS(w io.Writer, site *webgen.Site) {
 	line(w, "  HTML+CSS bytes added:   %d", rep.CSSBytesAdded)
 	line(w, "  net payload saving:     %d bytes", rep.NetSavings())
 	rule(w, 70)
-	line(w, "%-22s %-10s %10s %10s %8s", "image", "role", "GIF", "HTML+CSS", "saved")
+	line(w, "%s", cssSpec.HeaderLine())
 	for _, r := range rep.Replacements {
-		line(w, "%-22s %-10s %10d %10d %8d", r.Name, r.Role, r.GIFBytes, r.CSSBytes(), r.Saved())
+		line(w, "%s", cssSpec.Row(r))
 	}
 	rule(w, 70)
+}
+
+// pngSpec lists the GIF→PNG/MNG conversions.
+var pngSpec = Spec[webgen.Conversion]{
+	Cols: []Col[webgen.Conversion]{
+		{Head: "image", Format: "%-22s", Value: func(c webgen.Conversion) any { return c.Name }},
+		{Head: "role", Format: "%-10s", Value: func(c webgen.Conversion) any { return c.Role }},
+		{Head: "GIF", Format: "%10d", Value: func(c webgen.Conversion) any { return c.GIFBytes }},
+		{Head: "PNG/MNG", Format: "%10d", Value: func(c webgen.Conversion) any { return c.NewBytes }},
+		{Head: "saved", Format: "%8d", Value: func(c webgen.Conversion) any { return c.Saved() }},
+	},
 }
 
 // PNG renders the GIF→PNG / animated GIF→MNG conversion report.
@@ -193,12 +263,12 @@ func PNG(w io.Writer, site *webgen.Site) error {
 	line(w, "  animations:   %d -> %d bytes (saved %d, %.1f%%)  [paper: 24988 -> 16329]",
 		rep.AnimGIF, rep.AnimMNG, rep.AnimSaved(), 100*float64(rep.AnimSaved())/float64(rep.AnimGIF))
 	rule(w, 76)
-	line(w, "%-22s %-10s %10s %10s %8s", "image", "role", "GIF", "PNG/MNG", "saved")
+	line(w, "%s", pngSpec.HeaderLine())
 	for _, c := range rep.Static {
-		line(w, "%-22s %-10s %10d %10d %8d", c.Name, c.Role, c.GIFBytes, c.NewBytes, c.Saved())
+		line(w, "%s", pngSpec.Row(c))
 	}
 	for _, c := range rep.Animations {
-		line(w, "%-22s %-10s %10d %10d %8d", c.Name, c.Role, c.GIFBytes, c.NewBytes, c.Saved())
+		line(w, "%s", pngSpec.Row(c))
 	}
 	rule(w, 76)
 	return nil
@@ -211,36 +281,69 @@ func Duration(d time.Duration) string {
 
 // Range renders the range-probe ("poor man's multiplexing") experiment.
 func Range(w io.Writer, rows []core.RangeRow) {
-	line(w, "Range-request revalidation after a site revision (PPP, pipelined, ~30%% of objects changed)")
-	rule(w, 110)
-	line(w, "%-46s %8s %9s %9s %13s %8s", "", "Pa", "Bytes", "Sec", "Metadata Sec", "206s")
-	rule(w, 110)
-	for _, r := range rows {
-		line(w, "%-46s %8.1f %9.0f %9.2f %13.2f %8.1f", r.Label, r.Packets, r.Bytes, r.Seconds, r.MetadataSeconds, r.Responses206)
+	s := Spec[core.RangeRow]{
+		Title: "Range-request revalidation after a site revision (PPP, pipelined, ~30% of objects changed)",
+		Width: 110,
+		Cols: []Col[core.RangeRow]{
+			{Format: "%-46s", Value: func(r core.RangeRow) any { return r.Label }},
+			{Head: "Pa", Format: "%8.1f", Value: func(r core.RangeRow) any { return r.Packets }},
+			{Head: "Bytes", Format: "%9.0f", Value: func(r core.RangeRow) any { return r.Bytes }},
+			{Head: "Sec", Format: "%9.2f", Value: func(r core.RangeRow) any { return r.Seconds }},
+			{Head: "Metadata Sec", Format: "%13.2f", Value: func(r core.RangeRow) any { return r.MetadataSeconds }},
+			{Head: "206s", Format: "%8.1f", Value: func(r core.RangeRow) any { return r.Responses206 }},
+		},
 	}
-	rule(w, 110)
+	s.Render(w, rows)
 }
 
 // HeaderRedundancy renders the compact-wire-representation estimate.
 func HeaderRedundancy(w io.Writer, rows []core.HeaderRedundancyRow) {
-	line(w, "Request redundancy on the 43-request revalidation (paper: ~10%% of bytes change between requests)")
-	rule(w, 86)
-	line(w, "%-52s %12s %8s", "", "bytes", "ratio")
-	rule(w, 86)
-	for _, r := range rows {
-		line(w, "%-52s %12d %8.3f", r.Label, r.RequestBytes, r.Ratio)
+	s := Spec[core.HeaderRedundancyRow]{
+		Title: "Request redundancy on the 43-request revalidation (paper: ~10% of bytes change between requests)",
+		Width: 86,
+		Cols: []Col[core.HeaderRedundancyRow]{
+			{Format: "%-52s", Value: func(r core.HeaderRedundancyRow) any { return r.Label }},
+			{Head: "bytes", Format: "%12d", Value: func(r core.HeaderRedundancyRow) any { return r.RequestBytes }},
+			{Head: "ratio", Format: "%8.3f", Value: func(r core.HeaderRedundancyRow) any { return r.Ratio }},
+		},
 	}
-	rule(w, 86)
+	s.Render(w, rows)
 }
 
 // Cwnd renders the initial-window ablation.
 func Cwnd(w io.Writer, rows []core.CwndRow) {
-	line(w, "Slow-start initial window ablation (WAN first-time retrieval, pipelined)")
-	rule(w, 64)
-	line(w, "%-30s %8s %8s", "", "Pa", "Sec")
-	rule(w, 64)
-	for _, r := range rows {
-		line(w, "%-30s %8.1f %8.2f", r.Label, r.Packets, r.Seconds)
+	s := Spec[core.CwndRow]{
+		Title: "Slow-start initial window ablation (WAN first-time retrieval, pipelined)",
+		Width: 64,
+		Cols: []Col[core.CwndRow]{
+			{Format: "%-30s", Value: func(r core.CwndRow) any { return r.Label }},
+			{Head: "Pa", Format: "%8.1f", Value: func(r core.CwndRow) any { return r.Packets }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.CwndRow) any { return r.Seconds }},
+		},
 	}
-	rule(w, 64)
+	s.Render(w, rows)
+}
+
+// MetricsTable renders collected per-run metrics records as a text
+// table (the structured counterpart is Collector.WriteCSV / -json).
+func MetricsTable(w io.Writer, recs []exp.Metrics) {
+	s := Spec[exp.Metrics]{
+		Title: "Per-run metrics",
+		Width: 120,
+		Cols: []Col[exp.Metrics]{
+			{Head: "scenario", Format: "%-40s", Value: func(m exp.Metrics) any { return m.Scenario }},
+			{Head: "seed", Format: "%8d", Value: func(m exp.Metrics) any { return m.Seed }},
+			{Head: "run", Format: "%3d", Value: func(m exp.Metrics) any { return m.Run }},
+			{Head: "Pa", Format: "%6d", Value: func(m exp.Metrics) any { return m.Packets }},
+			{Head: "Bytes", Format: "%9d", Value: func(m exp.Metrics) any { return m.PayloadBytes }},
+			{Head: "Sec", Format: "%7.2f", Value: func(m exp.Metrics) any { return m.ElapsedSeconds }},
+			{Head: "rexmt", Format: "%5d", Value: func(m exp.Metrics) any { return m.Retransmissions }},
+			{Head: "drop", Format: "%4d", Value: func(m exp.Metrics) any { return m.Drops }},
+			{Head: "dial", Format: "%4d", Value: func(m exp.Metrics) any { return m.Dials }},
+			{Head: "conn", Format: "%4d", Value: func(m exp.Metrics) any { return m.MaxOpenConns }},
+			{Head: "cliCPU", Format: "%7.3f", Value: func(m exp.Metrics) any { return m.ClientCPUSeconds }},
+			{Head: "srvCPU", Format: "%7.3f", Value: func(m exp.Metrics) any { return m.ServerCPUSeconds }},
+		},
+	}
+	s.Render(w, recs)
 }

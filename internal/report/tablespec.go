@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Col is one column of a table Spec: a header label, the fmt verb used
+// for data cells, and the value extractor. A Format containing no verb
+// is a literal separator column, emitted as-is in the header and in
+// every row (MainTable's "|" between the two workloads).
+type Col[R any] struct {
+	Head   string
+	Format string
+	Value  func(R) any
+}
+
+// Spec is a declarative table description. Render reproduces the layout
+// every hand-written printer in this package used: title, rule,
+// optional pre-header lines, a column-header row derived from the cell
+// formats, rule, one line per row plus any sub-rows, optional footer
+// lines, closing rule. Cells on a line are joined by single spaces.
+type Spec[R any] struct {
+	Title string
+	// Width is the horizontal-rule length.
+	Width int
+	// PreHeader lines print between the opening rule and the column
+	// header (MainTable's workload banner).
+	PreHeader []string
+	Cols      []Col[R]
+	// SubRows, when non-nil, returns extra pre-formatted lines printed
+	// after a row (the paper-comparison rows).
+	SubRows func(R) []string
+	// Footer, when non-nil, returns pre-formatted lines printed before
+	// the closing rule.
+	Footer func() []string
+}
+
+// headFormat converts a cell verb into its header verb, keeping flags
+// and width but dropping precision and the type: "%8.1f" → "%8s",
+// "%-12d" → "%-12s".
+func headFormat(cell string) string {
+	i := strings.IndexByte(cell, '%')
+	j := i + 1
+	for j < len(cell) && strings.IndexByte("-+ 0#", cell[j]) >= 0 {
+		j++
+	}
+	for j < len(cell) && cell[j] >= '0' && cell[j] <= '9' {
+		j++
+	}
+	return cell[:j] + "s"
+}
+
+// HeaderLine renders the column-header row.
+func (s Spec[R]) HeaderLine() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		if !strings.ContainsRune(c.Format, '%') {
+			parts[i] = c.Format
+			continue
+		}
+		parts[i] = fmt.Sprintf(headFormat(c.Format), c.Head)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Row renders one data row.
+func (s Spec[R]) Row(r R) string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		if !strings.ContainsRune(c.Format, '%') {
+			parts[i] = c.Format
+			continue
+		}
+		parts[i] = fmt.Sprintf(c.Format, c.Value(r))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render writes the whole table.
+func (s Spec[R]) Render(w io.Writer, rows []R) {
+	if s.Title != "" {
+		line(w, "%s", s.Title)
+	}
+	rule(w, s.Width)
+	for _, l := range s.PreHeader {
+		line(w, "%s", l)
+	}
+	line(w, "%s", s.HeaderLine())
+	rule(w, s.Width)
+	for _, r := range rows {
+		line(w, "%s", s.Row(r))
+		if s.SubRows != nil {
+			for _, l := range s.SubRows(r) {
+				line(w, "%s", l)
+			}
+		}
+	}
+	if s.Footer != nil {
+		for _, l := range s.Footer() {
+			line(w, "%s", l)
+		}
+	}
+	rule(w, s.Width)
+}

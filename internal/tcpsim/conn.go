@@ -52,6 +52,7 @@ type Conn struct {
 
 	segsSent, segsRcvd int
 	retransSegs        int
+	rtoTimeouts        int
 	err                error
 	closeSignaled      bool
 	timeWaitTimer      *sim.Timer
@@ -143,6 +144,10 @@ func (c *Conn) SegmentsReceived() int { return c.segsRcvd }
 // Retransmissions returns the number of segments this endpoint sent more
 // than once (go-back-N resends and timer retransmits).
 func (c *Conn) Retransmissions() int { return c.retransSegs }
+
+// RTOTimeouts returns the number of retransmission-timer expirations
+// this endpoint has suffered (fast retransmits not included).
+func (c *Conn) RTOTimeouts() int { return c.rtoTimeouts }
 
 // Cwnd returns the current congestion window in bytes.
 func (c *Conn) Cwnd() int { return c.cwnd }
@@ -662,6 +667,8 @@ func (c *Conn) onRTO() {
 	if c.state == StateClosed || c.state == StateTimeWait {
 		return
 	}
+	c.rtoTimeouts++
+	c.host.net.rtoTimeouts++
 	c.retries++
 	if c.retries > c.opts.MaxRetries {
 		c.teardown(ErrTimeout, true)

@@ -27,7 +27,8 @@ type Network struct {
 	hosts map[string]*Host
 	paths []pathEntry
 
-	packets int64
+	packets     int64
+	rtoTimeouts int64
 }
 
 type pathEntry struct {
@@ -67,6 +68,11 @@ func (n *Network) ConnectHosts(a, b *Host, p *netem.Path) {
 // Packets returns the total number of segments transmitted (including
 // retransmissions and dropped segments).
 func (n *Network) Packets() int64 { return n.packets }
+
+// RTOTimeouts returns the total number of retransmission-timer
+// expirations across all connections the network has carried, including
+// connections already torn down.
+func (n *Network) RTOTimeouts() int64 { return n.rtoTimeouts }
 
 func (n *Network) link(from, to string) *netem.Link {
 	for _, e := range n.paths {

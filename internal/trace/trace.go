@@ -52,8 +52,10 @@ type Stats struct {
 	PayloadBytes int64
 	// WireBytes adds the 40-byte TCP/IP header per packet.
 	WireBytes int64
-	// Retransmissions and Dropped count pathological segments.
+	// Retransmissions and Dropped count pathological segments;
+	// RetransC2S and RetransS2C split the retransmissions by direction.
 	Retransmissions, Dropped int
+	RetransC2S, RetransS2C   int
 	// Connections is the number of SYNs from the client (sockets used).
 	Connections int
 	// First and Last bound the capture in virtual time.
@@ -89,6 +91,11 @@ func (c *Capture) Stats(clientHost string) Stats {
 		}
 		if ev.Retrans {
 			s.Retransmissions++
+			if ev.Seg.From.Host == clientHost {
+				s.RetransC2S++
+			} else {
+				s.RetransS2C++
+			}
 		}
 		if ev.Dropped {
 			s.Dropped++
