@@ -1,0 +1,45 @@
+// Command benchjson converts `go test -bench` output into a dated JSON
+// snapshot so the repo can accumulate a benchmark trajectory over time.
+// The custom metrics attached by bench_test.go (packets, virtual
+// seconds, byte totals per table row) become named fields, making
+// regressions in the reproduced quantities diffable:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchjson -o BENCH_$(date +%F).json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the snapshot")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	snap, err := Parse(os.Stdin, *date)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

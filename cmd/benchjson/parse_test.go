@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkTable1Environments-8   	       1	  52034188 ns/op	         0.000210 LAN_probe_sec	         0.1744 WAN_probe_sec
+BenchmarkTable4JigsawLAN-8      	       1	 123456789 ns/op	       181.0 pipeline_first_pa	         0.4900 pipeline_first_sec
+BenchmarkSiteSynthesis          	      12	   9876543 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleBench), "2026-08-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Date != "2026-08-05" || snap.GOOS != "linux" || snap.GOARCH != "amd64" || snap.Package != "repro" {
+		t.Fatalf("header wrong: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "Table1Environments" || b.Procs != 8 || b.Iterations != 1 {
+		t.Fatalf("first benchmark wrong: %+v", b)
+	}
+	if b.NsPerOp != 52034188 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.Metrics["LAN_probe_sec"] != 0.000210 || b.Metrics["WAN_probe_sec"] != 0.1744 {
+		t.Fatalf("custom metrics wrong: %+v", b.Metrics)
+	}
+	if got := snap.Benchmarks[1].Metrics["pipeline_first_pa"]; got != 181 {
+		t.Fatalf("pipeline_first_pa = %v", got)
+	}
+	// No procs suffix: GOMAXPROCS defaults to 1 and the name is untouched.
+	if b2 := snap.Benchmarks[2]; b2.Name != "SiteSynthesis" || b2.Procs != 1 || b2.Iterations != 12 || b2.Metrics != nil {
+		t.Fatalf("third benchmark wrong: %+v", b2)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n"), "d"); err == nil {
+		t.Fatal("input with no benchmark lines accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-2 notanumber 5 ns/op\n"), "d"); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+}

@@ -26,6 +26,12 @@
 //	httpperf -parallel 8     # worker goroutines (default NumCPU)
 //	httpperf -json           # machine-readable output (tables + per-run metrics)
 //	httpperf -csv            # per-run metrics as CSV
+//
+// Observability (single-scenario mode; see -scenario for the cell):
+//
+//	httpperf -pcap run.pcap        # packet capture for tcpdump/Wireshark
+//	httpperf -timeline run.json    # Perfetto / Chrome trace-event JSON
+//	httpperf -waterfall            # devtools-style request waterfall table
 package main
 
 import (
@@ -49,10 +55,22 @@ func main() {
 	listEnvs := flag.Bool("list-envs", false, "print Table 1 (network environments) and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON (tables plus per-run metrics) instead of text tables")
 	asCSV := flag.Bool("csv", false, "emit per-run metrics as CSV instead of text tables")
+	scenario := flag.String("scenario", "apache/pipelined/PPP/first", "server/client/env/workload cell for the observability flags")
+	seed := flag.Uint64("seed", 1, "seed for the observability single-scenario run")
+	pcap := flag.String("pcap", "", "run -scenario once and write its packet capture to this pcap file")
+	timeline := flag.String("timeline", "", "run -scenario once and write its event timeline to this Perfetto JSON file")
+	waterfall := flag.Bool("waterfall", false, "run -scenario once and print its request waterfall table")
 	flag.Parse()
 
 	if *listEnvs {
 		report.Environments(os.Stdout)
+		return
+	}
+	if *pcap != "" || *timeline != "" || *waterfall {
+		if err := observe(*scenario, *seed, *pcap, *timeline, *waterfall); err != nil {
+			fmt.Fprintln(os.Stderr, "httpperf:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	s := &exp.Session{Runs: *runs, Seeds: *seeds, Parallel: *parallel}
@@ -60,6 +78,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "httpperf:", err)
 		os.Exit(1)
 	}
+}
+
+// observe runs one scenario with full observability and writes the
+// requested exports.
+func observe(spec string, seed uint64, pcap, timeline string, waterfall bool) error {
+	sc, err := core.ParseScenario(spec)
+	if err != nil {
+		return err
+	}
+	sc.Seed = seed
+	site, err := core.DefaultSite()
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(sc, site, core.WithCapture(), core.WithTimeline())
+	if err != nil {
+		return err
+	}
+	if pcap != "" {
+		f, err := os.Create(pcap)
+		if err != nil {
+			return err
+		}
+		if err := res.Capture.WritePcap(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "httpperf: wrote %s (%d packets)\n", pcap, res.Stats.Packets)
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if err := res.Timeline.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "httpperf: wrote %s (%d events, %d spans)\n",
+			timeline, res.Timeline.Len(), len(res.Timeline.Spans()))
+	}
+	if waterfall {
+		report.WriteWaterfall(os.Stdout, res.Timeline)
+	}
+	return nil
 }
 
 func run(s *exp.Session, table string, asJSON, asCSV bool) error {

@@ -7,18 +7,20 @@
 //	tracedump -server jigsaw -client pipelined -env WAN -workload reval
 //	tracedump -client http10 -env LAN -seq client      # time-sequence points
 //	tracedump -client serial -env WAN -xplot server    # xplot(1) file
+//	tracedump -env PPP -pcap run.pcap                  # Wireshark-ready capture
+//	tracedump -env PPP -timeline run.json              # Perfetto trace
+//	tracedump -env PPP -waterfall                      # request waterfall table
+//	tracedump -client serial -env PPP -nagle -pcap n.pcap  # §4.1 Nagle stall
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
-	"repro/internal/httpclient"
 	"repro/internal/httpserver"
-	"repro/internal/netem"
+	"repro/internal/report"
 )
 
 func main() {
@@ -29,66 +31,87 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	seq := flag.String("seq", "", "print time-sequence points for this host (client/server) instead of the dump")
 	xplot := flag.String("xplot", "", "write an xplot(1) file of this host's send direction instead of the dump")
+	pcap := flag.String("pcap", "", "write the packet capture to this file as pcap (tcpdump/Wireshark)")
+	timeline := flag.String("timeline", "", "write the full-stack event timeline to this file as Perfetto/Chrome trace JSON")
+	waterfall := flag.Bool("waterfall", false, "print the request waterfall table instead of the dump")
+	nagle := flag.Bool("nagle", false, "re-enable Nagle on the server (the paper's untuned configuration)")
 	flag.Parse()
 
-	if err := run(*server, *client, *env, *workload, *seed, *seq, *xplot); err != nil {
+	if err := run(*server, *client, *env, *workload, *seed, *seq, *xplot, *pcap, *timeline, *waterfall, *nagle); err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, client, env, workload string, seed uint64, seq, xplot string) error {
+func run(server, client, env, workload string, seed uint64, seq, xplot, pcap, timeline string, waterfall, nagle bool) error {
 	sc := core.Scenario{Seed: seed}
-	switch strings.ToLower(server) {
-	case "jigsaw":
-		sc.Server = httpserver.ProfileJigsaw
-	case "apache":
-		sc.Server = httpserver.ProfileApache
-	default:
-		return fmt.Errorf("unknown server %q", server)
+	var err error
+	if sc.Server, err = core.ParseServerProfile(server); err != nil {
+		return err
 	}
-	switch strings.ToLower(client) {
-	case "http10":
-		sc.Client = httpclient.ModeHTTP10
-	case "serial":
-		sc.Client = httpclient.ModeHTTP11Serial
-	case "pipelined":
-		sc.Client = httpclient.ModeHTTP11Pipelined
-	case "deflate":
-		sc.Client = httpclient.ModeHTTP11PipelinedDeflate
-	case "netscape":
-		sc.Client = httpclient.ModeNetscape
-	case "msie":
-		sc.Client = httpclient.ModeMSIE
-	default:
-		return fmt.Errorf("unknown client %q", client)
+	if sc.Client, err = core.ParseClientMode(client); err != nil {
+		return err
 	}
-	switch strings.ToUpper(env) {
-	case "LAN":
-		sc.Env = netem.LAN
-	case "WAN":
-		sc.Env = netem.WAN
-	case "PPP":
-		sc.Env = netem.PPP
-	default:
-		return fmt.Errorf("unknown environment %q", env)
+	if sc.Env, err = core.ParseEnvironment(env); err != nil {
+		return err
 	}
-	switch strings.ToLower(workload) {
-	case "first":
-		sc.Workload = httpclient.FirstTime
-	case "reval", "revalidate":
-		sc.Workload = httpclient.Revalidate
-	default:
-		return fmt.Errorf("unknown workload %q", workload)
+	if sc.Workload, err = core.ParseWorkload(workload); err != nil {
+		return err
+	}
+	if nagle {
+		// core.Run sets TCP_NODELAY on the server (the paper's first
+		// tuning) unless an override is present; an override with
+		// NoDelay unset puts the untuned behavior back.
+		sc.ServerOverride = &httpserver.Config{Profile: sc.Server}
 	}
 
 	site, err := core.DefaultSite()
 	if err != nil {
 		return err
 	}
-	res, err := core.RunCaptured(sc, site)
+	opts := []core.Option{core.WithCapture()}
+	if timeline != "" || waterfall {
+		opts = append(opts, core.WithTimeline())
+	}
+	res, err := core.Run(sc, site, opts...)
 	if err != nil {
 		return err
+	}
+
+	if pcap != "" {
+		f, err := os.Create(pcap)
+		if err != nil {
+			return err
+		}
+		if err := res.Capture.WritePcap(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracedump: wrote %s (%d packets)\n", pcap, res.Stats.Packets)
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if err := res.Timeline.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracedump: wrote %s (%d events)\n", timeline, res.Timeline.Len())
+	}
+	if waterfall {
+		report.WriteWaterfall(os.Stdout, res.Timeline)
+		return nil
+	}
+	if pcap != "" || timeline != "" {
+		return nil
 	}
 
 	if xplot != "" {

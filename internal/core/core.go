@@ -22,6 +22,7 @@ import (
 	"repro/internal/httpserver"
 	"repro/internal/lzw"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/trace"
@@ -74,6 +75,9 @@ type RunResult struct {
 	// Capture holds the full packet trace when Scenario runs through
 	// RunCaptured.
 	Capture *trace.Capture
+	// Timeline holds the full-stack event bus when Run was given
+	// WithTimeline; nil otherwise.
+	Timeline *obs.Bus
 }
 
 // ErrDidNotFinish reports a run whose client never completed the page.
@@ -86,13 +90,22 @@ const serverPort = 80
 type Option func(*runConfig)
 
 type runConfig struct {
-	capture bool
-	seed    *uint64
-	metrics *exp.Metrics
+	capture  bool
+	timeline bool
+	seed     *uint64
+	metrics  *exp.Metrics
 }
 
 // WithCapture retains the full packet trace in the result.
 func WithCapture() Option { return func(c *runConfig) { c.capture = true } }
+
+// WithTimeline records the full-stack event timeline — TCP connection
+// state spans, congestion-window changes, Nagle holds, RTO fires,
+// retransmissions, wire serialization windows, and per-object request
+// lifecycle spans — into RunResult.Timeline, for export as a Perfetto
+// trace or a request waterfall. Observation does not perturb the
+// simulation: a run measures identically with or without it.
+func WithTimeline() Option { return func(c *runConfig) { c.timeline = true } }
 
 // WithSeed overrides the scenario's seed for this run.
 func WithSeed(seed uint64) Option {
@@ -125,9 +138,24 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	clientHost := net.AddHost("client")
 	serverHost := net.AddHost("server")
 
+	var bus *obs.Bus
+	if cfg.timeline {
+		bus = obs.New(s)
+		net.Obs = bus
+	}
+
 	var rng *sim.Rand
 	cpuJitter := 0.0
 	pathOpts := netem.PathOptions{}
+	if bus != nil {
+		pathOpts.Observer = func(ev netem.LinkEvent) {
+			if ev.Dropped {
+				bus.WireDrop(ev.Link, ev.WireBytes)
+				return
+			}
+			bus.WireSend(ev.Link, ev.WireBytes, ev.Start, ev.Done, ev.Arrive)
+		}
+	}
 	if sc.Jitter {
 		rng = sim.NewRand(sc.Seed | 1)
 		cpuJitter = 0.10
@@ -145,6 +173,7 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	path := netem.NewEnvPath(s, sc.Env, pathOpts)
 	net.ConnectHosts(clientHost, serverHost, path)
 	capture := trace.Attach(net)
+	defer capture.Detach()
 
 	serverCfg := httpserver.Config{Profile: sc.Server}
 	if sc.ServerOverride != nil {
@@ -164,6 +193,8 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		serverCfg.NoDelay = true
 	}
 	serverCfg.EnableDeflate = serverCfg.EnableDeflate || clientCfg.AcceptDeflate
+	serverCfg.Obs = bus
+	clientCfg.Obs = bus
 
 	served := site
 	if sc.ReviseFraction > 0 {
@@ -202,6 +233,7 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	if cfg.capture {
 		res.Capture = capture
 	}
+	res.Timeline = bus
 	if m := cfg.metrics; m != nil {
 		st := res.Stats
 		m.Scenario = sc.String()
@@ -227,6 +259,8 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.Responses206 = res.Client.Responses206
 		m.Errors = res.Client.Errors
 		m.Retried = res.Client.Retried
+		m.TimelineEvents = bus.Len()
+		m.TimelineSpans = len(bus.Spans())
 	}
 	return res, nil
 }

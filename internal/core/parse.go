@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+)
+
+// ParseServerProfile maps a command-line name to a server profile.
+// Accepted (case-insensitive): jigsaw, apache.
+func ParseServerProfile(s string) (httpserver.Profile, error) {
+	switch strings.ToLower(s) {
+	case "jigsaw":
+		return httpserver.ProfileJigsaw, nil
+	case "apache":
+		return httpserver.ProfileApache, nil
+	}
+	return 0, fmt.Errorf("unknown server profile %q (want jigsaw or apache)", s)
+}
+
+// ParseClientMode maps a command-line name to a client mode. Accepted
+// (case-insensitive): http10, serial, pipelined, deflate, netscape,
+// msie.
+func ParseClientMode(s string) (httpclient.Mode, error) {
+	switch strings.ToLower(s) {
+	case "http10":
+		return httpclient.ModeHTTP10, nil
+	case "serial":
+		return httpclient.ModeHTTP11Serial, nil
+	case "pipelined":
+		return httpclient.ModeHTTP11Pipelined, nil
+	case "deflate":
+		return httpclient.ModeHTTP11PipelinedDeflate, nil
+	case "netscape":
+		return httpclient.ModeNetscape, nil
+	case "msie":
+		return httpclient.ModeMSIE, nil
+	}
+	return 0, fmt.Errorf("unknown client mode %q (want http10, serial, pipelined, deflate, netscape, or msie)", s)
+}
+
+// ParseEnvironment maps a command-line name to a network environment.
+// Accepted (case-insensitive): LAN, WAN, PPP.
+func ParseEnvironment(s string) (netem.Environment, error) {
+	switch strings.ToUpper(s) {
+	case "LAN":
+		return netem.LAN, nil
+	case "WAN":
+		return netem.WAN, nil
+	case "PPP":
+		return netem.PPP, nil
+	}
+	return 0, fmt.Errorf("unknown environment %q (want LAN, WAN, or PPP)", s)
+}
+
+// ParseWorkload maps a command-line name to a workload. Accepted
+// (case-insensitive): first, reval (or revalidate).
+func ParseWorkload(s string) (httpclient.Workload, error) {
+	switch strings.ToLower(s) {
+	case "first":
+		return httpclient.FirstTime, nil
+	case "reval", "revalidate":
+		return httpclient.Revalidate, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q (want first or reval)", s)
+}
+
+// ParseScenario parses a "server/client/env/workload" spec — e.g.
+// "apache/pipelined/PPP/first" — into a Scenario with zero seed and no
+// jitter.
+func ParseScenario(spec string) (Scenario, error) {
+	parts := strings.Split(spec, "/")
+	if len(parts) != 4 {
+		return Scenario{}, fmt.Errorf("scenario %q: want server/client/env/workload", spec)
+	}
+	var sc Scenario
+	var err error
+	if sc.Server, err = ParseServerProfile(parts[0]); err != nil {
+		return Scenario{}, err
+	}
+	if sc.Client, err = ParseClientMode(parts[1]); err != nil {
+		return Scenario{}, err
+	}
+	if sc.Env, err = ParseEnvironment(parts[2]); err != nil {
+		return Scenario{}, err
+	}
+	if sc.Workload, err = ParseWorkload(parts[3]); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}

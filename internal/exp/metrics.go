@@ -77,6 +77,12 @@ type Metrics struct {
 	Responses206 int `json:"responses_206"`
 	Errors       int `json:"errors"`
 	Retried      int `json:"retried"`
+
+	// TimelineEvents and TimelineSpans count the observability bus's
+	// recorded events and request spans; both are zero when the run
+	// executed without core.WithTimeline.
+	TimelineEvents int `json:"timeline_events,omitempty"`
+	TimelineSpans  int `json:"timeline_spans,omitempty"`
 }
 
 // csvHeader lists the CSV columns, in Metrics field order.
@@ -90,6 +96,7 @@ var csvHeader = []string{
 	"client_cpu_seconds", "server_cpu_seconds",
 	"responses_200", "responses_304", "responses_206",
 	"errors", "retried",
+	"timeline_events", "timeline_spans",
 }
 
 // csvRow renders the record in csvHeader order.
@@ -106,6 +113,7 @@ func (m Metrics) csvRow() []string {
 		f(m.ClientCPUSeconds), f(m.ServerCPUSeconds),
 		strconv.Itoa(m.Responses200), strconv.Itoa(m.Responses304), strconv.Itoa(m.Responses206),
 		strconv.Itoa(m.Errors), strconv.Itoa(m.Retried),
+		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
 	}
 }
 

@@ -16,6 +16,7 @@ package httpclient
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tcpsim"
 )
 
@@ -130,6 +131,10 @@ type Config struct {
 
 	// TCP overrides connection options other than NoDelay.
 	TCP tcpsim.Options
+
+	// Obs, if non-nil, receives request lifecycle spans (queued →
+	// written → first byte → done) for every work item.
+	Obs *obs.Bus
 }
 
 // Config returns the preset for the mode.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/flatez"
 	"repro/internal/htmlparse"
 	"repro/internal/httpmsg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 )
@@ -25,6 +26,8 @@ type workItem struct {
 	rangeLo, rangeHi int
 	probe            bool
 	remainder        bool
+	// span is the item's timeline span (0 when observability is off).
+	span obs.SpanID
 }
 
 // hasRange reports whether the item carries a Range header.
@@ -101,6 +104,7 @@ func (r *Robot) Start(pagePath string, workload Workload, onDone func(*Robot)) {
 			item.conditional = true
 		}
 	}
+	item.span = r.cfg.Obs.SpanQueued(item.method, item.path, false)
 	r.queue = append(r.queue, item)
 	r.enqueued[pagePath] = true
 	r.metaPending++
@@ -126,6 +130,7 @@ func (r *Robot) enqueueImage(url string) {
 			}
 		}
 	}
+	it.span = r.cfg.Obs.SpanQueued(it.method, it.path, false)
 	r.metaPending++
 	r.queue = append(r.queue, it)
 }
@@ -324,6 +329,7 @@ func (r *Robot) handleResponse(cc *clientConn, it workItem, resp *httpmsg.Respon
 				rangeLo:   it.rangeHi + 1,
 				rangeHi:   -1,
 				remainder: true,
+				span:      r.cfg.Obs.SpanQueued("GET", it.path, false),
 			})
 		}
 	}
@@ -435,6 +441,8 @@ func (r *Robot) failConn(cc *clientConn, isError bool) {
 			it.retried = true
 			r.result.Retried++
 			r.issued-- // it will be re-issued
+			// The original span stays open-ended; the retry is its own span.
+			it.span = r.cfg.Obs.SpanQueued(it.method, it.path, true)
 			r.queue = append(r.queue, it)
 			if it.isHTML {
 				// The page will be re-received from the start; discard
@@ -459,6 +467,9 @@ type clientConn struct {
 	flushTimer *sim.Timer
 	sentFirst  bool
 	dead       bool
+	// unflushed holds the spans of buffered pipelined requests; their
+	// span-written instant is the flush, not the enqueue.
+	unflushed []obs.SpanID
 }
 
 // enqueuePipelined appends the request to the output buffer and applies
@@ -469,6 +480,9 @@ func (cc *clientConn) enqueuePipelined(it workItem) {
 	cc.inflight = append(cc.inflight, it)
 	cc.parser.PushExpectation(it.method)
 	cc.r.issued++
+	if it.span != 0 {
+		cc.unflushed = append(cc.unflushed, it.span)
+	}
 
 	first := !cc.sentFirst
 	cc.sentFirst = true
@@ -488,6 +502,7 @@ func (cc *clientConn) sendImmediate(it workItem) {
 	cc.inflight = append(cc.inflight, it)
 	cc.parser.PushExpectation(it.method)
 	cc.r.issued++
+	cc.r.cfg.Obs.SpanWritten(it.span, cc.conn.ObsID())
 	cc.conn.Write(req.Marshal())
 }
 
@@ -501,6 +516,12 @@ func (cc *clientConn) flush() {
 	}
 	buf := cc.sendBuf
 	cc.sendBuf = nil
+	if len(cc.unflushed) > 0 {
+		for _, id := range cc.unflushed {
+			cc.r.cfg.Obs.SpanWritten(id, cc.conn.ObsID())
+		}
+		cc.unflushed = cc.unflushed[:0]
+	}
 	cc.conn.Write(buf)
 }
 
@@ -515,6 +536,9 @@ func (cc *clientConn) armFlushTimer() {
 }
 
 func (cc *clientConn) onData(c *tcpsim.Conn, data []byte) {
+	if len(cc.inflight) > 0 {
+		cc.r.cfg.Obs.SpanFirstByte(cc.inflight[0].span)
+	}
 	resps, err := cc.parser.Feed(data)
 	if err != nil {
 		cc.conn.Abort()
@@ -533,6 +557,7 @@ func (cc *clientConn) deliver(resps []*httpmsg.Response) {
 		}
 		it := cc.inflight[0]
 		cc.inflight = cc.inflight[1:]
+		r.cfg.Obs.SpanDone(it.span, resp.StatusCode, int64(len(resp.Body)))
 
 		connClose := httpmsg.TokenListContains(resp.Header.Get("Connection"), "close")
 		reusable := r.cfg.KeepAlive && !connClose

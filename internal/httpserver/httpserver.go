@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/flatez"
 	"repro/internal/httpmsg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/webgen"
@@ -72,6 +73,9 @@ type Config struct {
 	EnableDeflate bool
 	// TCP overrides connection options other than NoDelay.
 	TCP tcpsim.Options
+	// Obs, if non-nil, receives request-parsed and response-queued
+	// events for every request the server handles.
+	Obs *obs.Bus
 }
 
 func (c Config) applyProfile() Config {
@@ -196,6 +200,11 @@ func (sc *serverConn) onData(c *tcpsim.Conn, data []byte) {
 		sc.close()
 		return
 	}
+	if b := sc.srv.cfg.Obs; b != nil {
+		for _, req := range reqs {
+			b.ServerRecv(sc.conn.ObsID(), req.Target)
+		}
+	}
 	sc.pending = append(sc.pending, reqs...)
 	sc.processNext()
 }
@@ -230,6 +239,9 @@ func (sc *serverConn) processNext() {
 func (sc *serverConn) serve(req *httpmsg.Request) {
 	resp := sc.srv.respond(req)
 	sc.srv.stats.Responses++
+	if b := sc.srv.cfg.Obs; b != nil {
+		b.ServerSend(sc.conn.ObsID(), req.Target, resp.StatusCode, len(resp.Body))
+	}
 
 	lastOnConn := false
 	if sc.srv.cfg.MaxRequestsPerConn > 0 {

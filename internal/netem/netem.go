@@ -34,6 +34,21 @@ type StreamCompressor interface {
 // A nil LossFunc means no loss.
 type LossFunc func(index int, wireBytes int) bool
 
+// LinkEvent describes one packet's fate on a link, reported to the
+// link's Observer. For an accepted packet, serialization runs from
+// Start to Done (after FIFO queueing) and the last bit reaches the far
+// end at Arrive; a dropped packet carries only the drop instant in
+// Start (Done and Arrive equal Start).
+type LinkEvent struct {
+	Link                string
+	WireBytes           int
+	Dropped             bool
+	Start, Done, Arrive sim.Time
+}
+
+// Observer receives a LinkEvent for every packet offered to a link.
+type Observer func(ev LinkEvent)
+
 // Config describes one direction of a link.
 type Config struct {
 	// BitsPerSecond is the serialization rate. Zero means infinitely fast.
@@ -53,6 +68,9 @@ type Config struct {
 	Compressor StreamCompressor
 	// Loss, if non-nil, selects packets to drop.
 	Loss LossFunc
+	// Observer, if non-nil, is told about every packet offered to the
+	// link (accepted or dropped) with its serialization window.
+	Observer Observer
 }
 
 // Link is one direction of a point-to-point connection. Packets are
@@ -123,6 +141,13 @@ func (l *Link) Send(raw []byte, wireBytes int, deliver func()) bool {
 	}
 	if l.cfg.Loss != nil && l.cfg.Loss(idx, wireBytes) {
 		l.dropped++
+		if l.cfg.Observer != nil {
+			now := l.sim.Now()
+			l.cfg.Observer(LinkEvent{
+				Link: l.name, WireBytes: wireBytes, Dropped: true,
+				Start: now, Done: now, Arrive: now,
+			})
+		}
 		return false
 	}
 
@@ -149,7 +174,14 @@ func (l *Link) Send(raw []byte, wireBytes int, deliver func()) bool {
 	}
 	done := start.Add(ser)
 	l.busyUntil = done
-	l.sim.At(done.Add(l.cfg.PropagationDelay), deliver)
+	arrive := done.Add(l.cfg.PropagationDelay)
+	l.sim.At(arrive, deliver)
+	if l.cfg.Observer != nil {
+		l.cfg.Observer(LinkEvent{
+			Link: l.name, WireBytes: wireBytes,
+			Start: start, Done: done, Arrive: arrive,
+		})
+	}
 	return true
 }
 

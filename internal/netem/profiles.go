@@ -87,6 +87,8 @@ type PathOptions struct {
 	Rng           *sim.Rand
 	// Loss injects deterministic loss on both directions.
 	Loss LossFunc
+	// Observer, if non-nil, observes every packet on both directions.
+	Observer Observer
 }
 
 // NewEnvPath instantiates an environment as a Path. Endpoint A is the
@@ -105,6 +107,7 @@ func NewEnvPath(s *sim.Simulator, env Environment, opts PathOptions) *Path {
 		PropagationDelay: rtt / 2,
 		MTU:              p.MSS + IPTCPHeaderBytes,
 		Loss:             opts.Loss,
+		Observer:         opts.Observer,
 	}
 	if env == PPP {
 		// PPP framing: flag, address, control, protocol, FCS ≈ 8 bytes.

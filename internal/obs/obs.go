@@ -1,0 +1,360 @@
+// Package obs is the full-stack event-timeline subsystem: a low-overhead,
+// allocation-conscious event bus that every layer of the simulation
+// publishes into. The TCP layer (tcpsim) reports connection state
+// transitions, congestion-window changes, Nagle holds, RTO expirations,
+// and retransmissions; the link layer (netem, bridged by core) reports
+// serialization and delivery of every packet; and the HTTP layers
+// (httpclient, httpserver) report request lifecycle spans — queued,
+// request written, first response byte, complete — per object.
+//
+// On top of the bus sit three exporter views, reproducing the paper's
+// own diagnostic toolchain in modern form: a Chrome trace-event /
+// Perfetto JSON exporter (perfetto.go) rendering connections as tracks
+// and request spans as slices, and a devtools-style waterfall
+// (waterfall.go assembles the rows; rendering through the column-spec
+// engine lives in internal/report to keep this package dependency-light).
+// The pcap exporter, which works from the packet capture rather than
+// the bus, lives in internal/trace.
+//
+// Every publishing method is safe to call on a nil *Bus and returns
+// immediately, so instrumented hot paths cost a single nil check when
+// observability is off. Calls that would allocate arguments (string
+// formatting, Addr rendering) must be guarded by the caller with an
+// explicit nil test.
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// Kind classifies a timeline event.
+type Kind uint8
+
+// Event kinds. The A/B/C fields of Event carry kind-specific details,
+// documented per constant.
+const (
+	// KindConnOpen records a new connection endpoint. Note holds
+	// "local→remote".
+	KindConnOpen Kind = iota
+	// KindConnState is a TCP state transition: A=old state ordinal,
+	// B=new state ordinal, Note=new state name.
+	KindConnState
+	// KindCwnd is a congestion-window change: A=cwnd bytes, B=ssthresh.
+	KindCwnd
+	// KindNagleHold records the Nagle algorithm holding back a partial
+	// segment while data is outstanding: A=pending bytes.
+	KindNagleHold
+	// KindRTOFire is a retransmission-timer expiration: A=RTO
+	// nanoseconds (before backoff doubling), B=consecutive retries.
+	KindRTOFire
+	// KindRetransmit is a segment sent more than once: A=sequence
+	// number, B=payload bytes.
+	KindRetransmit
+	// KindWireSend is a packet accepted by a link. Time is the instant
+	// serialization begins (after FIFO queueing); A=wire bytes,
+	// B=serialization-end nanoseconds, C=delivery nanoseconds.
+	// Note=link name.
+	KindWireSend
+	// KindWireDrop is a packet discarded by the link loss model:
+	// A=wire bytes, Note=link name.
+	KindWireDrop
+	// KindSpanQueued opens a request span: the client decided to fetch
+	// an object. A=1 when the request is a retry after a connection
+	// failure.
+	KindSpanQueued
+	// KindSpanWritten records the request bytes being handed to TCP.
+	KindSpanWritten
+	// KindSpanFirstByte records the first response byte arriving.
+	KindSpanFirstByte
+	// KindSpanDone closes a request span: A=status code, B=body bytes.
+	KindSpanDone
+	// KindServerRecv marks the server parsing a request: Note=target.
+	KindServerRecv
+	// KindServerSend marks the server queueing a response: A=status
+	// code, B=body bytes, Note=target.
+	KindServerSend
+)
+
+var kindNames = [...]string{
+	"conn-open", "conn-state", "cwnd", "nagle-hold", "rto-fire",
+	"retransmit", "wire-send", "wire-drop", "span-queued",
+	"span-written", "span-first-byte", "span-done", "server-recv",
+	"server-send",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// ConnID identifies a connection endpoint on the bus (1-based; 0 = none).
+type ConnID int32
+
+// SpanID identifies a request span on the bus (1-based; 0 = none).
+type SpanID int32
+
+// Event is one timeline record. Events are stored flat (no per-event
+// allocation beyond the backing slice); A, B, and C carry kind-specific
+// numeric details, Note an optional label.
+type Event struct {
+	Time    sim.Time
+	Kind    Kind
+	Conn    ConnID
+	Span    SpanID
+	A, B, C int64
+	Note    string
+}
+
+// ConnInfo is the bus's record of one connection endpoint.
+type ConnInfo struct {
+	ID            ConnID
+	Local, Remote string
+	Opened        sim.Time
+}
+
+// NoTime marks a span timestamp that was never recorded.
+const NoTime = sim.Time(-1)
+
+// SpanInfo is the assembled lifecycle of one request span.
+type SpanInfo struct {
+	ID           SpanID
+	Method, Path string
+	// Conn is the connection the request was written on (0 until
+	// written).
+	Conn ConnID
+	// Retried marks a request re-issued after a connection failure.
+	Retried bool
+	// Queued, Written, FirstByte, and Done are the lifecycle instants;
+	// NoTime where the event never happened (e.g. a span abandoned by a
+	// connection reset is never Done).
+	Queued, Written, FirstByte, Done sim.Time
+	// Status and Bytes are filled at Done.
+	Status int
+	Bytes  int64
+}
+
+// Bus accumulates timeline events on a simulator clock. The zero value
+// is not usable; call New. All methods are safe on a nil receiver.
+type Bus struct {
+	sim    *sim.Simulator
+	events []Event
+	conns  []ConnInfo
+	spans  []SpanInfo
+}
+
+// New returns an empty bus stamping events with s's clock.
+func New(s *sim.Simulator) *Bus {
+	return &Bus{
+		sim:    s,
+		events: make([]Event, 0, 1024),
+	}
+}
+
+// Enabled reports whether the bus is collecting (false for nil).
+func (b *Bus) Enabled() bool { return b != nil }
+
+// Len returns the number of recorded events.
+func (b *Bus) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.events)
+}
+
+// Events returns the recorded events. Wire-send events are stamped at
+// serialization start, which can be later than subsequently published
+// events' instants; all other events appear in publication order.
+func (b *Bus) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	return b.events
+}
+
+// Conns returns the connection records in open order.
+func (b *Bus) Conns() []ConnInfo {
+	if b == nil {
+		return nil
+	}
+	return b.conns
+}
+
+// Spans returns the request-span records in queue order.
+func (b *Bus) Spans() []SpanInfo {
+	if b == nil {
+		return nil
+	}
+	return b.spans
+}
+
+func (b *Bus) add(ev Event) {
+	ev.Time = b.sim.Now()
+	b.events = append(b.events, ev)
+}
+
+// --- connection publishers ---
+
+// ConnOpen registers a connection endpoint and returns its ID.
+func (b *Bus) ConnOpen(local, remote string) ConnID {
+	if b == nil {
+		return 0
+	}
+	id := ConnID(len(b.conns) + 1)
+	b.conns = append(b.conns, ConnInfo{ID: id, Local: local, Remote: remote, Opened: b.sim.Now()})
+	b.add(Event{Kind: KindConnOpen, Conn: id, Note: local + "→" + remote})
+	return id
+}
+
+// ConnState records a TCP state transition. name is the new state's
+// display name (callers pass a constant, so no allocation).
+func (b *Bus) ConnState(id ConnID, old, new int, name string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindConnState, Conn: id, A: int64(old), B: int64(new), Note: name})
+}
+
+// Cwnd records a congestion-window change.
+func (b *Bus) Cwnd(id ConnID, cwnd, ssthresh int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindCwnd, Conn: id, A: int64(cwnd), B: int64(ssthresh)})
+}
+
+// NagleHold records the Nagle algorithm holding back pending bytes.
+func (b *Bus) NagleHold(id ConnID, pending int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindNagleHold, Conn: id, A: int64(pending)})
+}
+
+// RTOFire records a retransmission-timer expiration.
+func (b *Bus) RTOFire(id ConnID, rto sim.Duration, retries int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindRTOFire, Conn: id, A: int64(rto), B: int64(retries)})
+}
+
+// Retransmit records a segment sent more than once.
+func (b *Bus) Retransmit(id ConnID, seq uint32, payload int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindRetransmit, Conn: id, A: int64(seq), B: int64(payload)})
+}
+
+// --- wire publishers ---
+
+// WireSend records a packet accepted by a link: serialization starts at
+// start (after FIFO queueing), ends at done, and the last bit reaches
+// the far end at arrive. The event is stamped at start, not at the
+// publication instant.
+func (b *Bus) WireSend(link string, wireBytes int, start, done, arrive sim.Time) {
+	if b == nil {
+		return
+	}
+	b.events = append(b.events, Event{
+		Time: start, Kind: KindWireSend, Note: link,
+		A: int64(wireBytes), B: int64(done), C: int64(arrive),
+	})
+}
+
+// WireDrop records a packet discarded by the link loss model.
+func (b *Bus) WireDrop(link string, wireBytes int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindWireDrop, Note: link, A: int64(wireBytes)})
+}
+
+// --- request-span publishers ---
+
+// SpanQueued opens a request span at the current instant.
+func (b *Bus) SpanQueued(method, path string, retried bool) SpanID {
+	if b == nil {
+		return 0
+	}
+	id := SpanID(len(b.spans) + 1)
+	now := b.sim.Now()
+	b.spans = append(b.spans, SpanInfo{
+		ID: id, Method: method, Path: path, Retried: retried,
+		Queued: now, Written: NoTime, FirstByte: NoTime, Done: NoTime,
+	})
+	var retry int64
+	if retried {
+		retry = 1
+	}
+	b.add(Event{Kind: KindSpanQueued, Span: id, A: retry, Note: path})
+	return id
+}
+
+// SpanWritten records the span's request bytes being handed to TCP on
+// conn. Only the first call per span is recorded.
+func (b *Bus) SpanWritten(id SpanID, conn ConnID) {
+	if b == nil || id <= 0 || int(id) > len(b.spans) {
+		return
+	}
+	sp := &b.spans[id-1]
+	if sp.Written != NoTime {
+		return
+	}
+	sp.Written = b.sim.Now()
+	sp.Conn = conn
+	b.add(Event{Kind: KindSpanWritten, Span: id, Conn: conn})
+}
+
+// SpanFirstByte records the first response byte for the span. Idempotent:
+// only the first call is recorded.
+func (b *Bus) SpanFirstByte(id SpanID) {
+	if b == nil || id <= 0 || int(id) > len(b.spans) {
+		return
+	}
+	sp := &b.spans[id-1]
+	if sp.FirstByte != NoTime {
+		return
+	}
+	sp.FirstByte = b.sim.Now()
+	b.add(Event{Kind: KindSpanFirstByte, Span: id, Conn: sp.Conn})
+}
+
+// SpanDone closes the span with the response status and body size. A
+// span with no recorded first byte gets one at the same instant (the
+// whole response arrived in a single delivery).
+func (b *Bus) SpanDone(id SpanID, status int, bytes int64) {
+	if b == nil || id <= 0 || int(id) > len(b.spans) {
+		return
+	}
+	b.SpanFirstByte(id)
+	sp := &b.spans[id-1]
+	if sp.Done != NoTime {
+		return
+	}
+	sp.Done = b.sim.Now()
+	sp.Status = status
+	sp.Bytes = bytes
+	b.add(Event{Kind: KindSpanDone, Span: id, Conn: sp.Conn, A: int64(status), B: bytes})
+}
+
+// --- server publishers ---
+
+// ServerRecv marks the server parsing a request for target on conn.
+func (b *Bus) ServerRecv(conn ConnID, target string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindServerRecv, Conn: conn, Note: target})
+}
+
+// ServerSend marks the server queueing a response for target on conn.
+func (b *Bus) ServerSend(conn ConnID, target string, status int, bytes int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindServerSend, Conn: conn, Note: target, A: int64(status), B: int64(bytes)})
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// traceEvent is one record of the Chrome trace-event format, the JSON
+// schema both chrome://tracing and Perfetto load. Phases used here:
+// "M" metadata, "X" complete slice (ts+dur), "b"/"e" async span
+// begin/end, "C" counter, "i" instant.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds of simulated time
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+func durPtr(from, to sim.Time) *float64 {
+	d := usec(to) - usec(from)
+	if d < 0 {
+		d = 0
+	}
+	return &d
+}
+
+// connHost extracts the host part of a ConnInfo local address.
+func connHost(addr string) string {
+	if i := strings.IndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// wirePid is the synthetic process id the link tracks render under;
+// host processes are numbered from 1.
+const wirePid = 100
+
+// WritePerfetto exports the timeline as Chrome trace-event / Perfetto
+// JSON: one process per simulated host plus one for the wire,
+// connections as named threads carrying their TCP state as slices,
+// request spans as async slices over the connection that carried them,
+// congestion windows as counter tracks, and Nagle holds, RTO fires,
+// retransmissions, drops, and server request handling as instants. All
+// timestamps are simulated time in microseconds.
+func (b *Bus) WritePerfetto(w io.Writer) error {
+	if b == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+
+	var evs []traceEvent
+	emit := func(ev traceEvent) { evs = append(evs, ev) }
+
+	// Host processes, in first-connection order.
+	pids := map[string]int{}
+	pidOf := func(host string) int {
+		if id, ok := pids[host]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[host] = id
+		emit(traceEvent{Name: "process_name", Ph: "M", Pid: id,
+			Args: map[string]any{"name": host}})
+		return id
+	}
+	connPid := make([]int, len(b.conns)+1)
+	for _, ci := range b.conns {
+		pid := pidOf(connHost(ci.Local))
+		connPid[ci.ID] = pid
+		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: int(ci.ID),
+			Args: map[string]any{"name": ci.Local + " → " + ci.Remote}})
+	}
+
+	var last sim.Time
+	for _, ev := range b.events {
+		if ev.Time > last {
+			last = ev.Time
+		}
+		if ev.Kind == KindWireSend && sim.Time(ev.C) > last {
+			last = sim.Time(ev.C)
+		}
+	}
+
+	// Connection state slices: each transition opens a slice that the
+	// next transition (or the end of the trace) closes. CLOSED gets no
+	// slice.
+	type openState struct {
+		name  string
+		since sim.Time
+	}
+	open := make(map[ConnID]openState)
+	closeState := func(id ConnID, at sim.Time) {
+		st, ok := open[id]
+		if !ok {
+			return
+		}
+		delete(open, id)
+		emit(traceEvent{Name: st.name, Ph: "X", Cat: "tcp-state",
+			Ts: usec(st.since), Dur: durPtr(st.since, at),
+			Pid: connPid[id], Tid: int(id)})
+	}
+
+	wireTids := map[string]int{}
+	wirePidEmitted := false
+	wireTid := func(link string) int {
+		if !wirePidEmitted {
+			wirePidEmitted = true
+			emit(traceEvent{Name: "process_name", Ph: "M", Pid: wirePid,
+				Args: map[string]any{"name": "wire"}})
+		}
+		if id, ok := wireTids[link]; ok {
+			return id
+		}
+		id := len(wireTids) + 1
+		wireTids[link] = id
+		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: wirePid, Tid: id,
+			Args: map[string]any{"name": link}})
+		return id
+	}
+
+	instant := func(ev Event, name string, args map[string]any) {
+		emit(traceEvent{Name: name, Ph: "i", S: "t", Ts: usec(ev.Time),
+			Pid: connPid[ev.Conn], Tid: int(ev.Conn), Args: args})
+	}
+
+	for _, ev := range b.events {
+		switch ev.Kind {
+		case KindConnState:
+			closeState(ev.Conn, ev.Time)
+			if ev.Note != "CLOSED" {
+				open[ev.Conn] = openState{name: ev.Note, since: ev.Time}
+			}
+		case KindCwnd:
+			emit(traceEvent{Name: fmt.Sprintf("cwnd conn%d", ev.Conn), Ph: "C",
+				Ts: usec(ev.Time), Pid: connPid[ev.Conn],
+				Args: map[string]any{"cwnd": ev.A, "ssthresh": ev.B}})
+		case KindNagleHold:
+			instant(ev, "nagle hold", map[string]any{"pending_bytes": ev.A})
+		case KindRTOFire:
+			instant(ev, "RTO fire", map[string]any{"rto_us": ev.A / 1e3, "retries": ev.B})
+		case KindRetransmit:
+			instant(ev, "retransmit", map[string]any{"seq": ev.A, "payload_bytes": ev.B})
+		case KindWireDrop:
+			emit(traceEvent{Name: "drop", Ph: "i", S: "t", Ts: usec(ev.Time),
+				Pid: wirePid, Tid: wireTid(ev.Note),
+				Args: map[string]any{"wire_bytes": ev.A}})
+		case KindWireSend:
+			// Slice over the link's serialization occupancy; delivery
+			// instant in args. FIFO links make these non-overlapping.
+			emit(traceEvent{Name: fmt.Sprintf("pkt %dB", ev.A), Ph: "X",
+				Cat: "wire", Ts: usec(ev.Time), Dur: durPtr(ev.Time, sim.Time(ev.B)),
+				Pid: wirePid, Tid: wireTid(ev.Note),
+				Args: map[string]any{"arrive_us": usec(sim.Time(ev.C))}})
+		case KindServerRecv:
+			instant(ev, "req "+ev.Note, nil)
+		case KindServerSend:
+			instant(ev, "resp "+ev.Note, map[string]any{"status": ev.A, "body_bytes": ev.B})
+		}
+	}
+	for id := range open {
+		closeState(id, last)
+	}
+
+	// Request spans as async begin/end pairs on the carrying connection:
+	// async slices may overlap (pipelining), which thread slices may not.
+	for _, sp := range b.spans {
+		if sp.Conn == 0 || sp.Done == NoTime {
+			continue // never written or abandoned (e.g. connection reset)
+		}
+		start := sp.Queued
+		if start == NoTime {
+			start = sp.Written
+		}
+		name := sp.Method + " " + sp.Path
+		id := fmt.Sprintf("span-%d", sp.ID)
+		args := map[string]any{
+			"status": sp.Status, "body_bytes": sp.Bytes,
+			"queued_us": usec(sp.Queued), "written_us": usec(sp.Written),
+		}
+		if sp.FirstByte != NoTime && sp.Written != NoTime {
+			args["ttfb_us"] = usec(sp.FirstByte) - usec(sp.Written)
+		}
+		if sp.Retried {
+			args["retried"] = true
+		}
+		pid := connPid[sp.Conn]
+		emit(traceEvent{Name: name, Ph: "b", Cat: "request", ID: id,
+			Ts: usec(start), Pid: pid, Tid: int(sp.Conn), Args: args})
+		emit(traceEvent{Name: name, Ph: "e", Cat: "request", ID: id,
+			Ts: usec(sp.Done), Pid: pid, Tid: int(sp.Conn)})
+	}
+
+	// Stable output: sort by (ts, pid, tid, ph) with metadata first.
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, c := evs[i], evs[j]
+		am, cm := a.Ph == "M", c.Ph == "M"
+		if am != cm {
+			return am
+		}
+		if a.Ts != c.Ts {
+			return a.Ts < c.Ts
+		}
+		if a.Pid != c.Pid {
+			return a.Pid < c.Pid
+		}
+		return a.Tid < c.Tid
+	})
+
+	out := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// WaterfallRow is one object of the devtools-style waterfall: the
+// request's lifecycle instants plus the derived TTFB and transfer
+// durations, and whether the connection that carried it was reused.
+// Rendering lives in internal/report (WriteWaterfall), which owns the
+// column-spec engine; this package only assembles the rows.
+type WaterfallRow struct {
+	Span         SpanID
+	Method, Path string
+	Conn         ConnID
+	// Reused reports that an earlier span had already been written on
+	// the same connection.
+	Reused  bool
+	Retried bool
+
+	Queued, Written, FirstByte, Done sim.Time
+
+	Status int
+	Bytes  int64
+}
+
+// TTFB is first-response-byte minus request-written (NoTime-safe;
+// negative result means a timestamp was missing).
+func (r WaterfallRow) TTFB() sim.Duration {
+	if r.FirstByte == NoTime || r.Written == NoTime {
+		return -1
+	}
+	return r.FirstByte.Sub(r.Written)
+}
+
+// Transfer is complete minus first-response-byte.
+func (r WaterfallRow) Transfer() sim.Duration {
+	if r.Done == NoTime || r.FirstByte == NoTime {
+		return -1
+	}
+	return r.Done.Sub(r.FirstByte)
+}
+
+// Waterfall assembles the per-object rows in queue order. Safe on a
+// nil receiver (returns nil).
+func (b *Bus) Waterfall() []WaterfallRow {
+	if b == nil {
+		return nil
+	}
+	seen := make(map[ConnID]bool, len(b.conns))
+	rows := make([]WaterfallRow, 0, len(b.spans))
+	for _, sp := range b.spans {
+		row := WaterfallRow{
+			Span: sp.ID, Method: sp.Method, Path: sp.Path, Conn: sp.Conn,
+			Retried: sp.Retried,
+			Queued:  sp.Queued, Written: sp.Written,
+			FirstByte: sp.FirstByte, Done: sp.Done,
+			Status: sp.Status, Bytes: sp.Bytes,
+		}
+		if sp.Conn != 0 {
+			row.Reused = seen[sp.Conn]
+			seen[sp.Conn] = true
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

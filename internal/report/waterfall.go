@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// wfSec renders an instant as seconds, "-" when never recorded.
+func wfSec(t sim.Time) string {
+	if t == obs.NoTime {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", t.Seconds())
+}
+
+// wfDur renders a duration in milliseconds, "-" when underlying
+// instants are missing.
+func wfDur(d sim.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(d)/1e6)
+}
+
+// wfStatus renders the status code, "-" for abandoned spans.
+func wfStatus(r obs.WaterfallRow) string {
+	if r.Done == obs.NoTime {
+		return "-"
+	}
+	return fmt.Sprintf("%d", r.Status)
+}
+
+// wfFlags marks connection reuse (+) and retried requests (!).
+func wfFlags(r obs.WaterfallRow) string {
+	s := ""
+	if r.Reused {
+		s += "+"
+	}
+	if r.Retried {
+		s += "!"
+	}
+	return s
+}
+
+// waterfallSpec is the devtools-style timeline table: per-object queue
+// / send / first-byte / done instants (seconds of simulated time),
+// TTFB and transfer durations (milliseconds), status, and size.
+var waterfallSpec = Spec[obs.WaterfallRow]{
+	Title: "Request waterfall (times in s, TTFB/xfer in ms; + reused conn, ! retried)",
+	Width: 96,
+	Cols: []Col[obs.WaterfallRow]{
+		{Head: "#", Format: "%3d", Value: func(r obs.WaterfallRow) any { return int(r.Span) }},
+		{Head: "conn", Format: "%4d", Value: func(r obs.WaterfallRow) any { return int(r.Conn) }},
+		{Head: "f", Format: "%-2s", Value: func(r obs.WaterfallRow) any { return wfFlags(r) }},
+		{Head: "method", Format: "%-6s", Value: func(r obs.WaterfallRow) any { return r.Method }},
+		{Head: "path", Format: "%-18s", Value: func(r obs.WaterfallRow) any { return r.Path }},
+		{Head: "queued", Format: "%8s", Value: func(r obs.WaterfallRow) any { return wfSec(r.Queued) }},
+		{Head: "sent", Format: "%8s", Value: func(r obs.WaterfallRow) any { return wfSec(r.Written) }},
+		{Head: "ttfb", Format: "%8s", Value: func(r obs.WaterfallRow) any { return wfDur(r.TTFB()) }},
+		{Head: "xfer", Format: "%8s", Value: func(r obs.WaterfallRow) any { return wfDur(r.Transfer()) }},
+		{Head: "done", Format: "%8s", Value: func(r obs.WaterfallRow) any { return wfSec(r.Done) }},
+		{Head: "status", Format: "%6s", Value: func(r obs.WaterfallRow) any { return wfStatus(r) }},
+		{Head: "bytes", Format: "%7d", Value: func(r obs.WaterfallRow) any { return r.Bytes }},
+	},
+}
+
+// WriteWaterfall renders a timeline bus's request waterfall through the
+// column-spec engine.
+func WriteWaterfall(w io.Writer, b *obs.Bus) {
+	waterfallSpec.Render(w, b.Waterfall())
+}

@@ -1,6 +1,7 @@
 package tcpsim
 
 import (
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -12,6 +13,7 @@ type Conn struct {
 	opts    Options
 	handler Handler
 	state   State
+	obsID   obs.ConnID
 
 	// Send side. sndBuf holds bytes from sequence sndBase upward:
 	// unacknowledged bytes first, then not-yet-transmitted bytes.
@@ -62,7 +64,7 @@ func newConn(h *Host, local, remote Addr, opts Options, handler Handler) *Conn {
 	// Deterministic ISS derived from the endpoint tuple keeps traces
 	// readable while remaining distinct per port pair.
 	iss := uint32(1000 + local.Port*17 + remote.Port*13)
-	return &Conn{
+	c := &Conn{
 		host:     h,
 		local:    local,
 		remote:   remote,
@@ -78,6 +80,11 @@ func newConn(h *Host, local, remote Addr, opts Options, handler Handler) *Conn {
 		peerWnd:  opts.MSS, // until the peer advertises
 		rto:      opts.InitialRTO,
 	}
+	if b := h.net.Obs; b != nil {
+		c.obsID = b.ConnOpen(local.String(), remote.String())
+		b.Cwnd(c.obsID, c.cwnd, c.ssthresh)
+	}
+	return c
 }
 
 func (c *Conn) key() connKey {
@@ -92,6 +99,33 @@ func (c *Conn) RemoteAddr() Addr { return c.remote }
 
 // State returns the current TCP state.
 func (c *Conn) State() State { return c.state }
+
+// ObsID returns the connection's timeline identity (zero when the
+// network has no observability bus attached).
+func (c *Conn) ObsID() obs.ConnID { return c.obsID }
+
+// setState transitions the TCP state, publishing the change to the
+// network's observability bus when one is attached.
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	if b := c.host.net.Obs; b != nil {
+		b.ConnState(c.obsID, int(c.state), int(s), s.String())
+	}
+	c.state = s
+}
+
+// setCwnd updates the congestion window, publishing the change.
+func (c *Conn) setCwnd(v int) {
+	if c.cwnd == v {
+		return
+	}
+	c.cwnd = v
+	if b := c.host.net.Obs; b != nil {
+		b.Cwnd(c.obsID, c.cwnd, c.ssthresh)
+	}
+}
 
 // Err returns the terminal error, if any.
 func (c *Conn) Err() error { return c.err }
@@ -258,7 +292,7 @@ func (c *Conn) bumpSndNxt(to uint32) {
 }
 
 func (c *Conn) startConnect() {
-	c.state = StateSynSent
+	c.setState(StateSynSent)
 	c.rttSampling = true
 	c.rttSampleSeq = c.iss
 	c.rttSampleTime = c.sim().Now()
@@ -271,7 +305,7 @@ func (c *Conn) startConnect() {
 }
 
 func (c *Conn) onSynReceived(seg Segment) {
-	c.state = StateSynRcvd
+	c.setState(StateSynRcvd)
 	c.irs = seg.Seq
 	c.rcvNxt = seg.Seq + 1
 	c.peerWnd = seg.Wnd
@@ -306,7 +340,7 @@ func (c *Conn) onSegment(seg Segment) {
 			c.stopRTO()
 			c.retries = 0
 			c.takeRTTSample(seg.Ack)
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 			// BSD behaviour: the handshake ACK goes out before the
 			// application gets a chance to write.
 			c.sendAck()
@@ -322,7 +356,7 @@ func (c *Conn) onSegment(seg Segment) {
 			c.peerWnd = seg.Wnd
 			c.stopRTO()
 			c.retries = 0
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 			if c.handler != nil {
 				c.handler.OnConnect(c)
 			}
@@ -399,22 +433,22 @@ func (c *Conn) processAck(seg Segment) {
 			c.finSeq = c.sndNxt - 1
 			switch c.state {
 			case StateEstablished:
-				c.state = StateFinWait1
+				c.setState(StateFinWait1)
 			case StateCloseWait:
-				c.state = StateLastAck
+				c.setState(StateLastAck)
 			}
 		}
 	}
 
 	// Congestion window growth.
 	if c.cwnd < c.ssthresh {
-		c.cwnd += c.opts.MSS // slow start
+		c.setCwnd(c.cwnd + c.opts.MSS) // slow start
 	} else {
 		inc := c.opts.MSS * c.opts.MSS / c.cwnd
 		if inc < 1 {
 			inc = 1
 		}
-		c.cwnd += inc // congestion avoidance
+		c.setCwnd(c.cwnd + inc) // congestion avoidance
 	}
 
 	if c.sndUna == c.sndNxt {
@@ -427,7 +461,7 @@ func (c *Conn) processAck(seg Segment) {
 	switch c.state {
 	case StateFinWait1:
 		if finAcked {
-			c.state = StateFinWait2
+			c.setState(StateFinWait2)
 		}
 	case StateClosing:
 		if finAcked {
@@ -504,12 +538,12 @@ func (c *Conn) processFin(seg Segment) {
 	}
 	switch c.state {
 	case StateEstablished:
-		c.state = StateCloseWait
+		c.setState(StateCloseWait)
 	case StateFinWait1:
 		if c.finSent && seqLT(c.finSeq, c.sndUna) {
 			c.enterTimeWait()
 		} else {
-			c.state = StateClosing
+			c.setState(StateClosing)
 		}
 	case StateFinWait2:
 		c.enterTimeWait()
@@ -554,6 +588,9 @@ func (c *Conn) trySend() {
 		last := offset+n == len(c.sndBuf)
 		if n < c.opts.MSS && c.sndNxt != c.sndUna && !c.opts.NoDelay && !(c.finPending && last) {
 			// Nagle: a small segment waits while data is outstanding.
+			if b := c.host.net.Obs; b != nil {
+				b.NagleHold(c.obsID, pending)
+			}
 			break
 		}
 		payload := make([]byte, n)
@@ -593,9 +630,9 @@ func (c *Conn) markFinSent() {
 	c.bumpSndNxt(c.sndNxt + 1)
 	switch c.state {
 	case StateEstablished:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1)
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck)
 	}
 }
 
@@ -613,6 +650,9 @@ func (c *Conn) sendRaw(seg Segment, retrans bool) {
 	c.segsSent++
 	if retrans {
 		c.retransSegs++
+		if b := c.host.net.Obs; b != nil {
+			b.Retransmit(c.obsID, seg.Seq, len(seg.Payload))
+		}
 	}
 	c.host.net.transmit(seg, retrans)
 }
@@ -670,6 +710,9 @@ func (c *Conn) onRTO() {
 	c.rtoTimeouts++
 	c.host.net.rtoTimeouts++
 	c.retries++
+	if b := c.host.net.Obs; b != nil {
+		b.RTOFire(c.obsID, c.rto, c.retries)
+	}
 	if c.retries > c.opts.MaxRetries {
 		c.teardown(ErrTimeout, true)
 		return
@@ -722,7 +765,7 @@ func (c *Conn) ssthreshAfterLoss() int {
 // first unacknowledged byte.
 func (c *Conn) goBackN(newCwnd int) {
 	c.ssthresh = c.ssthreshAfterLoss()
-	c.cwnd = newCwnd
+	c.setCwnd(newCwnd)
 	c.rttSampling = false // Karn's rule
 
 	c.sndNxt = c.sndUna
@@ -732,9 +775,9 @@ func (c *Conn) goBackN(newCwnd int) {
 		// Reverse the state transition taken when the FIN first went out.
 		switch c.state {
 		case StateFinWait1, StateClosing:
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 		case StateLastAck:
-			c.state = StateCloseWait
+			c.setState(StateCloseWait)
 		}
 	}
 	c.trySend()
@@ -743,7 +786,7 @@ func (c *Conn) goBackN(newCwnd int) {
 // --- teardown ---
 
 func (c *Conn) enterTimeWait() {
-	c.state = StateTimeWait
+	c.setState(StateTimeWait)
 	c.stopRTO()
 	c.timeWaitTimer = c.sim().Schedule(c.opts.TimeWait, func() {
 		c.teardown(nil, false)
@@ -754,7 +797,7 @@ func (c *Conn) teardown(err error, notifyErr bool) {
 	if c.state == StateClosed {
 		return
 	}
-	c.state = StateClosed
+	c.setState(StateClosed)
 	c.err = err
 	c.stopRTO()
 	if c.delackTimer != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -23,6 +24,10 @@ type Network struct {
 	Sim *sim.Simulator
 	// PacketHook, if non-nil, observes every transmitted segment.
 	PacketHook func(ev PacketEvent)
+	// Obs, if non-nil, receives connection lifecycle events (state
+	// transitions, cwnd changes, Nagle holds, RTO fires, retransmits)
+	// from every connection on the network.
+	Obs *obs.Bus
 
 	hosts map[string]*Host
 	paths []pathEntry

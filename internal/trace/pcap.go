@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tcpsim"
+)
+
+// The capture is written as a classic pcap file (the format tcpdump,
+// Wireshark, tshark, and libpcap all read) with nanosecond timestamps
+// and raw-IPv4 link type: every record is a synthesized IPv4+TCP frame
+// reconstructed from the simulated segment. Hosts get addresses from
+// 10.0.0.0/24 in first-seen order, so a LAN run shows the client as
+// 10.0.0.1 talking to 10.0.0.2.
+const (
+	// pcapMagicNanos is the nanosecond-resolution classic pcap magic.
+	pcapMagicNanos = 0xa1b23c4d
+	// linktypeRaw is LINKTYPE_RAW: packets begin directly with the IPv4
+	// header, no link-layer framing.
+	linktypeRaw = 101
+
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+)
+
+// tcpWireFlags converts the simulator's flag bits to the TCP header's
+// bit assignments (FIN 0x01, SYN 0x02, RST 0x04, PSH 0x08, ACK 0x10).
+func tcpWireFlags(f tcpsim.Flags) byte {
+	var b byte
+	if f&tcpsim.FlagFIN != 0 {
+		b |= 0x01
+	}
+	if f&tcpsim.FlagSYN != 0 {
+		b |= 0x02
+	}
+	if f&tcpsim.FlagRST != 0 {
+		b |= 0x04
+	}
+	if f&tcpsim.FlagPSH != 0 {
+		b |= 0x08
+	}
+	if f&tcpsim.FlagACK != 0 {
+		b |= 0x10
+	}
+	return b
+}
+
+// ipChecksum is the RFC 1071 ones-complement sum over b (padded to an
+// even length with a zero byte).
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// hostIPs assigns 10.0.0.N addresses to host names in first-seen order.
+type hostIPs struct {
+	byName map[string][4]byte
+	next   byte
+}
+
+func (h *hostIPs) ip(name string) [4]byte {
+	if ip, ok := h.byName[name]; ok {
+		return ip
+	}
+	h.next++
+	ip := [4]byte{10, 0, 0, h.next}
+	h.byName[name] = ip
+	return ip
+}
+
+// WritePcap writes the capture as a classic pcap file: nanosecond
+// timestamp magic, raw-IPv4 link type, one synthesized IPv4+TCP frame
+// per captured segment (dropped segments included — the capture point
+// is the sender's interface, before the loss). Frames carry real IPv4
+// header and TCP pseudo-header checksums so analyzers do not flag them.
+func (c *Capture) WritePcap(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:], 2)      // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4)      // version minor
+	binary.LittleEndian.PutUint32(hdr[16:], 65535) // snaplen
+	binary.LittleEndian.PutUint32(hdr[20:], linktypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	ips := &hostIPs{byName: make(map[string][4]byte)}
+	var ipID uint16
+	for _, ev := range c.events {
+		seg := ev.Seg
+		src := ips.ip(seg.From.Host)
+		dst := ips.ip(seg.To.Host)
+		total := ipv4HeaderLen + tcpHeaderLen + len(seg.Payload)
+		frame := make([]byte, total)
+
+		// IPv4 header.
+		ip := frame[:ipv4HeaderLen]
+		ip[0] = 0x45 // version 4, IHL 5
+		binary.BigEndian.PutUint16(ip[2:], uint16(total))
+		ipID++
+		binary.BigEndian.PutUint16(ip[4:], ipID)
+		binary.BigEndian.PutUint16(ip[6:], 0x4000) // DF
+		ip[8] = 64                                 // TTL
+		ip[9] = 6                                  // TCP
+		copy(ip[12:16], src[:])
+		copy(ip[16:20], dst[:])
+		binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip))
+
+		// TCP header.
+		tcp := frame[ipv4HeaderLen : ipv4HeaderLen+tcpHeaderLen]
+		binary.BigEndian.PutUint16(tcp[0:], uint16(seg.From.Port))
+		binary.BigEndian.PutUint16(tcp[2:], uint16(seg.To.Port))
+		binary.BigEndian.PutUint32(tcp[4:], seg.Seq)
+		binary.BigEndian.PutUint32(tcp[8:], seg.Ack)
+		tcp[12] = 5 << 4 // data offset
+		tcp[13] = tcpWireFlags(seg.Flags)
+		wnd := seg.Wnd
+		if wnd > 65535 {
+			wnd = 65535
+		}
+		binary.BigEndian.PutUint16(tcp[14:], uint16(wnd))
+		copy(frame[ipv4HeaderLen+tcpHeaderLen:], seg.Payload)
+
+		// TCP checksum over the pseudo-header + segment.
+		tcpLen := tcpHeaderLen + len(seg.Payload)
+		pseudo := make([]byte, 12+tcpLen)
+		copy(pseudo[0:4], src[:])
+		copy(pseudo[4:8], dst[:])
+		pseudo[9] = 6
+		binary.BigEndian.PutUint16(pseudo[10:], uint16(tcpLen))
+		copy(pseudo[12:], frame[ipv4HeaderLen:])
+		binary.BigEndian.PutUint16(tcp[16:], ipChecksum(pseudo))
+
+		// Per-packet record header.
+		var rec [16]byte
+		ns := int64(ev.Time)
+		binary.LittleEndian.PutUint32(rec[0:], uint32(ns/1e9))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(ns%1e9))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(total))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(total))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PcapPacket is one frame decoded by ParsePcap.
+type PcapPacket struct {
+	// TimeNanos is the record timestamp in nanoseconds.
+	TimeNanos        int64
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort int
+	Seq, Ack         uint32
+	// Flags holds the TCP header flag byte (FIN 0x01 ... ACK 0x10).
+	Flags        byte
+	Window       int
+	PayloadBytes int
+}
+
+// PcapFile is the decoded form of a WritePcap output.
+type PcapFile struct {
+	LinkType uint32
+	Packets  []PcapPacket
+}
+
+// ParsePcap decodes a classic nanosecond pcap file of raw IPv4 frames,
+// verifying the global header, per-record framing, and both the IPv4
+// and TCP checksums of every frame. It is the unit-test counterpart of
+// WritePcap, and rejects anything a real capture analyzer would.
+func ParsePcap(data []byte) (*PcapFile, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("pcap: truncated global header (%d bytes)", len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:]); magic != pcapMagicNanos {
+		return nil, fmt.Errorf("pcap: bad magic %#x", magic)
+	}
+	if maj, min := binary.LittleEndian.Uint16(data[4:]), binary.LittleEndian.Uint16(data[6:]); maj != 2 || min != 4 {
+		return nil, fmt.Errorf("pcap: unsupported version %d.%d", maj, min)
+	}
+	f := &PcapFile{LinkType: binary.LittleEndian.Uint32(data[20:])}
+	if f.LinkType != linktypeRaw {
+		return nil, fmt.Errorf("pcap: unexpected link type %d", f.LinkType)
+	}
+	off := 24
+	for off < len(data) {
+		if off+16 > len(data) {
+			return nil, fmt.Errorf("pcap: truncated record header at offset %d", off)
+		}
+		sec := binary.LittleEndian.Uint32(data[off:])
+		nsec := binary.LittleEndian.Uint32(data[off+4:])
+		incl := int(binary.LittleEndian.Uint32(data[off+8:]))
+		orig := int(binary.LittleEndian.Uint32(data[off+12:]))
+		if nsec >= 1e9 {
+			return nil, fmt.Errorf("pcap: nanosecond field %d out of range", nsec)
+		}
+		if incl != orig {
+			return nil, fmt.Errorf("pcap: truncated packet (incl %d != orig %d)", incl, orig)
+		}
+		off += 16
+		if off+incl > len(data) {
+			return nil, fmt.Errorf("pcap: record of %d bytes overruns file", incl)
+		}
+		frame := data[off : off+incl]
+		off += incl
+
+		if len(frame) < ipv4HeaderLen+tcpHeaderLen {
+			return nil, fmt.Errorf("pcap: frame of %d bytes too short for IPv4+TCP", len(frame))
+		}
+		if frame[0] != 0x45 {
+			return nil, fmt.Errorf("pcap: unexpected IP version/IHL %#x", frame[0])
+		}
+		if total := int(binary.BigEndian.Uint16(frame[2:])); total != len(frame) {
+			return nil, fmt.Errorf("pcap: IP total length %d != frame %d", total, len(frame))
+		}
+		if frame[9] != 6 {
+			return nil, fmt.Errorf("pcap: IP protocol %d is not TCP", frame[9])
+		}
+		if got := ipChecksum(frame[:ipv4HeaderLen]); got != 0 {
+			return nil, fmt.Errorf("pcap: bad IPv4 checksum (residual %#x)", got)
+		}
+		tcpLen := len(frame) - ipv4HeaderLen
+		pseudo := make([]byte, 12+tcpLen)
+		copy(pseudo[0:4], frame[12:16])
+		copy(pseudo[4:8], frame[16:20])
+		pseudo[9] = 6
+		binary.BigEndian.PutUint16(pseudo[10:], uint16(tcpLen))
+		copy(pseudo[12:], frame[ipv4HeaderLen:])
+		if got := ipChecksum(pseudo); got != 0 {
+			return nil, fmt.Errorf("pcap: bad TCP checksum (residual %#x)", got)
+		}
+
+		tcp := frame[ipv4HeaderLen:]
+		pkt := PcapPacket{
+			TimeNanos:    int64(sec)*1e9 + int64(nsec),
+			SrcPort:      int(binary.BigEndian.Uint16(tcp[0:])),
+			DstPort:      int(binary.BigEndian.Uint16(tcp[2:])),
+			Seq:          binary.BigEndian.Uint32(tcp[4:]),
+			Ack:          binary.BigEndian.Uint32(tcp[8:]),
+			Flags:        tcp[13],
+			Window:       int(binary.BigEndian.Uint16(tcp[14:])),
+			PayloadBytes: tcpLen - tcpHeaderLen,
+		}
+		copy(pkt.SrcIP[:], frame[12:16])
+		copy(pkt.DstIP[:], frame[16:20])
+		f.Packets = append(f.Packets, pkt)
+	}
+	return f, nil
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	cap, _ := runExchange(t)
+	var buf bytes.Buffer
+	if err := cap.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParsePcap(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := cap.Events()
+	if len(f.Packets) != len(evs) {
+		t.Fatalf("pcap has %d packets for %d events", len(f.Packets), len(evs))
+	}
+
+	// First frame is the client's SYN from 10.0.0.1 to 10.0.0.2:80.
+	first := f.Packets[0]
+	if first.Flags != 0x02 {
+		t.Fatalf("first packet flags %#x, want bare SYN 0x02", first.Flags)
+	}
+	if first.SrcIP != [4]byte{10, 0, 0, 1} || first.DstIP != [4]byte{10, 0, 0, 2} {
+		t.Fatalf("first packet %v → %v, want 10.0.0.1 → 10.0.0.2", first.SrcIP, first.DstIP)
+	}
+	if first.DstPort != 80 {
+		t.Fatalf("first packet dst port %d, want 80", first.DstPort)
+	}
+
+	last := int64(-1)
+	for i, pkt := range f.Packets {
+		ev := evs[i]
+		if pkt.TimeNanos < last {
+			t.Fatalf("packet %d timestamp went backwards", i)
+		}
+		last = pkt.TimeNanos
+		if pkt.TimeNanos != int64(ev.Time) {
+			t.Fatalf("packet %d at %dns, event at %dns", i, pkt.TimeNanos, int64(ev.Time))
+		}
+		if pkt.Seq != ev.Seg.Seq || pkt.Ack != ev.Seg.Ack {
+			t.Fatalf("packet %d seq/ack mismatch", i)
+		}
+		if pkt.PayloadBytes != len(ev.Seg.Payload) {
+			t.Fatalf("packet %d payload %d, want %d", i, pkt.PayloadBytes, len(ev.Seg.Payload))
+		}
+		if want := tcpWireFlags(ev.Seg.Flags); pkt.Flags != want {
+			t.Fatalf("packet %d flags %#x, want %#x", i, pkt.Flags, want)
+		}
+	}
+}
+
+func TestPcapIncludesDroppedPackets(t *testing.T) {
+	s := sim.New()
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	server := n.AddHost("server")
+	cfg := netem.Config{PropagationDelay: time.Millisecond}
+	drop := cfg
+	// Drop the client's first transmission (the SYN); the RTO retry gets
+	// through.
+	drop.Loss = func(i, wireBytes int) bool { return i == 0 }
+	n.ConnectHosts(client, server, netem.NewAsymPath(s, "t", drop, cfg))
+	cap := Attach(n)
+	server.Listen(80, tcpsim.Options{}, func(c *tcpsim.Conn) tcpsim.Handler {
+		return &tcpsim.Callbacks{PeerClose: func(c *tcpsim.Conn) { c.CloseWrite() }}
+	})
+	client.Dial("server", 80, tcpsim.Options{}, &tcpsim.Callbacks{
+		Connect: func(c *tcpsim.Conn) { c.CloseWrite() },
+	})
+	s.Run()
+
+	dropped := 0
+	for _, ev := range cap.Events() {
+		if ev.Dropped {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("fixture produced no drops")
+	}
+	var buf bytes.Buffer
+	if err := cap.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParsePcap(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Packets) != len(cap.Events()) {
+		t.Fatalf("pcap has %d packets for %d events (drops must be included)",
+			len(f.Packets), len(cap.Events()))
+	}
+}
+
+func TestParsePcapRejectsCorruption(t *testing.T) {
+	cap, _ := runExchange(t)
+	var buf bytes.Buffer
+	if err := cap.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[0:], 0xa1b2c3d4) // microsecond magic
+	if _, err := ParsePcap(bad); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[24+16+30] ^= 0xff // flip a byte inside the first frame's TCP header
+	if _, err := ParsePcap(bad); err == nil {
+		t.Fatal("corrupted TCP checksum accepted")
+	}
+
+	if _, err := ParsePcap(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestDetachRestoresHook(t *testing.T) {
+	s := sim.New()
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	server := n.AddHost("server")
+	cfg := netem.Config{PropagationDelay: time.Millisecond}
+	n.ConnectHosts(client, server, netem.NewAsymPath(s, "t", cfg, cfg))
+
+	prior := 0
+	n.PacketHook = func(ev tcpsim.PacketEvent) { prior++ }
+	cap := Attach(n)
+	cap.Detach()
+	cap.Detach() // idempotent
+
+	server.Listen(80, tcpsim.Options{}, func(c *tcpsim.Conn) tcpsim.Handler {
+		return &tcpsim.Callbacks{PeerClose: func(c *tcpsim.Conn) { c.CloseWrite() }}
+	})
+	client.Dial("server", 80, tcpsim.Options{}, &tcpsim.Callbacks{
+		Connect: func(c *tcpsim.Conn) { c.CloseWrite() },
+	})
+	s.Run()
+
+	if prior == 0 {
+		t.Fatal("prior hook lost after Detach")
+	}
+	if len(cap.Events()) != 0 {
+		t.Fatalf("detached capture recorded %d events", len(cap.Events()))
+	}
+}
+
+func TestDetachStackedLIFO(t *testing.T) {
+	s := sim.New()
+	n := tcpsim.NewNetwork(s)
+	a := Attach(n)
+	b := Attach(n)
+	b.Detach()
+	// After detaching b, a's hook must be the active head again.
+	n.PacketHook(tcpsim.PacketEvent{})
+	if len(a.Events()) != 1 {
+		t.Fatalf("a saw %d events after b detached, want 1", len(a.Events()))
+	}
+	if len(b.Events()) != 0 {
+		t.Fatalf("b saw %d events after detach", len(b.Events()))
+	}
+	a.Detach()
+	if n.PacketHook != nil {
+		t.Fatal("hook chain not empty after all captures detached")
+	}
+}

@@ -15,21 +15,42 @@ import (
 
 // Capture accumulates packet events from a tcpsim.Network.
 type Capture struct {
-	events []tcpsim.PacketEvent
-	prev   func(tcpsim.PacketEvent)
+	events   []tcpsim.PacketEvent
+	net      *tcpsim.Network
+	prev     func(tcpsim.PacketEvent)
+	detached bool
 }
 
 // Attach installs the capture as the network's packet hook, chaining any
-// hook already present.
+// hook already present. Call Detach when done so the hook chain does not
+// grow with every capture over a long-lived network; captures must be
+// detached in reverse attach order (LIFO), like deferred cleanups.
 func Attach(n *tcpsim.Network) *Capture {
-	c := &Capture{prev: n.PacketHook}
+	c := &Capture{net: n, prev: n.PacketHook}
 	n.PacketHook = func(ev tcpsim.PacketEvent) {
-		c.events = append(c.events, ev)
+		if !c.detached {
+			c.events = append(c.events, ev)
+		}
 		if c.prev != nil {
 			c.prev(ev)
 		}
 	}
 	return c
+}
+
+// Detach removes the capture from the network's hook chain, restoring
+// the hook that was installed before Attach. The captured events remain
+// readable afterwards. Detach is idempotent. Detaching out of LIFO order
+// also restores the pre-Attach hook, unlinking any capture attached
+// later — recording on this capture stops regardless.
+func (c *Capture) Detach() {
+	if c.detached {
+		return
+	}
+	c.detached = true
+	if c.net != nil {
+		c.net.PacketHook = c.prev
+	}
 }
 
 // Events returns the captured packet events in transmission order.
