@@ -19,7 +19,9 @@
 //	httpperf -table range    # range-probe revalidation after a site revision
 //	httpperf -table headers  # request-redundancy (compact encoding) estimate
 //	httpperf -table cwnd     # slow-start initial window ablation
+//	httpperf -table proxy    # shared caching proxy tier (cold/warm/stale)
 //	httpperf -table sweep    # per-run structured metrics sweep
+//	httpperf -list           # registered experiments + scenario vocabulary
 //	httpperf -list-envs      # Table 1
 //	httpperf -runs 5         # averaging runs per cell (default 5)
 //	httpperf -seeds 2        # independent seed families per cell (default 1)
@@ -32,12 +34,14 @@
 //	httpperf -pcap run.pcap        # packet capture for tcpdump/Wireshark
 //	httpperf -timeline run.json    # Perfetto / Chrome trace-event JSON
 //	httpperf -waterfall            # devtools-style request waterfall table
+//	httpperf -topology proxy:WAN   # interpose a shared caching proxy
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -48,26 +52,32 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, sweep, all)")
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, sweep, all)")
 	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")
 	seeds := flag.Int("seeds", 1, "independent seed families per cell (multiplies -runs)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs")
+	list := flag.Bool("list", false, "list registered experiments and the scenario vocabulary, then exit")
 	listEnvs := flag.Bool("list-envs", false, "print Table 1 (network environments) and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON (tables plus per-run metrics) instead of text tables")
 	asCSV := flag.Bool("csv", false, "emit per-run metrics as CSV instead of text tables")
-	scenario := flag.String("scenario", "apache/pipelined/PPP/first", "server/client/env/workload cell for the observability flags")
+	scenario := flag.String("scenario", "apache/pipelined/PPP/first", "server/client/env/workload[/topology] cell for the observability flags")
+	topology := flag.String("topology", "direct", "topology for the observability run: direct, or proxy:ENV[:warm|:stale]")
 	seed := flag.Uint64("seed", 1, "seed for the observability single-scenario run")
 	pcap := flag.String("pcap", "", "run -scenario once and write its packet capture to this pcap file")
 	timeline := flag.String("timeline", "", "run -scenario once and write its event timeline to this Perfetto JSON file")
 	waterfall := flag.Bool("waterfall", false, "run -scenario once and print its request waterfall table")
 	flag.Parse()
 
+	if *list {
+		printList(os.Stdout)
+		return
+	}
 	if *listEnvs {
 		report.Environments(os.Stdout)
 		return
 	}
 	if *pcap != "" || *timeline != "" || *waterfall {
-		if err := observe(*scenario, *seed, *pcap, *timeline, *waterfall); err != nil {
+		if err := observe(*scenario, *topology, *seed, *pcap, *timeline, *waterfall); err != nil {
 			fmt.Fprintln(os.Stderr, "httpperf:", err)
 			os.Exit(1)
 		}
@@ -80,12 +90,35 @@ func main() {
 	}
 }
 
+// printList enumerates the registered experiments and the scenario
+// vocabulary the -scenario and -topology flags accept.
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "Experiments (-table):")
+	for _, name := range exp.AllNames() {
+		e, _ := exp.Lookup(name)
+		fmt.Fprintf(w, "  %-8s %s\n", name, e.Title)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Scenario spec (-scenario): server/client/env/workload[/topology]")
+	fmt.Fprintln(w, "  server:   jigsaw, apache")
+	fmt.Fprintln(w, "  client:   http10, serial, pipelined, deflate, netscape, msie")
+	fmt.Fprintln(w, "  env:      LAN, WAN, PPP")
+	fmt.Fprintln(w, "  workload: first, reval")
+	fmt.Fprintln(w, "  topology: direct, proxy:ENV[:warm|:stale]   (also the -topology flag)")
+	fmt.Fprintln(w, "            e.g. proxy:WAN:warm = shared cache at the ISP, primed and fresh")
+}
+
 // observe runs one scenario with full observability and writes the
 // requested exports.
-func observe(spec string, seed uint64, pcap, timeline string, waterfall bool) error {
+func observe(spec, topology string, seed uint64, pcap, timeline string, waterfall bool) error {
 	sc, err := core.ParseScenario(spec)
 	if err != nil {
 		return err
+	}
+	if topology != "" && topology != "direct" {
+		if sc.Proxy, err = core.ParseTopology(topology); err != nil {
+			return err
+		}
 	}
 	sc.Seed = seed
 	site, err := core.DefaultSite()

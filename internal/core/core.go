@@ -17,12 +17,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/exp"
 	"repro/internal/httpclient"
 	"repro/internal/httpserver"
 	"repro/internal/lzw"
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/proxy"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 	"repro/internal/trace"
@@ -56,19 +58,61 @@ type Scenario struct {
 	// profile- and mode-derived configurations.
 	ServerOverride *httpserver.Config
 	ClientOverride *httpclient.Config
+
+	// Proxy, when non-nil, interposes a shared caching proxy between the
+	// client and the origin: the client's Env becomes the last-mile link
+	// (client ↔ proxy) and Proxy.Env the upstream link (proxy ↔ origin).
+	Proxy *ProxyScenario
+}
+
+// ProxyScenario configures the caching proxy tier of a multi-hop run.
+type ProxyScenario struct {
+	// Env is the proxy ↔ origin link environment.
+	Env netem.Environment
+	// CacheBytes is the shared cache capacity (default 8 MiB).
+	CacheBytes int64
+	// Warm primes the cache with the whole site before the run, as if an
+	// earlier client had pulled it through minutes ago (entries fresh).
+	// Stale primes the same way but expires every entry, modelling a
+	// cache filled on an earlier day: each use must revalidate. Stale
+	// wins when both are set.
+	Warm  bool
+	Stale bool
+}
+
+// String names the proxy variant as used in scenario strings.
+func (p *ProxyScenario) String() string {
+	s := "proxy:" + p.Env.String()
+	if p.Stale {
+		return s + ":stale"
+	}
+	if p.Warm {
+		return s + ":warm"
+	}
+	return s
 }
 
 // String summarizes the scenario.
 func (sc Scenario) String() string {
-	return fmt.Sprintf("%s/%s/%s/%s", sc.Server, sc.Client, sc.Env, sc.Workload)
+	s := fmt.Sprintf("%s/%s/%s/%s", sc.Server, sc.Client, sc.Env, sc.Workload)
+	if sc.Proxy != nil {
+		s += "/" + sc.Proxy.String()
+	}
+	return s
 }
 
 // RunResult is the outcome of one scenario execution.
 type RunResult struct {
 	Scenario Scenario
-	Stats    trace.Stats
-	Client   httpclient.Result
-	Server   httpserver.Stats
+	// Stats describes the client-side link: the whole path on a direct
+	// run, the last mile (client ↔ proxy) on a proxy run.
+	Stats  trace.Stats
+	Client httpclient.Result
+	Server httpserver.Stats
+	// Proxy and Origin are filled on proxy runs only: proxy-tier counters
+	// and the packet statistics of the proxy ↔ origin link.
+	Proxy  *proxy.Stats
+	Origin *trace.Stats
 	// Elapsed is measured from the packet trace, first to last packet,
 	// like the paper's tcpdump-based timings.
 	Elapsed time.Duration
@@ -83,8 +127,12 @@ type RunResult struct {
 // ErrDidNotFinish reports a run whose client never completed the page.
 var ErrDidNotFinish = errors.New("core: client did not finish the fetch")
 
-// serverPort is the simulated origin's port.
-const serverPort = 80
+// serverPort is the simulated origin's port; proxyPort the caching
+// proxy's (3128, squid's convention).
+const (
+	serverPort = 80
+	proxyPort  = 3128
+)
 
 // Option configures one Run call.
 type Option func(*runConfig)
@@ -170,8 +218,20 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 			return lzw.NewModemCompressor()
 		}
 	}
+	// The client's Env is the last-mile link; with a proxy it terminates
+	// at the proxy host and a second link continues to the origin.
+	var proxyHost *tcpsim.Host
 	path := netem.NewEnvPath(s, sc.Env, pathOpts)
-	net.ConnectHosts(clientHost, serverHost, path)
+	if sc.Proxy != nil {
+		proxyHost = net.AddHost("proxy")
+		net.ConnectHosts(clientHost, proxyHost, path)
+		upOpts := pathOpts
+		upOpts.ModemCompression = nil // modem framing belongs to the last mile
+		upstreamPath := netem.NewEnvPath(s, sc.Proxy.Env, upOpts)
+		net.ConnectHosts(proxyHost, serverHost, upstreamPath)
+	} else {
+		net.ConnectHosts(clientHost, serverHost, path)
+	}
 	capture := trace.Attach(net)
 	defer capture.Detach()
 
@@ -209,11 +269,38 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	}
 	server := httpserver.New(s, serverHost, serverPort, served, serverCfg, rng, cpuJitter)
 
-	cache := httpclient.NewCache()
-	if sc.Workload == httpclient.Revalidate {
-		cache.Prime(site)
+	var px *proxy.Proxy
+	if sc.Proxy != nil {
+		capacity := sc.Proxy.CacheBytes
+		if capacity == 0 {
+			capacity = 8 << 20
+		}
+		pcache := cache.New(capacity, func() sim.Time { return s.Now() })
+		if sc.Proxy.Warm || sc.Proxy.Stale {
+			// Prime "as if" an earlier client had pulled the site through:
+			// store each object's canonical origin response; Stale then
+			// expires it so every use revalidates.
+			for _, p := range site.Paths() {
+				obj, _ := site.Object(p)
+				e := pcache.Store(p, httpserver.CanonicalResponse(sc.Server, obj))
+				if e != nil && sc.Proxy.Stale {
+					pcache.Expire(e)
+				}
+			}
+		}
+		px = proxy.New(s, proxyHost, proxyPort, "server", serverPort,
+			proxy.Config{Cache: pcache, NoDelay: true, Obs: bus}, rng, cpuJitter)
 	}
-	robot := httpclient.NewRobot(s, clientHost, "server", serverPort, clientCfg, cache, rng, cpuJitter)
+
+	clientCache := httpclient.NewCache()
+	if sc.Workload == httpclient.Revalidate {
+		clientCache.Prime(site)
+	}
+	targetHost, targetPort := "server", serverPort
+	if sc.Proxy != nil {
+		targetHost, targetPort = "proxy", proxyPort
+	}
+	robot := httpclient.NewRobot(s, clientHost, targetHost, targetPort, clientCfg, clientCache, rng, cpuJitter)
 
 	s.Schedule(0, func() {
 		robot.Start("/", sc.Workload, nil)
@@ -228,6 +315,13 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		Stats:    capture.Stats("client"),
 		Client:   robot.Result(),
 		Server:   server.Stats(),
+	}
+	if px != nil {
+		res.Stats = capture.StatsBetween("client", "proxy")
+		origin := capture.StatsBetween("proxy", "server")
+		res.Origin = &origin
+		pst := px.Stats()
+		res.Proxy = &pst
 	}
 	res.Elapsed = res.Stats.Elapsed()
 	if cfg.capture {
@@ -261,6 +355,19 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.Retried = res.Client.Retried
 		m.TimelineEvents = bus.Len()
 		m.TimelineSpans = len(bus.Spans())
+		if res.Proxy != nil {
+			p := res.Proxy
+			m.CacheHits = p.Hits
+			m.CacheMisses = p.Misses
+			m.CacheRevalidations = p.Revalidations
+			if p.Requests > 0 {
+				m.CacheHitRatio = float64(p.Hits) / float64(p.Requests)
+			}
+			m.CacheBytesSaved = p.BytesFromCache
+			m.UpstreamRequests = p.UpstreamRequests
+			m.OriginPackets = res.Origin.Packets
+			m.OriginBytes = res.Origin.PayloadBytes
+		}
 	}
 	return res, nil
 }

@@ -68,13 +68,48 @@ func ParseWorkload(s string) (httpclient.Workload, error) {
 	return 0, fmt.Errorf("unknown workload %q (want first or reval)", s)
 }
 
-// ParseScenario parses a "server/client/env/workload" spec — e.g.
-// "apache/pipelined/PPP/first" — into a Scenario with zero seed and no
-// jitter.
+// ParseTopology maps a command-line topology spec onto a scenario's
+// proxy configuration: nil for "direct", or a ProxyScenario for
+// "proxy:ENV[:warm|:stale]" — e.g. "proxy:WAN" (cold shared cache),
+// "proxy:WAN:warm" (site cached and fresh), "proxy:WAN:stale" (cached
+// earlier, expired, revalidates upstream).
+func ParseTopology(s string) (*ProxyScenario, error) {
+	if strings.EqualFold(s, "direct") || s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if !strings.EqualFold(parts[0], "proxy") || len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("unknown topology %q (want direct or proxy:ENV[:warm|:stale], e.g. proxy:WAN:warm)", s)
+	}
+	env, err := ParseEnvironment(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	p := &ProxyScenario{Env: env}
+	if len(parts) == 3 {
+		switch strings.ToLower(parts[2]) {
+		case "warm":
+			p.Warm = true
+		case "stale":
+			p.Stale = true
+		default:
+			return nil, fmt.Errorf("unknown cache state %q in topology %q (want warm or stale)", parts[2], s)
+		}
+	}
+	return p, nil
+}
+
+// ParseScenario parses a "server/client/env/workload[/topology]" spec —
+// e.g. "apache/pipelined/PPP/first" or
+// "apache/pipelined/PPP/first/proxy:WAN:warm" — into a Scenario with
+// zero seed and no jitter. The optional fifth part is a ParseTopology
+// spec interposing a shared caching proxy.
 func ParseScenario(spec string) (Scenario, error) {
 	parts := strings.Split(spec, "/")
-	if len(parts) != 4 {
-		return Scenario{}, fmt.Errorf("scenario %q: want server/client/env/workload", spec)
+	if len(parts) != 4 && len(parts) != 5 {
+		return Scenario{}, fmt.Errorf(
+			"scenario %q: want server/client/env/workload[/topology] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]",
+			spec)
 	}
 	var sc Scenario
 	var err error
@@ -89,6 +124,11 @@ func ParseScenario(spec string) (Scenario, error) {
 	}
 	if sc.Workload, err = ParseWorkload(parts[3]); err != nil {
 		return Scenario{}, err
+	}
+	if len(parts) == 5 {
+		if sc.Proxy, err = ParseTopology(parts[4]); err != nil {
+			return Scenario{}, err
+		}
 	}
 	return sc, nil
 }

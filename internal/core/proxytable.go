@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// ProxyRow is one row of the shared-proxy experiment: one protocol mode
+// under one cache state, measured on the dialup last mile with the
+// origin-side traffic alongside.
+type ProxyRow struct {
+	Mode    string
+	Variant string // "cold", "warm", "stale"
+
+	// Last-mile (client ↔ proxy) measurements, the paper's Pa / Bytes /
+	// Sec / %ov quantities as seen by the dialup user.
+	Packets     float64
+	Bytes       float64
+	Seconds     float64
+	OverheadPct float64
+
+	// Cache effectiveness: hit ratio over proxy requests, body bytes
+	// served from cache instead of the origin, upstream requests issued,
+	// and packets on the proxy ↔ origin link.
+	HitRatio         float64
+	BytesSaved       float64
+	UpstreamRequests float64
+	OriginPackets    float64
+}
+
+// proxyVariants are the three cache states the experiment compares.
+var proxyVariants = []struct {
+	name  string
+	warm  bool
+	stale bool
+}{
+	{"cold", false, false},
+	{"warm", true, false},
+	{"stale", false, true},
+}
+
+// ProxyTable runs the shared-caching-proxy experiment: a dialup client
+// fetching the site through a proxy at the ISP (PPP last mile) that
+// reaches the origin over the WAN, for all four protocol modes under
+// three cache states — cold (first fetch, all misses), warm (a fresh
+// cache serves everything locally), and stale (a cache filled on an
+// earlier day revalidates each object upstream with a conditional GET).
+func (sw Sweep) ProxyTable(site *webgen.Site) ([]ProxyRow, error) {
+	var rows []ProxyRow
+	for vi, v := range proxyVariants {
+		for mi, mode := range protocolModes {
+			sc := Scenario{
+				Server:   httpserver.ProfileApache,
+				Client:   mode,
+				Env:      netem.PPP,
+				Workload: httpclient.FirstTime,
+				Seed:     13000 + uint64(vi)*100 + uint64(mi),
+				Proxy:    &ProxyScenario{Env: netem.WAN, Warm: v.warm, Stale: v.stale},
+			}
+			results, err := sw.series(sc, site, 7919)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sc, err)
+			}
+			row := ProxyRow{Mode: mode.String(), Variant: v.name}
+			n := float64(len(results))
+			for _, res := range results {
+				row.Packets += float64(res.Stats.Packets) / n
+				row.Bytes += float64(res.Stats.PayloadBytes) / n
+				row.Seconds += res.Elapsed.Seconds() / n
+				p := res.Proxy
+				if p.Requests > 0 {
+					row.HitRatio += float64(p.Hits) / float64(p.Requests) / n
+				}
+				row.BytesSaved += float64(p.BytesFromCache) / n
+				row.UpstreamRequests += float64(p.UpstreamRequests) / n
+				row.OriginPackets += float64(res.Origin.Packets) / n
+			}
+			hdr := row.Packets * netem.IPTCPHeaderBytes
+			if total := row.Bytes + hdr; total > 0 {
+				row.OverheadPct = 100 * hdr / total
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -83,6 +83,20 @@ type Metrics struct {
 	// executed without core.WithTimeline.
 	TimelineEvents int `json:"timeline_events,omitempty"`
 	TimelineSpans  int `json:"timeline_spans,omitempty"`
+
+	// Cache and origin-side accounting for runs through the shared
+	// caching proxy tier (all zero on direct client↔origin runs). On a
+	// proxy run the Packets/Bytes fields above describe the client-side
+	// (last-mile) link only; OriginPackets/OriginBytes describe the
+	// proxy↔origin link.
+	CacheHits          int     `json:"cache_hits,omitempty"`
+	CacheMisses        int     `json:"cache_misses,omitempty"`
+	CacheRevalidations int     `json:"cache_revalidations,omitempty"`
+	CacheHitRatio      float64 `json:"cache_hit_ratio,omitempty"`
+	CacheBytesSaved    int64   `json:"cache_bytes_saved,omitempty"`
+	UpstreamRequests   int     `json:"upstream_requests,omitempty"`
+	OriginPackets      int     `json:"origin_packets,omitempty"`
+	OriginBytes        int64   `json:"origin_bytes,omitempty"`
 }
 
 // csvHeader lists the CSV columns, in Metrics field order.
@@ -97,6 +111,9 @@ var csvHeader = []string{
 	"responses_200", "responses_304", "responses_206",
 	"errors", "retried",
 	"timeline_events", "timeline_spans",
+	"cache_hits", "cache_misses", "cache_revalidations",
+	"cache_hit_ratio", "cache_bytes_saved", "upstream_requests",
+	"origin_packets", "origin_bytes",
 }
 
 // csvRow renders the record in csvHeader order.
@@ -114,6 +131,9 @@ func (m Metrics) csvRow() []string {
 		strconv.Itoa(m.Responses200), strconv.Itoa(m.Responses304), strconv.Itoa(m.Responses206),
 		strconv.Itoa(m.Errors), strconv.Itoa(m.Retried),
 		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
+		strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMisses), strconv.Itoa(m.CacheRevalidations),
+		f(m.CacheHitRatio), strconv.FormatInt(m.CacheBytesSaved, 10), strconv.Itoa(m.UpstreamRequests),
+		strconv.Itoa(m.OriginPackets), strconv.FormatInt(m.OriginBytes, 10),
 	}
 }
 

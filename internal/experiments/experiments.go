@@ -173,6 +173,14 @@ func init() {
 		},
 	})
 	exp.Register(exp.Experiment{
+		Name: "proxy", Title: "Shared caching proxy tier (PPP last mile, WAN origin)",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "proxy").ProxyTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Proxy(w, d.([]core.ProxyRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
 		Name: "sweep", Title: "Per-run structured metrics sweep (protocol modes × environments)",
 		Skip: true,
 		Generate: func(s *exp.Session) (any, error) {

@@ -40,7 +40,7 @@ func render(t *testing.T, s *exp.Session, name string) []byte {
 func TestRegisteredNames(t *testing.T) {
 	want := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11",
 		"modem", "tagcase", "css", "png", "nagle", "reset", "flush",
-		"range", "headers", "cwnd"}
+		"range", "headers", "cwnd", "proxy"}
 	got := exp.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

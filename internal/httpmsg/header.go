@@ -106,3 +106,20 @@ func TokenListContains(value, token string) bool {
 	}
 	return false
 }
+
+// ETagMatch implements If-None-Match list matching against an entity tag:
+// "*" matches any entity, otherwise the comma-separated list is compared
+// entry by entry (strong comparison, as 1997 validators were opaque
+// strings). Both origin servers and caches answering conditionals locally
+// use this rule.
+func ETagMatch(headerVal, etag string) bool {
+	if strings.TrimSpace(headerVal) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(headerVal, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}

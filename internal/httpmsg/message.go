@@ -86,6 +86,8 @@ func StatusText(code int) string {
 		return "Internal Server Error"
 	case 501:
 		return "Not Implemented"
+	case 502:
+		return "Bad Gateway"
 	case 505:
 		return "HTTP Version Not Supported"
 	}

@@ -114,6 +114,11 @@ type Stats struct {
 	ProtocolErrors int
 }
 
+// serverDate is the fixed Date header both profiles stamp on every
+// response (the simulation's wall clock never advances past one page
+// view, as in the paper's isolated testbed).
+const serverDate = "Mon, 07 Jul 1997 10:00:00 GMT"
+
 // Server serves one site on one host and port.
 type Server struct {
 	cfg     Config
@@ -131,7 +136,7 @@ func New(s *sim.Simulator, host *tcpsim.Host, port int, site *webgen.Site, cfg C
 		site:    site,
 		cpu:     sim.NewCPU(s, rng, cpuJitter),
 		deflate: make(map[string][]byte),
-		date:    "Mon, 07 Jul 1997 10:00:00 GMT",
+		date:    serverDate,
 	}
 	if srv.cfg.EnableDeflate {
 		// "the server does not perform on-the-fly compression but sends
@@ -299,7 +304,7 @@ func (s *Server) respond(req *httpmsg.Request) *httpmsg.Response {
 
 	// Conditional GET: entity tags take precedence over date validators.
 	if inm := req.Header.Get("If-None-Match"); inm != "" {
-		if etagMatch(inm, obj.ETag) {
+		if httpmsg.ETagMatch(inm, obj.ETag) {
 			resp := httpmsg.NewResponse(proto, 304)
 			resp.Header.Add("ETag", obj.ETag)
 			s.stats.NotModified++
@@ -347,6 +352,21 @@ func (s *Server) respond(req *httpmsg.Request) *httpmsg.Response {
 	return s.finishHeaders(resp)
 }
 
+// CanonicalResponse builds the exact 200 response the profile's server
+// sends for an unconditional identity-coded GET of obj — status line,
+// validators, and standing headers included. It exists so a shared cache
+// can be warm-primed "as if" an earlier client had already pulled the
+// site through it, without simulating that earlier fetch.
+func CanonicalResponse(profile Profile, obj *webgen.Object) *httpmsg.Response {
+	resp := httpmsg.NewResponse(httpmsg.Proto11, 200)
+	resp.Header.Add("Content-Type", obj.ContentType)
+	resp.Body = obj.Body
+	resp.Header.Add("ETag", obj.ETag)
+	resp.Header.Add("Last-Modified", obj.LastModified)
+	srv := &Server{cfg: Config{Profile: profile}, date: serverDate}
+	return srv.finishHeaders(resp)
+}
+
 // finishHeaders adds the profile's standing headers.
 func (s *Server) finishHeaders(resp *httpmsg.Response) *httpmsg.Response {
 	h := &resp.Header
@@ -365,19 +385,6 @@ func (s *Server) finishHeaders(resp *httpmsg.Response) *httpmsg.Response {
 		h.Add("Accept-Ranges", "bytes")
 	}
 	return resp
-}
-
-// etagMatch implements If-None-Match list matching.
-func etagMatch(headerVal, etag string) bool {
-	if strings.TrimSpace(headerVal) == "*" {
-		return true
-	}
-	for _, part := range strings.Split(headerVal, ",") {
-		if strings.TrimSpace(part) == etag {
-			return true
-		}
-	}
-	return false
 }
 
 // parseRange parses a single "bytes=lo-hi" range.

@@ -73,13 +73,24 @@ const (
 	// KindServerSend marks the server queueing a response: A=status
 	// code, B=body bytes, Note=target.
 	KindServerSend
+	// KindCacheHit marks an intermediary serving a request from its
+	// cache without touching the origin: A=body bytes served,
+	// Note=target.
+	KindCacheHit
+	// KindCacheMiss marks an intermediary forwarding a request upstream
+	// because its cache had no entry: Note=target.
+	KindCacheMiss
+	// KindCacheReval marks an intermediary revalidating a stale cache
+	// entry with the origin: A=1 when the origin confirmed the entry
+	// (304), 0 when it returned a new entity, Note=target.
+	KindCacheReval
 )
 
 var kindNames = [...]string{
 	"conn-open", "conn-state", "cwnd", "nagle-hold", "rto-fire",
 	"retransmit", "wire-send", "wire-drop", "span-queued",
 	"span-written", "span-first-byte", "span-done", "server-recv",
-	"server-send",
+	"server-send", "cache-hit", "cache-miss", "cache-reval",
 }
 
 // String names the kind.
@@ -127,6 +138,11 @@ type SpanInfo struct {
 	Conn ConnID
 	// Retried marks a request re-issued after a connection failure.
 	Retried bool
+	// Via names the intermediary that issued the request ("" for spans
+	// originated by the client itself). A proxy's upstream fetches appear
+	// as their own spans with Via set, so a waterfall shows the proxy hop
+	// separately from the client-side request it serves.
+	Via string
 	// Queued, Written, FirstByte, and Done are the lifecycle instants;
 	// NoTime where the event never happened (e.g. a span abandoned by a
 	// connection reset is never Done).
@@ -277,13 +293,19 @@ func (b *Bus) WireDrop(link string, wireBytes int) {
 
 // SpanQueued opens a request span at the current instant.
 func (b *Bus) SpanQueued(method, path string, retried bool) SpanID {
+	return b.SpanQueuedVia(method, path, retried, "")
+}
+
+// SpanQueuedVia opens a request span originated by the named
+// intermediary (e.g. a proxy's upstream fetch). via="" is a client span.
+func (b *Bus) SpanQueuedVia(method, path string, retried bool, via string) SpanID {
 	if b == nil {
 		return 0
 	}
 	id := SpanID(len(b.spans) + 1)
 	now := b.sim.Now()
 	b.spans = append(b.spans, SpanInfo{
-		ID: id, Method: method, Path: path, Retried: retried,
+		ID: id, Method: method, Path: path, Retried: retried, Via: via,
 		Queued: now, Written: NoTime, FirstByte: NoTime, Done: NoTime,
 	})
 	var retry int64
@@ -357,4 +379,35 @@ func (b *Bus) ServerSend(conn ConnID, target string, status int, bytes int) {
 		return
 	}
 	b.add(Event{Kind: KindServerSend, Conn: conn, Note: target, A: int64(status), B: int64(bytes)})
+}
+
+// --- cache publishers ---
+
+// CacheHit marks an intermediary serving target from cache on conn.
+func (b *Bus) CacheHit(conn ConnID, target string, bytes int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindCacheHit, Conn: conn, Note: target, A: int64(bytes)})
+}
+
+// CacheMiss marks an intermediary forwarding target upstream.
+func (b *Bus) CacheMiss(conn ConnID, target string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindCacheMiss, Conn: conn, Note: target})
+}
+
+// CacheReval marks an intermediary revalidating a stale entry for
+// target; confirmed reports whether the origin answered 304.
+func (b *Bus) CacheReval(conn ConnID, target string, confirmed bool) {
+	if b == nil {
+		return
+	}
+	var a int64
+	if confirmed {
+		a = 1
+	}
+	b.add(Event{Kind: KindCacheReval, Conn: conn, Note: target, A: a})
 }

@@ -169,6 +169,12 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 			instant(ev, "req "+ev.Note, nil)
 		case KindServerSend:
 			instant(ev, "resp "+ev.Note, map[string]any{"status": ev.A, "body_bytes": ev.B})
+		case KindCacheHit:
+			instant(ev, "cache hit "+ev.Note, map[string]any{"body_bytes": ev.A})
+		case KindCacheMiss:
+			instant(ev, "cache miss "+ev.Note, nil)
+		case KindCacheReval:
+			instant(ev, "cache reval "+ev.Note, map[string]any{"confirmed": ev.A == 1})
 		}
 	}
 	for id := range open {
@@ -196,6 +202,9 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 		}
 		if sp.Retried {
 			args["retried"] = true
+		}
+		if sp.Via != "" {
+			args["via"] = sp.Via
 		}
 		pid := connPid[sp.Conn]
 		emit(traceEvent{Name: name, Ph: "b", Cat: "request", ID: id,

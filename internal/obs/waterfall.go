@@ -14,9 +14,14 @@ type WaterfallRow struct {
 	Method, Path string
 	Conn         ConnID
 	// Reused reports that an earlier span had already been written on
-	// the same connection.
+	// the same connection. Reuse is tracked per connection, so an
+	// intermediary's upstream requests (Via non-empty) never mark the
+	// client-side connection as reused, and vice versa.
 	Reused  bool
 	Retried bool
+	// Via names the intermediary that issued the request ("" for the
+	// client's own requests); a proxy hop appears as its own row.
+	Via string
 
 	Queued, Written, FirstByte, Done sim.Time
 
@@ -52,8 +57,8 @@ func (b *Bus) Waterfall() []WaterfallRow {
 	for _, sp := range b.spans {
 		row := WaterfallRow{
 			Span: sp.ID, Method: sp.Method, Path: sp.Path, Conn: sp.Conn,
-			Retried: sp.Retried,
-			Queued:  sp.Queued, Written: sp.Written,
+			Retried: sp.Retried, Via: sp.Via,
+			Queued: sp.Queued, Written: sp.Written,
 			FirstByte: sp.FirstByte, Done: sp.Done,
 			Status: sp.Status, Bytes: sp.Bytes,
 		}

@@ -143,6 +143,33 @@ func Modem(w io.Writer, rows []core.ModemRow, profileName string) {
 	s.Render(w, rows)
 }
 
+// Proxy renders the shared-caching-proxy experiment: last-mile cost per
+// protocol mode under each cache state, with the cache-effectiveness and
+// origin-side columns alongside.
+func Proxy(w io.Writer, rows []core.ProxyRow) {
+	s := Spec[core.ProxyRow]{
+		Title: "Shared proxy cache (PPP last mile, proxy to Apache origin over WAN; first-time workload)",
+		Width: 118,
+		PreHeader: []string{
+			"cold = empty cache | warm = site cached and fresh | stale = cached earlier, expired (revalidate upstream)",
+		},
+		Cols: []Col[core.ProxyRow]{
+			{Format: "%-33s", Value: func(r core.ProxyRow) any { return r.Mode }},
+			{Head: "cache", Format: "%-6s", Value: func(r core.ProxyRow) any { return r.Variant }},
+			{Head: "Pa", Format: "%7.1f", Value: func(r core.ProxyRow) any { return r.Packets }},
+			{Head: "Bytes", Format: "%9.0f", Value: func(r core.ProxyRow) any { return r.Bytes }},
+			{Head: "Sec", Format: "%7.2f", Value: func(r core.ProxyRow) any { return r.Seconds }},
+			{Head: "%ov", Format: "%6.2f", Value: func(r core.ProxyRow) any { return r.OverheadPct }},
+			{Format: "|", Value: nil},
+			{Head: "hit%", Format: "%6.1f", Value: func(r core.ProxyRow) any { return 100 * r.HitRatio }},
+			{Head: "KBsaved", Format: "%8.1f", Value: func(r core.ProxyRow) any { return r.BytesSaved / 1024 }},
+			{Head: "upReq", Format: "%6.1f", Value: func(r core.ProxyRow) any { return r.UpstreamRequests }},
+			{Head: "originPa", Format: "%9.1f", Value: func(r core.ProxyRow) any { return r.OriginPackets }},
+		},
+	}
+	s.Render(w, rows)
+}
+
 // TagCase renders the markup-case compression experiment.
 func TagCase(w io.Writer, rows []core.TagCaseRow) {
 	s := Spec[core.TagCaseRow]{

@@ -33,6 +33,15 @@ func wfStatus(r obs.WaterfallRow) string {
 	return fmt.Sprintf("%d", r.Status)
 }
 
+// wfVia renders the intermediary that issued the request, "-" for the
+// client's own requests.
+func wfVia(r obs.WaterfallRow) string {
+	if r.Via == "" {
+		return "-"
+	}
+	return r.Via
+}
+
 // wfFlags marks connection reuse (+) and retried requests (!).
 func wfFlags(r obs.WaterfallRow) string {
 	s := ""
@@ -50,10 +59,11 @@ func wfFlags(r obs.WaterfallRow) string {
 // TTFB and transfer durations (milliseconds), status, and size.
 var waterfallSpec = Spec[obs.WaterfallRow]{
 	Title: "Request waterfall (times in s, TTFB/xfer in ms; + reused conn, ! retried)",
-	Width: 96,
+	Width: 108,
 	Cols: []Col[obs.WaterfallRow]{
 		{Head: "#", Format: "%3d", Value: func(r obs.WaterfallRow) any { return int(r.Span) }},
 		{Head: "conn", Format: "%4d", Value: func(r obs.WaterfallRow) any { return int(r.Conn) }},
+		{Head: "via", Format: "%-9s", Value: func(r obs.WaterfallRow) any { return wfVia(r) }},
 		{Head: "f", Format: "%-2s", Value: func(r obs.WaterfallRow) any { return wfFlags(r) }},
 		{Head: "method", Format: "%-6s", Value: func(r obs.WaterfallRow) any { return r.Method }},
 		{Head: "path", Format: "%-18s", Value: func(r obs.WaterfallRow) any { return r.Path }},

@@ -100,8 +100,30 @@ func (s Stats) Elapsed() sim.Duration { return s.Last.Sub(s.First) }
 // Stats computes summary statistics, treating clientHost as the
 // measurement point for direction labelling.
 func (c *Capture) Stats(clientHost string) Stats {
+	return c.stats(clientHost, "")
+}
+
+// StatsBetween restricts the summary to packets exchanged between the
+// two named hosts, labelling direction from clientHost's point of view.
+// In a multi-hop topology (client → proxy → origin) this is the tcpdump
+// placed on one link: StatsBetween("client", "proxy") sees the last
+// mile, StatsBetween("proxy", "server") the upstream side.
+func (c *Capture) StatsBetween(clientHost, serverHost string) Stats {
+	return c.stats(clientHost, serverHost)
+}
+
+// stats walks the capture; serverHost == "" means no pair filtering.
+func (c *Capture) stats(clientHost, serverHost string) Stats {
 	var s Stats
-	for i, ev := range c.events {
+	first := true
+	for _, ev := range c.events {
+		if serverHost != "" {
+			from, to := ev.Seg.From.Host, ev.Seg.To.Host
+			if !(from == clientHost && to == serverHost) &&
+				!(from == serverHost && to == clientHost) {
+				continue
+			}
+		}
 		s.Packets++
 		s.PayloadBytes += int64(len(ev.Seg.Payload))
 		s.WireBytes += int64(ev.WireBytes)
@@ -124,8 +146,9 @@ func (c *Capture) Stats(clientHost string) Stats {
 		if ev.Seg.Flags&tcpsim.FlagSYN != 0 && ev.Seg.Flags&tcpsim.FlagACK == 0 && ev.Seg.From.Host == clientHost {
 			s.Connections++
 		}
-		if i == 0 {
+		if first {
 			s.First = ev.Time
+			first = false
 		}
 		s.Last = ev.Time
 	}
