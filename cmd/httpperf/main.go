@@ -20,6 +20,8 @@
 //	httpperf -table headers  # request-redundancy (compact encoding) estimate
 //	httpperf -table cwnd     # slow-start initial window ablation
 //	httpperf -table proxy    # shared caching proxy tier (cold/warm/stale)
+//	httpperf -table faults   # fault injection and recovery matrix
+//	httpperf -faults         # shortcut for -table faults
 //	httpperf -table sweep    # per-run structured metrics sweep
 //	httpperf -list           # registered experiments + scenario vocabulary
 //	httpperf -list-envs      # Table 1
@@ -35,6 +37,7 @@
 //	httpperf -timeline run.json    # Perfetto / Chrome trace-event JSON
 //	httpperf -waterfall            # devtools-style request waterfall table
 //	httpperf -topology proxy:WAN   # interpose a shared caching proxy
+//	httpperf -fault early-close    # inject a scripted fault profile
 package main
 
 import (
@@ -44,15 +47,18 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	_ "repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/report"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, sweep, all)")
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, sweep, all)")
+	faultsOnly := flag.Bool("faults", false, "shortcut for -table faults")
 	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")
 	seeds := flag.Int("seeds", 1, "independent seed families per cell (multiplies -runs)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs")
@@ -60,8 +66,9 @@ func main() {
 	listEnvs := flag.Bool("list-envs", false, "print Table 1 (network environments) and exit")
 	asJSON := flag.Bool("json", false, "emit results as JSON (tables plus per-run metrics) instead of text tables")
 	asCSV := flag.Bool("csv", false, "emit per-run metrics as CSV instead of text tables")
-	scenario := flag.String("scenario", "apache/pipelined/PPP/first", "server/client/env/workload[/topology] cell for the observability flags")
+	scenario := flag.String("scenario", "apache/pipelined/PPP/first", "server/client/env/workload[/topology][/fault] cell for the observability flags")
 	topology := flag.String("topology", "direct", "topology for the observability run: direct, or proxy:ENV[:warm|:stale]")
+	fault := flag.String("fault", "", "fault profile for the observability run ("+strings.Join(faults.Names(), ", ")+")")
 	seed := flag.Uint64("seed", 1, "seed for the observability single-scenario run")
 	pcap := flag.String("pcap", "", "run -scenario once and write its packet capture to this pcap file")
 	timeline := flag.String("timeline", "", "run -scenario once and write its event timeline to this Perfetto JSON file")
@@ -77,11 +84,14 @@ func main() {
 		return
 	}
 	if *pcap != "" || *timeline != "" || *waterfall {
-		if err := observe(*scenario, *topology, *seed, *pcap, *timeline, *waterfall); err != nil {
+		if err := observe(*scenario, *topology, *fault, *seed, *pcap, *timeline, *waterfall); err != nil {
 			fmt.Fprintln(os.Stderr, "httpperf:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *faultsOnly {
+		*table = "faults"
 	}
 	s := &exp.Session{Runs: *runs, Seeds: *seeds, Parallel: *parallel}
 	if err := run(s, *table, *asJSON, *asCSV); err != nil {
@@ -99,24 +109,31 @@ func printList(w io.Writer) {
 		fmt.Fprintf(w, "  %-8s %s\n", name, e.Title)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "Scenario spec (-scenario): server/client/env/workload[/topology]")
+	fmt.Fprintln(w, "Scenario spec (-scenario): server/client/env/workload[/topology][/fault]")
 	fmt.Fprintln(w, "  server:   jigsaw, apache")
 	fmt.Fprintln(w, "  client:   http10, serial, pipelined, deflate, netscape, msie")
 	fmt.Fprintln(w, "  env:      LAN, WAN, PPP")
 	fmt.Fprintln(w, "  workload: first, reval")
 	fmt.Fprintln(w, "  topology: direct, proxy:ENV[:warm|:stale]   (also the -topology flag)")
 	fmt.Fprintln(w, "            e.g. proxy:WAN:warm = shared cache at the ISP, primed and fresh")
+	fmt.Fprintf(w, "  fault:    %s   (also the -fault flag)\n", strings.Join(faults.Names(), ", "))
+	fmt.Fprintln(w, "            e.g. early-close = server drops the connection after 5 responses")
 }
 
 // observe runs one scenario with full observability and writes the
 // requested exports.
-func observe(spec, topology string, seed uint64, pcap, timeline string, waterfall bool) error {
+func observe(spec, topology, fault string, seed uint64, pcap, timeline string, waterfall bool) error {
 	sc, err := core.ParseScenario(spec)
 	if err != nil {
 		return err
 	}
 	if topology != "" && topology != "direct" {
 		if sc.Proxy, err = core.ParseTopology(topology); err != nil {
+			return err
+		}
+	}
+	if fault != "" {
+		if sc.Fault, err = faults.Parse(fault); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the committed fault-matrix golden")
+
+// TestFaultMatrixGolden pins the exact bytes the CI fault-matrix smoke
+// job diffs: `httpperf -faults -runs 1 -seeds 1 -parallel 4`. If the
+// fault table legitimately changes, regenerate with `go test ./cmd/httpperf
+// -run TestFaultMatrixGolden -update`.
+func TestFaultMatrixGolden(t *testing.T) {
+	site, err := core.DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &exp.Session{Runs: 1, Seeds: 1, Parallel: 4, Site: site}
+	e, ok := exp.Lookup("faults")
+	if !ok {
+		t.Fatal("faults experiment not registered")
+	}
+	data, err := e.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Render(&buf, s, data); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n') // run() prints a blank line after each table
+
+	const path = "testdata/faults_golden.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fault matrix drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

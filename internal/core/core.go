@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/exp"
+	"repro/internal/faults"
 	"repro/internal/httpclient"
 	"repro/internal/httpserver"
 	"repro/internal/lzw"
@@ -47,6 +48,15 @@ type Scenario struct {
 	// ModemCompression enables V.42bis-style link compression on the PPP
 	// link.
 	ModemCompression bool
+
+	// Fault selects a deterministic fault-injection profile (seeded from
+	// Seed): server misbehaviour (early close, truncation, abort, stall)
+	// and/or link loss (burst loss, flaps, blackholes). On a direct run
+	// the link faults apply to the client↔server path; with a proxy they
+	// apply to the proxy↔origin link and the server faults to the origin,
+	// so the proxy's own retry policy is exercised. A non-None fault also
+	// arms the client's (and proxy's) default recovery policy.
+	Fault faults.Profile
 
 	// ReviseFraction, when positive on the Revalidate workload, serves a
 	// revised site (that fraction of images replaced, page edited) while
@@ -97,6 +107,9 @@ func (sc Scenario) String() string {
 	s := fmt.Sprintf("%s/%s/%s/%s", sc.Server, sc.Client, sc.Env, sc.Workload)
 	if sc.Proxy != nil {
 		s += "/" + sc.Proxy.String()
+	}
+	if sc.Fault != faults.None {
+		s += "/" + sc.Fault.String()
 	}
 	return s
 }
@@ -218,15 +231,33 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 			return lzw.NewModemCompressor()
 		}
 	}
+	// A fault profile scripts deterministic server misbehaviour and/or
+	// link loss from the run's seed. Fault-free runs take no Script call
+	// and no extra RNG stream, so they stay byte-identical to before the
+	// fault layer existed.
+	var script faults.Script
+	if sc.Fault != faults.None {
+		script = sc.Fault.Script(sc.Seed)
+	}
 	// The client's Env is the last-mile link; with a proxy it terminates
-	// at the proxy host and a second link continues to the origin.
+	// at the proxy host and a second link continues to the origin. Link
+	// faults land on whichever link reaches the origin.
 	var proxyHost *tcpsim.Host
-	path := netem.NewEnvPath(s, sc.Env, pathOpts)
+	lastOpts := pathOpts
+	if sc.Fault != faults.None && sc.Proxy == nil {
+		lastOpts.LossAB = script.LossC2S
+		lastOpts.LossBA = script.LossS2C
+	}
+	path := netem.NewEnvPath(s, sc.Env, lastOpts)
 	if sc.Proxy != nil {
 		proxyHost = net.AddHost("proxy")
 		net.ConnectHosts(clientHost, proxyHost, path)
 		upOpts := pathOpts
 		upOpts.ModemCompression = nil // modem framing belongs to the last mile
+		if sc.Fault != faults.None {
+			upOpts.LossAB = script.LossC2S
+			upOpts.LossBA = script.LossS2C
+		}
 		upstreamPath := netem.NewEnvPath(s, sc.Proxy.Env, upOpts)
 		net.ConnectHosts(proxyHost, serverHost, upstreamPath)
 	} else {
@@ -255,6 +286,13 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	serverCfg.EnableDeflate = serverCfg.EnableDeflate || clientCfg.AcceptDeflate
 	serverCfg.Obs = bus
 	clientCfg.Obs = bus
+	if sc.Fault != faults.None {
+		serverCfg.Faults = script.Server
+		if clientCfg.Recovery == nil {
+			pol := faults.Default()
+			clientCfg.Recovery = &pol
+		}
+	}
 
 	served := site
 	if sc.ReviseFraction > 0 {
@@ -288,8 +326,13 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 				}
 			}
 		}
+		proxyCfg := proxy.Config{Cache: pcache, NoDelay: true, Obs: bus}
+		if sc.Fault != faults.None {
+			pol := faults.Default()
+			proxyCfg.Recovery = &pol
+		}
 		px = proxy.New(s, proxyHost, proxyPort, "server", serverPort,
-			proxy.Config{Cache: pcache, NoDelay: true, Obs: bus}, rng, cpuJitter)
+			proxyCfg, rng, cpuJitter)
 	}
 
 	clientCache := httpclient.NewCache()
@@ -353,6 +396,13 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.Responses206 = res.Client.Responses206
 		m.Errors = res.Client.Errors
 		m.Retried = res.Client.Retried
+		m.Timeouts = res.Client.Timeouts
+		m.RequestsRecovered = res.Client.RequestsRecovered
+		m.RequestsFailed = res.Client.RequestsFailed
+		m.WastedBytes = res.Client.WastedBytes
+		m.RecoverySeconds = res.Client.RecoverySeconds
+		m.Fallbacks = res.Client.Fallbacks
+		m.FaultsInjected = res.Server.FaultsInjected
 		m.TimelineEvents = bus.Len()
 		m.TimelineSpans = len(bus.Spans())
 		if res.Proxy != nil {

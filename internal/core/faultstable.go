@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// FaultRow is one cell of the fault-injection experiment: one protocol
+// mode under one fault profile in one environment, with the recovery
+// counters alongside the paper's packets/seconds quantities.
+type FaultRow struct {
+	Env   string
+	Fault string
+	Mode  string
+
+	Packets float64
+	Seconds float64
+
+	// Recovery accounting, averaged over the sweep population.
+	Errors    float64
+	Retried   float64
+	Timeouts  float64
+	Recovered float64
+	Failed    float64
+	WastedKB  float64
+	Fallbacks float64
+}
+
+// faultProfiles are the injected profiles the experiment sweeps, in
+// table order.
+var faultProfiles = []faults.Profile{
+	faults.None,
+	faults.EarlyClose,
+	faults.BurstLoss,
+	faults.Flap,
+	faults.Stall,
+}
+
+// FaultsTable runs the fault-injection experiment: the four protocol
+// modes fetching the site first-time over PPP and WAN while a scripted
+// fault — an early-closing server, Gilbert–Elliott burst loss, a
+// periodic link flap, or a stalled response — disrupts the transfer.
+// Every faulted client runs the default recovery policy (watchdog
+// timeout, capped backoff, retry budget, protocol fallback); the "none"
+// rows are the undisturbed baseline.
+func (sw Sweep) FaultsTable(site *webgen.Site) ([]FaultRow, error) {
+	envs := []netem.Environment{netem.PPP, netem.WAN}
+	var rows []FaultRow
+	for ei, env := range envs {
+		for fi, prof := range faultProfiles {
+			for mi, mode := range protocolModes {
+				sc := Scenario{
+					Server:   httpserver.ProfileApache,
+					Client:   mode,
+					Env:      env,
+					Workload: httpclient.FirstTime,
+					Seed:     14000 + uint64(ei)*1000 + uint64(fi)*100 + uint64(mi),
+					Fault:    prof,
+				}
+				results, err := sw.series(sc, site, 17)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sc, err)
+				}
+				row := FaultRow{Env: env.String(), Fault: prof.String(), Mode: mode.String()}
+				n := float64(len(results))
+				for _, res := range results {
+					c := res.Client
+					row.Packets += float64(res.Stats.Packets) / n
+					row.Seconds += res.Elapsed.Seconds() / n
+					row.Errors += float64(c.Errors) / n
+					row.Retried += float64(c.Retried) / n
+					row.Timeouts += float64(c.Timeouts) / n
+					row.Recovered += float64(c.RequestsRecovered) / n
+					row.Failed += float64(c.RequestsFailed) / n
+					row.WastedKB += float64(c.WastedBytes) / 1024 / n
+					row.Fallbacks += float64(c.Fallbacks) / n
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/httpclient"
 	"repro/internal/httpserver"
 	"repro/internal/netem"
@@ -99,17 +100,19 @@ func ParseTopology(s string) (*ProxyScenario, error) {
 	return p, nil
 }
 
-// ParseScenario parses a "server/client/env/workload[/topology]" spec —
-// e.g. "apache/pipelined/PPP/first" or
-// "apache/pipelined/PPP/first/proxy:WAN:warm" — into a Scenario with
-// zero seed and no jitter. The optional fifth part is a ParseTopology
-// spec interposing a shared caching proxy.
+// ParseScenario parses a "server/client/env/workload[/topology][/fault]"
+// spec — e.g. "apache/pipelined/PPP/first",
+// "apache/pipelined/PPP/first/proxy:WAN:warm", or
+// "apache/pipelined/WAN/first/early-close" — into a Scenario with zero
+// seed and no jitter. The optional fifth part is either a ParseTopology
+// spec interposing a shared caching proxy or a faults.Profile name; when
+// both are given the topology comes first and the fault last.
 func ParseScenario(spec string) (Scenario, error) {
 	parts := strings.Split(spec, "/")
-	if len(parts) != 4 && len(parts) != 5 {
+	if len(parts) < 4 || len(parts) > 6 {
 		return Scenario{}, fmt.Errorf(
-			"scenario %q: want server/client/env/workload[/topology] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]",
-			spec)
+			"scenario %q: want server/client/env/workload[/topology][/fault] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]; fault: %s",
+			spec, strings.Join(faults.Names(), "|"))
 	}
 	var sc Scenario
 	var err error
@@ -125,8 +128,20 @@ func ParseScenario(spec string) (Scenario, error) {
 	if sc.Workload, err = ParseWorkload(parts[3]); err != nil {
 		return Scenario{}, err
 	}
-	if len(parts) == 5 {
-		if sc.Proxy, err = ParseTopology(parts[4]); err != nil {
+	if len(parts) >= 5 {
+		if f, ferr := faults.Parse(parts[4]); ferr == nil {
+			if len(parts) == 6 {
+				return Scenario{}, fmt.Errorf("scenario %q: fault profile %q must be the final part", spec, parts[4])
+			}
+			sc.Fault = f
+		} else if sc.Proxy, err = ParseTopology(parts[4]); err != nil {
+			return Scenario{}, fmt.Errorf(
+				"scenario part %q is neither a topology (direct|proxy:ENV[:warm|:stale]) nor a fault profile (%s)",
+				parts[4], strings.Join(faults.Names(), "|"))
+		}
+	}
+	if len(parts) == 6 {
+		if sc.Fault, err = faults.Parse(parts[5]); err != nil {
 			return Scenario{}, err
 		}
 	}

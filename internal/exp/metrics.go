@@ -78,6 +78,19 @@ type Metrics struct {
 	Errors       int `json:"errors"`
 	Retried      int `json:"retried"`
 
+	// Fault-injection and recovery accounting (all zero on fault-free
+	// runs): client watchdog timeouts, requests that recovered after a
+	// retry vs were dropped permanently, payload bytes delivered and then
+	// re-fetched, summed failure→first-recovery intervals, protocol
+	// fallbacks taken, and server-side faults fired.
+	Timeouts          int     `json:"timeouts,omitempty"`
+	RequestsRecovered int     `json:"requests_recovered,omitempty"`
+	RequestsFailed    int     `json:"requests_failed,omitempty"`
+	WastedBytes       int64   `json:"wasted_bytes,omitempty"`
+	RecoverySeconds   float64 `json:"recovery_seconds,omitempty"`
+	Fallbacks         int     `json:"fallbacks,omitempty"`
+	FaultsInjected    int     `json:"faults_injected,omitempty"`
+
 	// TimelineEvents and TimelineSpans count the observability bus's
 	// recorded events and request spans; both are zero when the run
 	// executed without core.WithTimeline.
@@ -110,6 +123,8 @@ var csvHeader = []string{
 	"client_cpu_seconds", "server_cpu_seconds",
 	"responses_200", "responses_304", "responses_206",
 	"errors", "retried",
+	"timeouts", "requests_recovered", "requests_failed",
+	"wasted_bytes", "recovery_seconds", "fallbacks", "faults_injected",
 	"timeline_events", "timeline_spans",
 	"cache_hits", "cache_misses", "cache_revalidations",
 	"cache_hit_ratio", "cache_bytes_saved", "upstream_requests",
@@ -130,6 +145,8 @@ func (m Metrics) csvRow() []string {
 		f(m.ClientCPUSeconds), f(m.ServerCPUSeconds),
 		strconv.Itoa(m.Responses200), strconv.Itoa(m.Responses304), strconv.Itoa(m.Responses206),
 		strconv.Itoa(m.Errors), strconv.Itoa(m.Retried),
+		strconv.Itoa(m.Timeouts), strconv.Itoa(m.RequestsRecovered), strconv.Itoa(m.RequestsFailed),
+		strconv.FormatInt(m.WastedBytes, 10), f(m.RecoverySeconds), strconv.Itoa(m.Fallbacks), strconv.Itoa(m.FaultsInjected),
 		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
 		strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMisses), strconv.Itoa(m.CacheRevalidations),
 		f(m.CacheHitRatio), strconv.FormatInt(m.CacheBytesSaved, 10), strconv.Itoa(m.UpstreamRequests),

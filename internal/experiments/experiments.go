@@ -181,6 +181,14 @@ func init() {
 		},
 	})
 	exp.Register(exp.Experiment{
+		Name: "faults", Title: "Fault injection and recovery (PPP and WAN, scripted faults)",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "faults").FaultsTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Faults(w, d.([]core.FaultRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
 		Name: "sweep", Title: "Per-run structured metrics sweep (protocol modes × environments)",
 		Skip: true,
 		Generate: func(s *exp.Session) (any, error) {

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden table files")
+
+// TestLegacyTablesUnchanged pins the rendered bytes of representative
+// pre-existing experiments against goldens captured before the fault
+// layer existed: with no fault profile configured, the fault-injection
+// wiring must be a strict no-op — no extra RNG draws, no timers, no
+// changed seed consumption.
+func TestLegacyTablesUnchanged(t *testing.T) {
+	for _, name := range []string{"3", "reset"} {
+		s := session(t, 4)
+		got := render(t, s, name)
+		path := filepath.Join("testdata", "legacy_"+name+"_golden.txt")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: rendered table changed with no fault profile configured:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+}

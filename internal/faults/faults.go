@@ -1,0 +1,231 @@
+// Package faults is the deterministic, seed-driven fault-injection
+// layer. A Profile names a scripted failure scenario — server-side
+// (early close, mid-response truncation, abort with pipelined requests
+// outstanding, stall-forever), link-level (Gilbert–Elliott burst loss,
+// fixed-window outages, one-direction blackholes), or none — and
+// Script instantiates it for one run's seed: every schedule is a pure
+// function of the seed, so fault runs are byte-identical at any
+// parallelism level and compose with every topology (on a multi-hop
+// proxy run the same script applies to the origin server and the
+// proxy↔origin link).
+//
+// The package also defines Policy, the recovery policy shared by the
+// client (internal/httpclient) and the proxy's upstream fetcher
+// (internal/proxy): per-request timeout, capped exponential backoff,
+// a retry budget, and a protocol fallback ladder — all sim-clock
+// driven and RNG-free, so recovery never perturbs a fault-free run.
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// Profile names a scripted fault scenario.
+type Profile int
+
+// Fault profiles.
+const (
+	// None injects nothing; the zero value.
+	None Profile = iota
+	// EarlyClose makes the server close every connection — both TCP
+	// halves at once — after 5 responses, the paper's §4 reset scenario:
+	// pipelined requests still in flight draw an RST.
+	EarlyClose
+	// Truncate cuts one response's body short and closes the
+	// connection: the client sees a mid-response failure (injected once).
+	Truncate
+	// Abort resets (RST) the connection right after one response while
+	// pipelined requests are outstanding (injected once).
+	Abort
+	// Stall sends only the headers of one response and then goes silent
+	// on that connection forever; only a client timeout clears it
+	// (injected once).
+	Stall
+	// BurstLoss runs Gilbert–Elliott burst loss on both directions of
+	// the faulted link.
+	BurstLoss
+	// Flap drops fixed windows of consecutive packets on both
+	// directions (link outages).
+	Flap
+	// Blackhole drops a window of packets in the server→client
+	// direction only.
+	Blackhole
+)
+
+// profileNames maps names (as used in scenario specs and flags) to
+// profiles, in display order.
+var profileNames = []struct {
+	name string
+	p    Profile
+}{
+	{"none", None},
+	{"early-close", EarlyClose},
+	{"truncate", Truncate},
+	{"abort", Abort},
+	{"stall", Stall},
+	{"burst-loss", BurstLoss},
+	{"flap", Flap},
+	{"blackhole", Blackhole},
+}
+
+// Names lists the valid profile names in display order.
+func Names() []string {
+	out := make([]string, len(profileNames))
+	for i, e := range profileNames {
+		out[i] = e.name
+	}
+	return out
+}
+
+// String names the profile.
+func (p Profile) String() string {
+	for _, e := range profileNames {
+		if e.p == p {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Profile(%d)", int(p))
+}
+
+// Parse maps a name to a profile; the error enumerates the valid names.
+func Parse(s string) (Profile, error) {
+	for _, e := range profileNames {
+		if strings.EqualFold(s, e.name) {
+			return e.p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault profile %q (want %s)", s, strings.Join(Names(), ", "))
+}
+
+// ServerFaults scripts deterministic server-side failures; the zero
+// value injects nothing. Response ordinals are 1-based and counted
+// server-wide, so a retried request on a fresh connection does not
+// re-trigger a one-shot fault.
+type ServerFaults struct {
+	// CloseAfterResponses closes every connection after N responses;
+	// NaiveClose tears down both TCP halves at once (the paper's reset
+	// scenario) instead of the graceful half-close.
+	CloseAfterResponses int
+	NaiveClose          bool
+	// TruncateResponse cuts the body of the N-th response served to
+	// TruncateBodyBytes bytes and fully closes the connection (once).
+	TruncateResponse  int
+	TruncateBodyBytes int
+	// AbortResponse resets (RST) the connection immediately after
+	// sending the N-th response, pipelined requests outstanding (once).
+	AbortResponse int
+	// StallResponse sends only the headers of the N-th response, then
+	// goes silent on that connection forever (once).
+	StallResponse int
+}
+
+// Any reports whether the set scripts at least one fault.
+func (f ServerFaults) Any() bool { return f != (ServerFaults{}) }
+
+// Script is one run's instantiated fault plan: the server-side fault
+// set plus per-direction link loss models, all derived from the run
+// seed. Zero-value fields inject nothing.
+type Script struct {
+	Profile Profile
+	Server  ServerFaults
+	// LossC2S and LossS2C apply to the faulted link's client→server and
+	// server→client directions (on a proxy topology: the proxy↔origin
+	// link). Each is a fresh instance — stateful models are never
+	// shared between directions or runs.
+	LossC2S, LossS2C netem.LossFunc
+}
+
+// Script instantiates the profile for one run seed. Link-loss schedules
+// draw only from SplitMix64 streams seeded here, never from the run's
+// jitter RNG, so configuring a fault cannot perturb the rest of the
+// simulation and an unset profile consumes nothing.
+func (p Profile) Script(seed uint64) Script {
+	sc := Script{Profile: p}
+	switch p {
+	case EarlyClose:
+		sc.Server = ServerFaults{CloseAfterResponses: 5, NaiveClose: true}
+	case Truncate:
+		sc.Server = ServerFaults{TruncateResponse: 3, TruncateBodyBytes: 512}
+	case Abort:
+		sc.Server = ServerFaults{AbortResponse: 4}
+	case Stall:
+		sc.Server = ServerFaults{StallResponse: 3}
+	case BurstLoss:
+		// Mean bad-state dwell of 4 packets dropping 25%, entered ~1.5%
+		// of the time: bursty but recoverable within TCP's retry limit.
+		sc.LossC2S = netem.GilbertElliott(seed^0x9E3779B97F4A7C15, 0.015, 0.25, 0.003, 0.25)
+		sc.LossS2C = netem.GilbertElliott(seed^0xD1B54A32D192ED03, 0.015, 0.25, 0.003, 0.25)
+	case Flap:
+		// A 12-packet outage every 300 packets, first at packet 60 —
+		// long enough to force RTO recovery, short enough that the
+		// in-flight window advances the schedule past the outage.
+		sc.LossC2S = netem.OutageWindows(60, 300, 12)
+		sc.LossS2C = netem.OutageWindows(60, 300, 12)
+	case Blackhole:
+		sc.LossS2C = netem.Blackhole(40, 52)
+	}
+	return sc
+}
+
+// Policy is the shared recovery policy: how long to wait for response
+// progress, how to back off before redialing, how many re-issues a
+// fetch may spend, and when to degrade the protocol. All decisions are
+// deterministic functions of the sim clock and attempt counts.
+type Policy struct {
+	// RequestTimeout is the response progress watchdog: if a connection
+	// with requests outstanding receives no bytes for this long, the
+	// connection is aborted and its requests re-issued. Zero disables.
+	RequestTimeout time.Duration
+	// BaseBackoff and MaxBackoff bound the capped exponential delay
+	// before redialing after the n-th consecutive connection failure:
+	// min(BaseBackoff << (n-1), MaxBackoff).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryBudget caps the total request re-issues of one fetch; a
+	// request whose re-issue would exceed it fails permanently.
+	RetryBudget int
+	// FallbackAfter degrades the protocol one level (pipelined →
+	// persistent serial → HTTP/1.0) after this many consecutive
+	// connection failures. Zero disables the ladder.
+	FallbackAfter int
+}
+
+// Default returns the recovery policy the fault experiments run with.
+func Default() Policy {
+	return Policy{
+		RequestTimeout: 4 * time.Second,
+		BaseBackoff:    200 * time.Millisecond,
+		MaxBackoff:     3200 * time.Millisecond,
+		RetryBudget:    64,
+		FallbackAfter:  3,
+	}
+}
+
+// Backoff returns the redial delay after the n-th consecutive
+// connection failure (n is 1-based): capped exponential, zero for n<=0.
+func (p Policy) Backoff(n int) time.Duration {
+	if n <= 0 || p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// Allow reports whether a re-issue is within budget given the number of
+// retries already spent.
+func (p Policy) Allow(retriesSpent int) bool {
+	return p.RetryBudget <= 0 || retriesSpent < p.RetryBudget
+}

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("Parse(%q).String() = %q", name, p.String())
+		}
+	}
+	if p, err := Parse("Early-Close"); err != nil || p != EarlyClose {
+		t.Errorf("case-insensitive parse: %v, %v", p, err)
+	}
+	_, err := Parse("bogus")
+	if err == nil {
+		t.Fatal("Parse(bogus) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("parse error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+func TestScriptShape(t *testing.T) {
+	if s := None.Script(1); s.Server.Any() || s.LossC2S != nil || s.LossS2C != nil {
+		t.Error("None script is not empty")
+	}
+	if s := EarlyClose.Script(1); s.Server.CloseAfterResponses != 5 || !s.Server.NaiveClose {
+		t.Errorf("EarlyClose script = %+v", s.Server)
+	}
+	if s := Stall.Script(1); s.Server.StallResponse == 0 {
+		t.Error("Stall script has no stall ordinal")
+	}
+	if s := BurstLoss.Script(1); s.LossC2S == nil || s.LossS2C == nil {
+		t.Error("BurstLoss script missing loss models")
+	}
+	if s := Blackhole.Script(1); s.LossC2S != nil || s.LossS2C == nil {
+		t.Error("Blackhole must blackhole only the server→client direction")
+	}
+}
+
+// TestScriptDeterministic checks that two scripts from the same seed
+// produce identical burst-loss drop schedules (fresh state per script).
+func TestScriptDeterministic(t *testing.T) {
+	a := BurstLoss.Script(99)
+	b := BurstLoss.Script(99)
+	for i := 0; i < 3000; i++ {
+		if a.LossS2C(i, 1500) != b.LossS2C(i, 1500) {
+			t.Fatalf("schedules diverge at packet %d", i)
+		}
+	}
+}
+
+func TestPolicyBackoff(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 800 * time.Millisecond}
+	want := []time.Duration{0, 100e6, 200e6, 400e6, 800e6, 800e6, 800e6}
+	for n, w := range want {
+		if got := p.Backoff(n); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", n, got, w)
+		}
+	}
+	if got := (Policy{}).Backoff(3); got != 0 {
+		t.Errorf("zero policy Backoff = %v", got)
+	}
+}
+
+func TestPolicyAllow(t *testing.T) {
+	p := Policy{RetryBudget: 2}
+	if !p.Allow(0) || !p.Allow(1) || p.Allow(2) || p.Allow(3) {
+		t.Error("RetryBudget 2 must allow exactly retries 0 and 1")
+	}
+	if !(Policy{}).Allow(1000) {
+		t.Error("zero budget means unlimited")
+	}
+}

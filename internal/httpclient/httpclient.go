@@ -16,6 +16,7 @@ package httpclient
 import (
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/tcpsim"
 )
@@ -129,6 +130,16 @@ type Config struct {
 	// cannot monopolize the pipelined connection.
 	RevalRangeProbe int
 
+	// Recovery, when non-nil, arms the fault-recovery machinery: a
+	// progress watchdog per connection (RequestTimeout of silence with
+	// requests outstanding aborts the connection), capped exponential
+	// backoff before re-dialing after consecutive failures, a retry
+	// budget, idempotency-aware re-issue (only GET/HEAD are requeued),
+	// and graceful protocol degradation (pipelined → serial → HTTP/1.0).
+	// Nil preserves the legacy behaviour exactly: no extra timers fire
+	// and no RNG draws occur, so fault-free runs are byte-identical.
+	Recovery *faults.Policy
+
 	// TCP overrides connection options other than NoDelay.
 	TCP tcpsim.Options
 
@@ -209,6 +220,26 @@ type Result struct {
 	Errors int
 	// Retried counts requests re-sent after a connection failure.
 	Retried int
+
+	// Timeouts counts progress-watchdog expiries (Recovery policy):
+	// connections aborted because no bytes arrived for RequestTimeout
+	// with requests outstanding.
+	Timeouts int
+	// RequestsRecovered counts requests that failed at least once and
+	// ultimately completed; RequestsFailed counts requests dropped
+	// permanently (retry budget exhausted or non-idempotent method).
+	RequestsRecovered int
+	RequestsFailed    int
+	// WastedBytes counts response bytes that were delivered and then
+	// discarded: partial responses thrown away when their connection
+	// failed and the request was re-issued.
+	WastedBytes int64
+	// RecoverySeconds sums the intervals from each failure streak's
+	// first failure to the first retried response completing.
+	RecoverySeconds float64
+	// Fallbacks counts protocol degradations (pipelined → serial →
+	// HTTP/1.0) taken after repeated connection failures.
+	Fallbacks int
 
 	// Responses206 counts partial-content responses (range probes and
 	// remainder fetches).

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/httpserver"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -369,5 +370,106 @@ func TestResultSnapshot(t *testing.T) {
 	site := testSite(t)
 	if res.PayloadBytes < int64(site.TotalBytes()) {
 		t.Fatalf("payload %d below site total %d", res.PayloadBytes, site.TotalBytes())
+	}
+}
+
+// fetchFaulty runs one robot fetch against a server with the given
+// (possibly fault-injecting) configuration. The link is WAN-like: the
+// 45ms propagation delay keeps pipelined request batches in flight when
+// the server closes early, which is what turns a naive close into RST.
+func fetchFaulty(t *testing.T, cfg Config, srvCfg httpserver.Config) *Robot {
+	t.Helper()
+	s := sim.New()
+	s.SetEventLimit(10_000_000)
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	serverHost := n.AddHost("server")
+	link := netem.Config{PropagationDelay: 45 * time.Millisecond, BitsPerSecond: 1_500_000, MTU: 1500}
+	n.ConnectHosts(client, serverHost, netem.NewAsymPath(s, "t", link, link))
+	httpserver.New(s, serverHost, 80, testSite(t), srvCfg, nil, 0)
+	robot := NewRobot(s, client, "server", 80, cfg, NewCache(), nil, 0)
+	s.Schedule(0, func() { robot.Start("/", FirstTime, nil) })
+	s.Run()
+	return robot
+}
+
+// TestFailConnRequeue reproduces the paper's §4 connection-management
+// scenario: a server that closes naively after 5 responses while the
+// pipelined client still has requests outstanding. The unread pipelined
+// requests draw RST; the client must requeue the unanswered work on a
+// fresh connection and still retrieve the complete site.
+func TestFailConnRequeue(t *testing.T) {
+	srvCfg := httpserver.Config{
+		Profile: httpserver.ProfileApache, NoDelay: true,
+		MaxRequestsPerConn: 5, NaiveClose: true,
+	}
+	t.Run("legacy", func(t *testing.T) {
+		robot := fetchFaulty(t, ModeHTTP11Pipelined.Config(), srvCfg)
+		res := robot.Result()
+		if !robot.Finished() || !res.Done {
+			t.Fatalf("robot did not finish: %+v", res)
+		}
+		if res.Responses200 != 43 {
+			t.Fatalf("200s = %d, want 43", res.Responses200)
+		}
+		if res.PayloadBytes < int64(testSite(t).TotalBytes()) {
+			t.Fatalf("payload %d below site total %d", res.PayloadBytes, testSite(t).TotalBytes())
+		}
+		if res.Retried == 0 || res.Errors == 0 {
+			t.Fatalf("no retries/errors recorded: %+v", res)
+		}
+		if res.SocketsUsed < 2 {
+			t.Fatalf("sockets = %d, want reconnects", res.SocketsUsed)
+		}
+	})
+	t.Run("policy", func(t *testing.T) {
+		cfg := ModeHTTP11Pipelined.Config()
+		pol := faults.Default()
+		cfg.Recovery = &pol
+		robot := fetchFaulty(t, cfg, srvCfg)
+		res := robot.Result()
+		if !robot.Finished() || !res.Done {
+			t.Fatalf("robot did not finish: %+v", res)
+		}
+		if res.Responses200 != 43 || res.RequestsFailed != 0 {
+			t.Fatalf("200s = %d failed = %d, want 43/0", res.Responses200, res.RequestsFailed)
+		}
+		if res.PayloadBytes < int64(testSite(t).TotalBytes()) {
+			t.Fatalf("payload %d below site total %d", res.PayloadBytes, testSite(t).TotalBytes())
+		}
+		if res.Retried == 0 || res.Retried > pol.RetryBudget {
+			t.Fatalf("retried = %d, want within (0, %d]", res.Retried, pol.RetryBudget)
+		}
+		if res.RequestsRecovered == 0 {
+			t.Fatalf("no recovered requests: %+v", res)
+		}
+		if res.Fallbacks == 0 {
+			t.Fatalf("pipelined → serial fallback not recorded: %+v", res)
+		}
+	})
+}
+
+// TestStallTimeout wedges the server after the headers of one response
+// (a stall-forever fault). Without a Recovery policy the fetch would
+// simply hang; with one, the progress watchdog must abort the silent
+// connection and recover the remaining requests on a fresh one.
+func TestStallTimeout(t *testing.T) {
+	srvCfg := httpserver.Config{
+		Profile: httpserver.ProfileApache, NoDelay: true,
+		Faults: faults.ServerFaults{StallResponse: 3},
+	}
+	cfg := ModeHTTP11Pipelined.Config()
+	pol := faults.Default()
+	cfg.Recovery = &pol
+	robot := fetchFaulty(t, cfg, srvCfg)
+	res := robot.Result()
+	if !robot.Finished() || !res.Done {
+		t.Fatalf("robot hung on stalled connection: %+v", res)
+	}
+	if res.Timeouts == 0 {
+		t.Fatalf("watchdog never fired: %+v", res)
+	}
+	if res.Responses200 != 43 || res.RequestsFailed != 0 {
+		t.Fatalf("200s = %d failed = %d, want 43/0", res.Responses200, res.RequestsFailed)
 	}
 }

@@ -58,6 +58,15 @@ type Robot struct {
 	metaPending int
 	onDone      func(*Robot)
 
+	// Recovery state, all inert while cfg.Recovery is nil.
+	consecFails  int
+	fallbackLvl  int
+	backoffUntil sim.Time
+	backoffTimer *sim.Timer
+	recoverFrom  sim.Time
+	recovering   bool
+	lastData     sim.Time
+
 	result Result
 }
 
@@ -155,6 +164,9 @@ func (r *Robot) dispatch() {
 	if r.finished {
 		return
 	}
+	if r.holdForBackoff() {
+		return
+	}
 	if r.cfg.Pipelining && !r.cautious {
 		if len(r.queue) > 0 {
 			c := r.soleConn()
@@ -182,6 +194,43 @@ func (r *Robot) dispatch() {
 		}
 	}
 	r.checkDone()
+}
+
+// holdForBackoff delays re-dialing while the recovery policy's backoff
+// window is open. Queued work stays queued; a timer resumes dispatch
+// when the window closes. Existing live connections are not affected.
+func (r *Robot) holdForBackoff() bool {
+	if r.cfg.Recovery == nil || len(r.queue) == 0 {
+		return false
+	}
+	if r.backoffUntil <= r.sim.Now() || r.liveConn() != nil {
+		return false
+	}
+	if r.backoffTimer == nil {
+		r.backoffTimer = r.sim.At(r.backoffUntil, func() {
+			r.backoffTimer = nil
+			r.dispatch()
+		})
+	}
+	return true
+}
+
+// fallbackDegrade is the bottom of the degradation ladder, taken after
+// FallbackAfter consecutive connection failures: give up on persistent
+// connections entirely and fall back to HTTP/1.0, one request per
+// connection. (The ladder's first step, pipelined → serial, is taken in
+// failConn on the first pipelined error.)
+func (r *Robot) fallbackDegrade() {
+	if r.fallbackLvl >= 2 || r.cfg.Proto != "HTTP/1.1" {
+		return
+	}
+	r.cfg.Proto = "HTTP/1.0"
+	r.cfg.KeepAlive = false
+	r.cfg.Pipelining = false
+	r.fallbackLvl = 2
+	r.consecFails = 0
+	r.result.Fallbacks++
+	r.cfg.Obs.Fallback(2, "http10")
 }
 
 // liveConn returns the open connection, if any.
@@ -293,6 +342,18 @@ func (r *Robot) buildItemRequest(it workItem) *httpmsg.Request {
 func (r *Robot) handleResponse(cc *clientConn, it workItem, resp *httpmsg.Response) {
 	if r.finished {
 		return
+	}
+	if r.cfg.Recovery != nil {
+		r.consecFails = 0
+		if it.retried {
+			r.result.RequestsRecovered++
+			if r.recovering {
+				// First retried response since the failure streak began:
+				// close the recovery interval.
+				r.recovering = false
+				r.result.RecoverySeconds += r.sim.Now().Sub(r.recoverFrom).Seconds()
+			}
+		}
 	}
 	body := resp.Body
 	switch resp.StatusCode {
@@ -420,24 +481,73 @@ func (r *Robot) checkDone() {
 }
 
 // failConn re-queues unanswered requests from a failed or closed
-// connection and retires it.
+// connection and retires it. With a Recovery policy it additionally
+// enforces the retry budget and idempotency, opens the backoff window,
+// and steps down the protocol ladder after repeated failures.
 func (r *Robot) failConn(cc *clientConn, isError bool) {
 	if cc.dead {
 		return
 	}
 	cc.dead = true
+	cc.stopWatchdog()
+	p := r.cfg.Recovery
 	if isError {
 		r.result.Errors++
 		// A reset with pipelined requests outstanding leaves the client
 		// unable to tell which requests succeeded (the paper's
 		// connection-management scenario). Fall back to one request at a
-		// time, the defensive behaviour deployed clients adopted.
-		if r.cfg.Pipelining {
+		// time, the defensive behaviour deployed clients adopted. Under a
+		// Recovery policy this is the ladder's first step.
+		if r.cfg.Pipelining && !r.cautious {
 			r.cautious = true
+			if p != nil {
+				r.fallbackLvl = 1
+				r.result.Fallbacks++
+				r.cfg.Obs.Fallback(1, "serial")
+			}
+		}
+		if p != nil {
+			r.consecFails++
+			if b := p.Backoff(r.consecFails); b > 0 {
+				r.backoffUntil = r.sim.Now().Add(b)
+				r.cfg.Obs.RetryBackoff(b, r.consecFails)
+			}
+			if p.FallbackAfter > 0 && r.consecFails >= p.FallbackAfter {
+				r.fallbackDegrade()
+			}
 		}
 	}
 	if n := len(cc.inflight); n > 0 {
+		// Even a graceful close that takes a pipelined batch down with it
+		// makes pipelining unproductive (each close costs the whole
+		// outstanding batch, and clean re-pipelining can repeat forever):
+		// under a policy, step down to serial after the first one.
+		if p != nil && !isError && r.cfg.Pipelining && !r.cautious && n > 1 {
+			r.cautious = true
+			r.fallbackLvl = 1
+			r.result.Fallbacks++
+			r.cfg.Obs.Fallback(1, "serial")
+		}
+		// Bytes of a partial in-progress response are delivered work the
+		// retry will repeat.
+		r.result.WastedBytes += int64(cc.parser.Pending())
+		if p != nil && !r.recovering {
+			r.recovering = true
+			r.recoverFrom = r.sim.Now()
+		}
 		for _, it := range cc.inflight {
+			if p != nil && (!idempotent(it.method) || !p.Allow(r.result.Retried)) {
+				// Budget exhausted (or unsafe to replay): drop the request
+				// permanently rather than retry forever. Its span stays
+				// open-ended, which the waterfall marks abandoned.
+				r.issued--
+				r.result.RequestsFailed++
+				r.result.Aborted = true
+				if it.isHTML {
+					r.htmlPending = false
+				}
+				continue
+			}
 			it.retried = true
 			r.result.Retried++
 			r.issued-- // it will be re-issued
@@ -456,6 +566,12 @@ func (r *Robot) failConn(cc *clientConn, isError bool) {
 	r.dispatch()
 }
 
+// idempotent reports whether a request may be transparently re-issued
+// after a connection failure (RFC 2616 §8.1.4: methods safe to replay).
+func idempotent(method string) bool {
+	return method == "GET" || method == "HEAD"
+}
+
 // clientConn is one TCP connection of the robot.
 type clientConn struct {
 	r        *Robot
@@ -465,6 +581,7 @@ type clientConn struct {
 
 	sendBuf    []byte
 	flushTimer *sim.Timer
+	watchdog   *sim.Timer
 	sentFirst  bool
 	dead       bool
 	// unflushed holds the spans of buffered pipelined requests; their
@@ -504,6 +621,7 @@ func (cc *clientConn) sendImmediate(it workItem) {
 	cc.r.issued++
 	cc.r.cfg.Obs.SpanWritten(it.span, cc.conn.ObsID())
 	cc.conn.Write(req.Marshal())
+	cc.armWatchdog()
 }
 
 func (cc *clientConn) flush() {
@@ -523,6 +641,48 @@ func (cc *clientConn) flush() {
 		cc.unflushed = cc.unflushed[:0]
 	}
 	cc.conn.Write(buf)
+	cc.armWatchdog()
+}
+
+// armWatchdog (re)starts the progress watchdog: with requests
+// outstanding, RequestTimeout of silence means the connection is
+// presumed dead (stalled server, blackholed path) and is aborted so the
+// requests can be re-issued. It is re-armed on every data arrival, so
+// slow-but-progressing transfers (pipelined responses trickling over a
+// modem link) never trip it.
+func (cc *clientConn) armWatchdog() {
+	p := cc.r.cfg.Recovery
+	if p == nil || p.RequestTimeout <= 0 {
+		return
+	}
+	cc.stopWatchdog()
+	if cc.dead || len(cc.inflight) == 0 {
+		return
+	}
+	var fire func()
+	fire = func() {
+		cc.watchdog = nil
+		// Parallel connections share the link: one of them starving while
+		// the others transfer is contention, not a stall. Only declare
+		// the connection dead once the whole robot has been silent for
+		// the timeout.
+		if since := cc.r.sim.Now().Sub(cc.r.lastData); since < p.RequestTimeout {
+			cc.watchdog = cc.r.sim.Schedule(p.RequestTimeout-since, fire)
+			return
+		}
+		cc.r.result.Timeouts++
+		cc.r.cfg.Obs.ClientTimeout(cc.conn.ObsID(), p.RequestTimeout)
+		cc.conn.Abort()
+		cc.r.failConn(cc, true)
+	}
+	cc.watchdog = cc.r.sim.Schedule(p.RequestTimeout, fire)
+}
+
+func (cc *clientConn) stopWatchdog() {
+	if cc.watchdog != nil {
+		cc.r.sim.Stop(cc.watchdog)
+		cc.watchdog = nil
+	}
 }
 
 func (cc *clientConn) armFlushTimer() {
@@ -536,6 +696,7 @@ func (cc *clientConn) armFlushTimer() {
 }
 
 func (cc *clientConn) onData(c *tcpsim.Conn, data []byte) {
+	cc.r.lastData = cc.r.sim.Now()
 	if len(cc.inflight) > 0 {
 		cc.r.cfg.Obs.SpanFirstByte(cc.inflight[0].span)
 	}
@@ -546,6 +707,7 @@ func (cc *clientConn) onData(c *tcpsim.Conn, data []byte) {
 		return
 	}
 	cc.deliver(resps)
+	cc.armWatchdog() // progress: restart the silence clock
 }
 
 // deliver pops completed responses and schedules their CPU handling.

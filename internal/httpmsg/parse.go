@@ -166,6 +166,11 @@ func (p *ResponseParser) Parsed() int { return p.count }
 // Buffered returns the number of unconsumed bytes.
 func (p *ResponseParser) Buffered() int { return len(p.buf) }
 
+// Pending returns the bytes held for the incomplete in-progress
+// response — unconsumed buffer plus the partial body already accumulated
+// — i.e. delivered work that is lost if the stream dies now.
+func (p *ResponseParser) Pending() int { return len(p.buf) + len(p.body) }
+
 // Feed appends data and returns all responses completed by it.
 func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
 	p.buf = append(p.buf, data...)

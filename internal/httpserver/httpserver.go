@@ -17,11 +17,13 @@
 package httpserver
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/flatez"
 	"repro/internal/httpmsg"
 	"repro/internal/obs"
@@ -76,6 +78,10 @@ type Config struct {
 	// Obs, if non-nil, receives request-parsed and response-queued
 	// events for every request the server handles.
 	Obs *obs.Bus
+	// Faults scripts deterministic server-side failures (early close,
+	// truncation, abort, stall). The zero value injects nothing and
+	// leaves every serving path untouched.
+	Faults faults.ServerFaults
 }
 
 func (c Config) applyProfile() Config {
@@ -98,6 +104,12 @@ func (c Config) applyProfile() Config {
 	if c.ResponseBufferSize == 0 {
 		c.ResponseBufferSize = 4096
 	}
+	// The early-close fault rides the existing per-connection request
+	// limit, which already implements both close styles.
+	if c.Faults.CloseAfterResponses > 0 {
+		c.MaxRequestsPerConn = c.Faults.CloseAfterResponses
+		c.NaiveClose = c.Faults.NaiveClose
+	}
 	return c
 }
 
@@ -112,6 +124,10 @@ type Stats struct {
 	BytesOut       int64
 	EarlyCloses    int
 	ProtocolErrors int
+	// FaultsInjected counts scripted faults that actually fired:
+	// one-shot response faults (truncation, abort, stall) and closes
+	// forced by a scripted CloseAfterResponses limit.
+	FaultsInjected int
 }
 
 // serverDate is the fixed Date header both profiles stamp on every
@@ -127,6 +143,9 @@ type Server struct {
 	stats   Stats
 	deflate map[string][]byte // precomputed deflate bodies by path
 	date    string
+	// faultSeq numbers responses server-wide (1-based) so one-shot
+	// scripted faults fire exactly once even across retried connections.
+	faultSeq int
 }
 
 // New creates a server and begins listening on host:port.
@@ -174,6 +193,9 @@ type serverConn struct {
 	processing bool
 	served     int
 	closing    bool
+	// stalled wedges the connection after a scripted stall fault: no
+	// further bytes are ever sent and no close is initiated.
+	stalled bool
 
 	outBuf []byte
 }
@@ -194,7 +216,7 @@ func newServerConn(srv *Server, c *tcpsim.Conn) tcpsim.Handler {
 }
 
 func (sc *serverConn) onData(c *tcpsim.Conn, data []byte) {
-	if sc.closing {
+	if sc.closing || sc.stalled {
 		return
 	}
 	reqs, err := sc.parser.Feed(data)
@@ -215,6 +237,9 @@ func (sc *serverConn) onData(c *tcpsim.Conn, data []byte) {
 }
 
 func (sc *serverConn) onPeerClose(c *tcpsim.Conn) {
+	if sc.stalled {
+		return // the stall fault never answers, never closes
+	}
 	// Client finished sending. Once all pending work drains, close our
 	// half too.
 	if !sc.processing && len(sc.pending) == 0 {
@@ -225,7 +250,7 @@ func (sc *serverConn) onPeerClose(c *tcpsim.Conn) {
 
 // processNext serves queued requests one at a time through the host CPU.
 func (sc *serverConn) processNext() {
-	if sc.processing || sc.closing || len(sc.pending) == 0 {
+	if sc.processing || sc.closing || sc.stalled || len(sc.pending) == 0 {
 		return
 	}
 	req := sc.pending[0]
@@ -246,6 +271,9 @@ func (sc *serverConn) serve(req *httpmsg.Request) {
 	sc.srv.stats.Responses++
 	if b := sc.srv.cfg.Obs; b != nil {
 		b.ServerSend(sc.conn.ObsID(), req.Target, resp.StatusCode, len(resp.Body))
+	}
+	if sc.srv.cfg.Faults.Any() && sc.injectFault(req, resp) {
+		return
 	}
 
 	lastOnConn := false
@@ -271,6 +299,12 @@ func (sc *serverConn) serve(req *httpmsg.Request) {
 
 	if lastOnConn || clientClose {
 		sc.srv.stats.EarlyCloses++
+		if lastOnConn && sc.srv.cfg.Faults.CloseAfterResponses > 0 {
+			sc.srv.stats.FaultsInjected++
+			if b := sc.srv.cfg.Obs; b != nil {
+				b.Fault(sc.conn.ObsID(), "early-close", int64(sc.served))
+			}
+		}
 		sc.flush()
 		sc.close()
 		return
@@ -282,6 +316,57 @@ func (sc *serverConn) serve(req *httpmsg.Request) {
 		sc.flush()
 		sc.close()
 	}
+}
+
+// injectFault fires the scripted one-shot faults against this response.
+// It reports whether a fault consumed the response, in which case the
+// normal serving path must not continue. Response ordinals are counted
+// server-wide so a fault fires exactly once per run.
+func (sc *serverConn) injectFault(req *httpmsg.Request, resp *httpmsg.Response) bool {
+	f := sc.srv.cfg.Faults
+	sc.srv.faultSeq++
+	seq := sc.srv.faultSeq
+	fire := func(kind string, body []byte) {
+		sc.flush()
+		if len(body) > 0 {
+			sc.srv.stats.BytesOut += int64(len(body))
+			sc.conn.Write(body)
+		}
+		sc.srv.stats.FaultsInjected++
+		if b := sc.srv.cfg.Obs; b != nil {
+			b.Fault(sc.conn.ObsID(), kind, int64(seq))
+		}
+	}
+	switch {
+	case f.StallResponse > 0 && seq == f.StallResponse:
+		// Headers only, then silence forever on this connection: the
+		// failure mode only a client timeout can clear.
+		body := resp.MarshalFor(req.Method)
+		if i := bytes.Index(body, []byte("\r\n\r\n")); i >= 0 {
+			body = body[:i+4]
+		}
+		fire("stall", body)
+		sc.stalled = true
+		return true
+	case f.TruncateResponse > 0 && seq == f.TruncateResponse:
+		// Partial body under a full Content-Length, then a full close:
+		// the client detects the truncation at EOF.
+		body := resp.MarshalFor(req.Method)
+		if i := bytes.Index(body, []byte("\r\n\r\n")); i >= 0 && i+4+f.TruncateBodyBytes < len(body) {
+			body = body[:i+4+f.TruncateBodyBytes]
+		}
+		fire("truncate", body)
+		sc.closing = true
+		sc.conn.Close()
+		return true
+	case f.AbortResponse > 0 && seq == f.AbortResponse:
+		// Reset the connection with pipelined requests outstanding.
+		fire("abort", nil)
+		sc.closing = true
+		sc.conn.Abort()
+		return true
+	}
+	return false
 }
 
 // respond builds the response for one request; the caller marshals it

@@ -1,0 +1,140 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// geSchedule collects the drop schedule of a fresh Gilbert–Elliott
+// instance over n packets.
+func geSchedule(seed uint64, n int) []int {
+	lf := GilbertElliott(seed, 0.02, 0.25, 0.005, 0.30)
+	var drops []int
+	for i := 0; i < n; i++ {
+		if lf(i, 1500) {
+			drops = append(drops, i)
+		}
+	}
+	return drops
+}
+
+// TestGilbertElliottGoldenSchedule pins the drop schedule for a fixed
+// seed to golden values: the model must never change silently, because
+// experiment tables are byte-compared across parallelism levels.
+func TestGilbertElliottGoldenSchedule(t *testing.T) {
+	drops := geSchedule(42, 5000)
+	if len(drops) != 119 {
+		t.Fatalf("drop count = %d, want 119", len(drops))
+	}
+	wantFirst := []int{85, 107, 284, 287, 314, 322, 329, 330, 361, 362,
+		363, 412, 414, 608, 612, 692, 705, 715, 873, 891}
+	for i, w := range wantFirst {
+		if drops[i] != w {
+			t.Fatalf("drops[%d] = %d, want %d (full head: %v)", i, drops[i], w, drops[:len(wantFirst)])
+		}
+	}
+	wantLast := []int{4913, 4916, 4918}
+	for i, w := range wantLast {
+		if got := drops[len(drops)-3+i]; got != w {
+			t.Fatalf("tail drop %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestGilbertElliottParallelIdentical computes the same seed's schedule
+// serially and from 8 concurrent goroutines (each with its own
+// instance, as every simulation run constructs its own): the schedules
+// must be byte-identical, which is what makes the faults experiment
+// table identical at -parallel 1 and -parallel 8.
+func TestGilbertElliottParallelIdentical(t *testing.T) {
+	want := geSchedule(7, 4096)
+	var wg sync.WaitGroup
+	got := make([][]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = geSchedule(7, 4096)
+		}(w)
+	}
+	wg.Wait()
+	for w, g := range got {
+		if len(g) != len(want) {
+			t.Fatalf("worker %d: %d drops, want %d", w, len(g), len(want))
+		}
+		for i := range g {
+			if g[i] != want[i] {
+				t.Fatalf("worker %d: drops[%d] = %d, want %d", w, i, g[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOutageWindowsGolden pins the flap model's windows: with offset 50,
+// period 400, outage 40, packets 50..89, 450..489, ... drop.
+func TestOutageWindowsGolden(t *testing.T) {
+	lf := OutageWindows(50, 400, 40)
+	cases := []struct {
+		index int
+		drop  bool
+	}{
+		{0, false}, {49, false}, {50, true}, {89, true}, {90, false},
+		{449, false}, {450, true}, {489, true}, {490, false}, {850, true},
+	}
+	for _, c := range cases {
+		if got := lf(c.index, 1500); got != c.drop {
+			t.Errorf("OutageWindows(%d) = %v, want %v", c.index, got, c.drop)
+		}
+	}
+	drops := 0
+	for i := 0; i < 4000; i++ {
+		if lf(i, 1500) {
+			drops++
+		}
+	}
+	if drops != 10*40 {
+		t.Errorf("drops over 4000 packets = %d, want 400", drops)
+	}
+}
+
+// TestBlackholeWindow checks the one-direction blackhole drops exactly
+// [from, to).
+func TestBlackholeWindow(t *testing.T) {
+	lf := Blackhole(10, 20)
+	for i := 0; i < 30; i++ {
+		want := i >= 10 && i < 20
+		if got := lf(i, 100); got != want {
+			t.Errorf("Blackhole(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestEnvPathDirectionalLoss verifies LossBA applies only to the
+// server→client direction.
+func TestEnvPathDirectionalLoss(t *testing.T) {
+	s := sim.New()
+	p := NewEnvPath(s, WAN, PathOptions{LossBA: Blackhole(0, 2)})
+	delivered := 0
+	deliver := func() { delivered++ }
+	if !p.AB.Send(nil, 100, deliver) {
+		t.Fatal("AB packet dropped; LossBA must not affect AB")
+	}
+	if p.BA.Send(nil, 100, deliver) {
+		t.Fatal("BA packet 0 accepted; LossBA should drop it")
+	}
+	if p.BA.Send(nil, 100, deliver) {
+		t.Fatal("BA packet 1 accepted; LossBA should drop it")
+	}
+	if !p.BA.Send(nil, 100, deliver) {
+		t.Fatal("BA packet 2 dropped; blackhole window ended")
+	}
+	s.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d packets, want 2", delivered)
+	}
+	if p.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", p.Dropped())
+	}
+}

@@ -85,8 +85,14 @@ type PathOptions struct {
 	// (reproduces run-to-run network fluctuation). Zero disables.
 	RTTJitterFrac float64
 	Rng           *sim.Rand
-	// Loss injects deterministic loss on both directions.
+	// Loss injects deterministic loss on both directions. Stateful loss
+	// models must not be shared between directions; use LossAB/LossBA.
 	Loss LossFunc
+	// LossAB and LossBA, when non-nil, take precedence over Loss for
+	// their direction (AB = endpoint A toward B, i.e. client→server).
+	// They allow asymmetric faults — e.g. a one-direction blackhole —
+	// and give each direction its own instance of a stateful model.
+	LossAB, LossBA LossFunc
 	// Observer, if non-nil, observes every packet on both directions.
 	Observer Observer
 }
@@ -114,9 +120,70 @@ func NewEnvPath(s *sim.Simulator, env Environment, opts PathOptions) *Path {
 		cfg.PerPacketOverheadBytes = 8
 	}
 	ab, ba := cfg, cfg
+	if opts.LossAB != nil {
+		ab.Loss = opts.LossAB
+	}
+	if opts.LossBA != nil {
+		ba.Loss = opts.LossBA
+	}
 	if opts.ModemCompression != nil {
 		ab.Compressor = opts.ModemCompression()
 		ba.Compressor = opts.ModemCompression()
 	}
 	return NewAsymPath(s, env.String(), ab, ba)
+}
+
+// GilbertElliott returns a two-state burst-loss model (Gilbert–Elliott):
+// a Markov chain alternating between a good state dropping with
+// probability lossGood and a bad state dropping with probability
+// lossBad, switching good→bad with probability pGB and bad→good with
+// pBG per packet. The chain starts good. All randomness comes from a
+// SplitMix64 stream seeded with seed, so the drop schedule is a pure
+// function of (seed, packet index) — byte-identical at any parallelism.
+// The returned closure is stateful: build one instance per link
+// direction, never share it.
+func GilbertElliott(seed uint64, pGB, pBG, lossGood, lossBad float64) LossFunc {
+	rng := sim.NewRand(seed)
+	bad := false
+	return func(index, wireBytes int) bool {
+		if bad {
+			if rng.Float64() < pBG {
+				bad = false
+			}
+		} else if rng.Float64() < pGB {
+			bad = true
+		}
+		p := lossGood
+		if bad {
+			p = lossBad
+		}
+		return rng.Float64() < p
+	}
+}
+
+// OutageWindows returns a link-flap loss model: within every period of
+// `period` packets, the first `outage` packets are dropped, starting
+// with the window at packet index `offset`. Packets before offset pass.
+// The schedule depends only on the packet index, so it needs no RNG and
+// the closure is stateless — but build one per direction anyway for
+// symmetry with the stateful models.
+func OutageWindows(offset, period, outage int) LossFunc {
+	if period <= 0 {
+		panic("netem: OutageWindows period must be positive")
+	}
+	return func(index, wireBytes int) bool {
+		if index < offset {
+			return false
+		}
+		return (index-offset)%period < outage
+	}
+}
+
+// Blackhole returns a loss model dropping every packet with index in
+// [from, to) — applied to a single direction via PathOptions.LossAB or
+// LossBA it models a one-direction blackhole window.
+func Blackhole(from, to int) LossFunc {
+	return func(index, wireBytes int) bool {
+		return index >= from && index < to
+	}
 }

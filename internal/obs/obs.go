@@ -84,6 +84,20 @@ const (
 	// entry with the origin: A=1 when the origin confirmed the entry
 	// (304), 0 when it returned a new entity, Note=target.
 	KindCacheReval
+	// KindFault marks a scripted fault firing (server truncation,
+	// abort, stall): A=the faulted response's server-wide ordinal,
+	// Note=the fault kind.
+	KindFault
+	// KindClientTimeout marks the client's response-progress watchdog
+	// expiring on a connection: A=timeout nanoseconds.
+	KindClientTimeout
+	// KindRetryBackoff marks the client entering its redial backoff
+	// window: A=backoff nanoseconds, B=consecutive failures.
+	KindRetryBackoff
+	// KindFallback marks the client degrading its protocol after
+	// repeated connection failures: A=new fallback level, Note=the
+	// level's name.
+	KindFallback
 )
 
 var kindNames = [...]string{
@@ -91,6 +105,7 @@ var kindNames = [...]string{
 	"retransmit", "wire-send", "wire-drop", "span-queued",
 	"span-written", "span-first-byte", "span-done", "server-recv",
 	"server-send", "cache-hit", "cache-miss", "cache-reval",
+	"fault", "client-timeout", "retry-backoff", "fallback",
 }
 
 // String names the kind.
@@ -410,4 +425,41 @@ func (b *Bus) CacheReval(conn ConnID, target string, confirmed bool) {
 		a = 1
 	}
 	b.add(Event{Kind: KindCacheReval, Conn: conn, Note: target, A: a})
+}
+
+// --- fault and recovery publishers ---
+
+// Fault marks a scripted fault firing on conn. kind is the fault's
+// name (callers pass a constant), seq the faulted response's ordinal.
+func (b *Bus) Fault(conn ConnID, kind string, seq int64) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindFault, Conn: conn, Note: kind, A: seq})
+}
+
+// ClientTimeout marks the client's response-progress watchdog expiring
+// on conn after timeout nanoseconds without progress.
+func (b *Bus) ClientTimeout(conn ConnID, timeout sim.Duration) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindClientTimeout, Conn: conn, A: int64(timeout)})
+}
+
+// RetryBackoff marks the client delaying its redial by backoff after
+// its n-th consecutive connection failure.
+func (b *Bus) RetryBackoff(backoff sim.Duration, failures int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindRetryBackoff, A: int64(backoff), B: int64(failures)})
+}
+
+// Fallback marks the client degrading its protocol to the named level.
+func (b *Bus) Fallback(level int, name string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindFallback, A: int64(level), Note: name})
 }

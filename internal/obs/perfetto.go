@@ -175,6 +175,14 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 			instant(ev, "cache miss "+ev.Note, nil)
 		case KindCacheReval:
 			instant(ev, "cache reval "+ev.Note, map[string]any{"confirmed": ev.A == 1})
+		case KindFault:
+			instant(ev, "fault "+ev.Note, map[string]any{"response_seq": ev.A})
+		case KindClientTimeout:
+			instant(ev, "client timeout", map[string]any{"timeout_us": ev.A / 1e3})
+		case KindRetryBackoff:
+			instant(ev, "retry backoff", map[string]any{"backoff_us": ev.A / 1e3, "failures": ev.B})
+		case KindFallback:
+			instant(ev, "fallback "+ev.Note, map[string]any{"level": ev.A})
 		}
 	}
 	for id := range open {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/faults"
 	"repro/internal/httpmsg"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -50,6 +51,11 @@ type Config struct {
 	// Via is the pseudonym stamped on forwarded messages (default
 	// "1.1 proxy").
 	Via string
+	// Recovery, when non-nil, governs upstream retries: each unanswered
+	// origin request is re-sent on a fresh connection while the policy's
+	// RetryBudget allows, then answered with 502. Nil keeps the classic
+	// behaviour: one retry, then 502.
+	Recovery *faults.Policy
 	// Obs, if non-nil, receives cache hit/miss/revalidation instants on
 	// client connections and request lifecycle spans for upstream fetches.
 	Obs *obs.Bus
@@ -95,8 +101,9 @@ type Stats struct {
 	// for the same URL instead of starting their own.
 	Collapsed int
 	// UpstreamRequests counts requests written to the origin, retries
-	// included.
+	// included; Retries counts just the re-sent ones.
 	UpstreamRequests int
+	Retries          int
 	// BytesFromCache and BytesFromUpstream split response body bytes by
 	// where they came from; BytesToClient is total marshaled output.
 	BytesFromCache    int64
@@ -504,10 +511,10 @@ func (pc *proxyConn) close() {
 
 // upstreamFetch is one origin request awaiting its pipelined response.
 type upstreamFetch struct {
-	req     *httpmsg.Request
-	cb      func(*httpmsg.Response, error)
-	retried bool
-	span    obs.SpanID
+	req      *httpmsg.Request
+	cb       func(*httpmsg.Response, error)
+	attempts int // re-sends so far
+	span     obs.SpanID
 }
 
 // upstream is the proxy's persistent pipelined connection to the origin.
@@ -527,7 +534,7 @@ func (p *Proxy) fetch(req *httpmsg.Request, cb func(*httpmsg.Response, error)) {
 func (p *Proxy) send(uf *upstreamFetch) {
 	u := p.ensureUpstream()
 	p.stats.UpstreamRequests++
-	uf.span = p.cfg.Obs.SpanQueuedVia(uf.req.Method, uf.req.Target, uf.retried, p.cfg.Via)
+	uf.span = p.cfg.Obs.SpanQueuedVia(uf.req.Method, uf.req.Target, uf.attempts > 0, p.cfg.Via)
 	p.cfg.Obs.SpanWritten(uf.span, u.conn.ObsID())
 	u.inflight = append(u.inflight, uf)
 	u.parser.PushExpectation(uf.req.Method)
@@ -599,18 +606,25 @@ func (u *upstream) onError(c *tcpsim.Conn, err error) { u.fail() }
 
 func (u *upstream) onClose(c *tcpsim.Conn) { u.fail() }
 
-// fail retires the connection, re-sending each unanswered request once on
-// a fresh connection and failing requests already retried.
+// fail retires the connection, re-sending each unanswered request on a
+// fresh connection while the recovery policy's budget allows, then
+// failing it (the client sees 502). Without a configured policy the
+// budget is 1: the classic retry-once-then-502 behaviour.
 func (u *upstream) fail() {
 	if u.dead {
 		return
 	}
 	u.dead = true
+	pol := faults.Policy{RetryBudget: 1}
+	if u.p.cfg.Recovery != nil {
+		pol = *u.p.cfg.Recovery
+	}
 	pending := u.inflight
 	u.inflight = nil
 	for _, uf := range pending {
-		if !uf.retried {
-			uf.retried = true
+		if pol.Allow(uf.attempts) {
+			uf.attempts++
+			u.p.stats.Retries++
 			u.p.send(uf)
 			continue
 		}

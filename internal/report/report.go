@@ -216,6 +216,34 @@ func Reset(w io.Writer, rows []core.ResetRow) {
 	s.Render(w, rows)
 }
 
+// Faults renders the fault-injection / recovery experiment.
+func Faults(w io.Writer, rows []core.FaultRow) {
+	s := Spec[core.FaultRow]{
+		Title: "Fault injection and recovery (Apache, first-time retrieval; default recovery policy)",
+		Width: 117,
+		PreHeader: []string{
+			"TO = client watchdog timeouts | Rec = requests recovered by retry | Fail = permanently failed",
+			"Waste = payload KB delivered then re-fetched | Fallb = degradation steps (pipelined -> serial -> HTTP/1.0)",
+		},
+		Cols: []Col[core.FaultRow]{
+			{Head: "env", Format: "%-5s", Value: func(r core.FaultRow) any { return r.Env }},
+			{Head: "fault", Format: "%-12s", Value: func(r core.FaultRow) any { return r.Fault }},
+			{Format: "%-33s", Value: func(r core.FaultRow) any { return r.Mode }},
+			{Head: "Pa", Format: "%7.1f", Value: func(r core.FaultRow) any { return r.Packets }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.FaultRow) any { return r.Seconds }},
+			{Format: "|", Value: nil},
+			{Head: "Err", Format: "%5.1f", Value: func(r core.FaultRow) any { return r.Errors }},
+			{Head: "Rtry", Format: "%6.1f", Value: func(r core.FaultRow) any { return r.Retried }},
+			{Head: "TO", Format: "%5.1f", Value: func(r core.FaultRow) any { return r.Timeouts }},
+			{Head: "Rec", Format: "%5.1f", Value: func(r core.FaultRow) any { return r.Recovered }},
+			{Head: "Fail", Format: "%5.1f", Value: func(r core.FaultRow) any { return r.Failed }},
+			{Head: "Waste", Format: "%7.1f", Value: func(r core.FaultRow) any { return r.WastedKB }},
+			{Head: "Fallb", Format: "%6.1f", Value: func(r core.FaultRow) any { return r.Fallbacks }},
+		},
+	}
+	s.Render(w, rows)
+}
+
 // Flush renders the flush-policy ablation grid.
 func Flush(w io.Writer, rows []core.FlushRow) {
 	s := Spec[core.FlushRow]{

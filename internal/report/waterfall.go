@@ -42,7 +42,10 @@ func wfVia(r obs.WaterfallRow) string {
 	return r.Via
 }
 
-// wfFlags marks connection reuse (+) and retried requests (!).
+// wfFlags marks connection reuse (+), retried requests (!), and spans
+// abandoned to a connection failure or fault (x) — an x row's request
+// was lost and, when the retry budget allowed, re-issued as a later
+// row marked !.
 func wfFlags(r obs.WaterfallRow) string {
 	s := ""
 	if r.Reused {
@@ -51,6 +54,9 @@ func wfFlags(r obs.WaterfallRow) string {
 	if r.Retried {
 		s += "!"
 	}
+	if r.Done == obs.NoTime {
+		s += "x"
+	}
 	return s
 }
 
@@ -58,13 +64,13 @@ func wfFlags(r obs.WaterfallRow) string {
 // / send / first-byte / done instants (seconds of simulated time),
 // TTFB and transfer durations (milliseconds), status, and size.
 var waterfallSpec = Spec[obs.WaterfallRow]{
-	Title: "Request waterfall (times in s, TTFB/xfer in ms; + reused conn, ! retried)",
+	Title: "Request waterfall (times in s, TTFB/xfer in ms; + reused conn, ! retried, x abandoned)",
 	Width: 108,
 	Cols: []Col[obs.WaterfallRow]{
 		{Head: "#", Format: "%3d", Value: func(r obs.WaterfallRow) any { return int(r.Span) }},
 		{Head: "conn", Format: "%4d", Value: func(r obs.WaterfallRow) any { return int(r.Conn) }},
 		{Head: "via", Format: "%-9s", Value: func(r obs.WaterfallRow) any { return wfVia(r) }},
-		{Head: "f", Format: "%-2s", Value: func(r obs.WaterfallRow) any { return wfFlags(r) }},
+		{Head: "f", Format: "%-3s", Value: func(r obs.WaterfallRow) any { return wfFlags(r) }},
 		{Head: "method", Format: "%-6s", Value: func(r obs.WaterfallRow) any { return r.Method }},
 		{Head: "path", Format: "%-18s", Value: func(r obs.WaterfallRow) any { return r.Path }},
 		{Head: "queued", Format: "%8s", Value: func(r obs.WaterfallRow) any { return wfSec(r.Queued) }},
