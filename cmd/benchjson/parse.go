@@ -8,14 +8,24 @@ import (
 	"strings"
 )
 
-// Snapshot is one dated benchmark run.
+// SchemaVersion marks the snapshot layout for downstream consumers
+// (perfdiff keys on it to recognise bench snapshots).
+const SchemaVersion = "benchjson/1"
+
+// Snapshot is one dated benchmark run. Metric maps serialise with keys
+// in sorted order (encoding/json sorts map keys), so snapshots diff
+// cleanly line-by-line and perfdiff sees a stable sample order.
 type Snapshot struct {
+	Schema     string      `json:"schema"`
 	Date       string      `json:"date"`
 	GOOS       string      `json:"goos,omitempty"`
 	GOARCH     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Package    string      `json:"pkg,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Units maps every metric name appearing in Benchmarks to its unit,
+	// derived from the repo's metric-naming convention.
+	Units map[string]string `json:"units,omitempty"`
 }
 
 // Benchmark is one result line. NsPerOp carries the standard ns/op
@@ -60,7 +70,32 @@ func Parse(r io.Reader, date string) (*Snapshot, error) {
 	if len(snap.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines in input")
 	}
+	snap.Schema = SchemaVersion
+	snap.Units = map[string]string{"ns_per_op": "ns/op"}
+	for _, b := range snap.Benchmarks {
+		for name := range b.Metrics {
+			snap.Units[name] = unitFor(name)
+		}
+	}
 	return snap, nil
+}
+
+// unitFor derives a metric's unit from the suffix convention
+// bench_test.go uses for b.ReportMetric names.
+func unitFor(metric string) string {
+	switch {
+	case metric == "ns_per_op":
+		return "ns/op"
+	case strings.HasSuffix(metric, "_pa"):
+		return "packets"
+	case strings.HasSuffix(metric, "_sec"):
+		return "seconds"
+	case strings.HasSuffix(metric, "_bytes"):
+		return "bytes"
+	case strings.HasSuffix(metric, "_pct") || strings.HasSuffix(metric, "_ratio"):
+		return "ratio"
+	}
+	return ""
 }
 
 // parseLine handles one result line of the form

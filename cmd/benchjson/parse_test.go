@@ -44,6 +44,40 @@ func TestParse(t *testing.T) {
 	if b2 := snap.Benchmarks[2]; b2.Name != "SiteSynthesis" || b2.Procs != 1 || b2.Iterations != 12 || b2.Metrics != nil {
 		t.Fatalf("third benchmark wrong: %+v", b2)
 	}
+	if snap.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", snap.Schema, SchemaVersion)
+	}
+	wantUnits := map[string]string{
+		"ns_per_op":          "ns/op",
+		"LAN_probe_sec":      "seconds",
+		"WAN_probe_sec":      "seconds",
+		"pipeline_first_pa":  "packets",
+		"pipeline_first_sec": "seconds",
+	}
+	if len(snap.Units) != len(wantUnits) {
+		t.Fatalf("units = %v, want %v", snap.Units, wantUnits)
+	}
+	for k, v := range wantUnits {
+		if snap.Units[k] != v {
+			t.Errorf("units[%q] = %q, want %q", k, snap.Units[k], v)
+		}
+	}
+}
+
+func TestUnitFor(t *testing.T) {
+	for in, want := range map[string]string{
+		"http10_first_pa":   "packets",
+		"best_sec":          "seconds",
+		"anim_gif_bytes":    "bytes",
+		"overhead_pct":      "ratio",
+		"cache_hit_ratio":   "ratio",
+		"ns_per_op":         "ns/op",
+		"something_unusual": "",
+	} {
+		if got := unitFor(in); got != want {
+			t.Errorf("unitFor(%q) = %q, want %q", in, got, want)
+		}
+	}
 }
 
 func TestParseRejectsGarbage(t *testing.T) {

@@ -31,6 +31,17 @@
 //	httpperf -json           # machine-readable output (tables + per-run metrics)
 //	httpperf -csv            # per-run metrics as CSV
 //
+// Statistical observability:
+//
+//	httpperf -experiment variance -reps 8   # seed-variance experiment: mean ± 95% CI
+//	                                        # and latency quantiles per cell
+//	httpperf -table 4 -stats -reps 4        # any experiment + per-cell ±CI summary table
+//	httpperf -hist                          # run -scenario once, print per-request
+//	                                        # latency histograms (queue/TTFB/total)
+//
+// -experiment is an alias for -table; -reps sets the seed-family count
+// (like -seeds) so every cell becomes a population rather than a point.
+//
 // Observability (single-scenario mode; see -scenario for the cell):
 //
 //	httpperf -pcap run.pcap        # packet capture for tcpdump/Wireshark
@@ -57,10 +68,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, sweep, all)")
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, variance, sweep, all)")
+	experiment := flag.String("experiment", "", "alias for -table")
 	faultsOnly := flag.Bool("faults", false, "shortcut for -table faults")
 	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")
 	seeds := flag.Int("seeds", 1, "independent seed families per cell (multiplies -runs)")
+	reps := flag.Int("reps", 0, "replications per cell: sets the seed-family count (overrides -seeds)")
+	statsOn := flag.Bool("stats", false, "collect per-request latency distributions and append a per-cell mean ±95% CI summary table")
+	hist := flag.Bool("hist", false, "run -scenario once and print its per-request latency histograms (queue/TTFB/total)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for independent simulation runs")
 	list := flag.Bool("list", false, "list registered experiments and the scenario vocabulary, then exit")
 	listEnvs := flag.Bool("list-envs", false, "print Table 1 (network environments) and exit")
@@ -83,8 +98,8 @@ func main() {
 		report.Environments(os.Stdout)
 		return
 	}
-	if *pcap != "" || *timeline != "" || *waterfall {
-		if err := observe(*scenario, *topology, *fault, *seed, *pcap, *timeline, *waterfall); err != nil {
+	if *pcap != "" || *timeline != "" || *waterfall || *hist {
+		if err := observe(*scenario, *topology, *fault, *seed, *pcap, *timeline, *waterfall, *hist); err != nil {
 			fmt.Fprintln(os.Stderr, "httpperf:", err)
 			os.Exit(1)
 		}
@@ -93,8 +108,14 @@ func main() {
 	if *faultsOnly {
 		*table = "faults"
 	}
-	s := &exp.Session{Runs: *runs, Seeds: *seeds, Parallel: *parallel}
-	if err := run(s, *table, *asJSON, *asCSV); err != nil {
+	if *experiment != "" {
+		*table = *experiment
+	}
+	if *reps > 0 {
+		*seeds = *reps
+	}
+	s := &exp.Session{Runs: *runs, Seeds: *seeds, Parallel: *parallel, Stats: *statsOn}
+	if err := run(s, *table, *asJSON, *asCSV, *statsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "httpperf:", err)
 		os.Exit(1)
 	}
@@ -122,7 +143,7 @@ func printList(w io.Writer) {
 
 // observe runs one scenario with full observability and writes the
 // requested exports.
-func observe(spec, topology, fault string, seed uint64, pcap, timeline string, waterfall bool) error {
+func observe(spec, topology, fault string, seed uint64, pcap, timeline string, waterfall, hist bool) error {
 	sc, err := core.ParseScenario(spec)
 	if err != nil {
 		return err
@@ -142,7 +163,11 @@ func observe(spec, topology, fault string, seed uint64, pcap, timeline string, w
 	if err != nil {
 		return err
 	}
-	res, err := core.Run(sc, site, core.WithCapture(), core.WithTimeline())
+	opts := []core.Option{core.WithCapture(), core.WithTimeline()}
+	if hist {
+		opts = append(opts, core.WithStats())
+	}
+	res, err := core.Run(sc, site, opts...)
 	if err != nil {
 		return err
 	}
@@ -178,10 +203,14 @@ func observe(spec, topology, fault string, seed uint64, pcap, timeline string, w
 	if waterfall {
 		report.WriteWaterfall(os.Stdout, res.Timeline)
 	}
+	if hist {
+		fmt.Printf("%s  (%d requests)\n\n", sc, res.Latency.Count())
+		res.Latency.Fprint(os.Stdout)
+	}
 	return nil
 }
 
-func run(s *exp.Session, table string, asJSON, asCSV bool) error {
+func run(s *exp.Session, table string, asJSON, asCSV, statsOn bool) error {
 	site, err := core.DefaultSite()
 	if err != nil {
 		return err
@@ -212,11 +241,17 @@ func run(s *exp.Session, table string, asJSON, asCSV bool) error {
 			return s.Collector.WriteCSV(os.Stdout)
 		}
 		results["runs"] = s.Collector.Records()
+		if statsOn {
+			results["cells"] = s.Collector.Cells()
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)
 	}
 
+	if statsOn && s.Collector == nil {
+		s.Collector = exp.NewCollector()
+	}
 	for _, name := range names {
 		e, _ := exp.Lookup(name)
 		data, err := e.Generate(s)
@@ -226,6 +261,10 @@ func run(s *exp.Session, table string, asJSON, asCSV bool) error {
 		if err := e.Render(os.Stdout, s, data); err != nil {
 			return fmt.Errorf("table %s: %w", name, err)
 		}
+		fmt.Println()
+	}
+	if statsOn {
+		report.Cells(os.Stdout, s.Collector.Cells())
 		fmt.Println()
 	}
 	return nil

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// loadSamples reads a performance snapshot file and flattens it into
+// Compare's sample form. Three formats are recognised by shape:
+//
+//   - benchjson snapshots ({"benchmarks": [...]}) — one value per
+//     (benchmark, metric); cells are "bench:<Name>"
+//   - httpperf -json output ({"runs": [...]}) — per-run metrics grouped
+//     by experiment/scenario, so replicated runs become populations and
+//     Compare can use their confidence intervals
+//   - httpperf -csv metrics files (header starts "experiment,scenario")
+func loadSamples(path string) ([]stats.Sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	switch {
+	case strings.HasPrefix(trimmed, "{"):
+		return loadJSON(data, path)
+	case strings.HasPrefix(trimmed, "experiment,scenario"):
+		return loadCSV(data)
+	}
+	return nil, fmt.Errorf("%s: unrecognised snapshot format (want benchjson JSON, httpperf -json, or httpperf -csv)", path)
+}
+
+func loadJSON(data []byte, path string) ([]stats.Sample, error) {
+	var probe struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			NsPerOp float64            `json:"ns_per_op"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+		Units map[string]string `json:"units"`
+		Runs  []map[string]any  `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case probe.Benchmarks != nil:
+		var out []stats.Sample
+		for _, b := range probe.Benchmarks {
+			cell := "bench:" + b.Name
+			out = append(out, stats.Sample{
+				Cell: cell, Metric: "ns_per_op", Unit: probe.Units["ns_per_op"],
+				Values: []float64{b.NsPerOp},
+			})
+			for _, name := range sortedKeys(b.Metrics) {
+				out = append(out, stats.Sample{
+					Cell: cell, Metric: name, Unit: probe.Units[name],
+					Values: []float64{b.Metrics[name]},
+				})
+			}
+		}
+		return out, nil
+	case probe.Runs != nil:
+		return samplesFromRuns(probe.Runs)
+	}
+	return nil, fmt.Errorf("%s: JSON has neither \"benchmarks\" nor \"runs\"", path)
+}
+
+// samplesFromRuns groups per-run metric records by experiment/scenario
+// cell and collects each numeric field's values across the cell's runs.
+// The nested "dist" map (latency quantiles) is flattened into its keys.
+func samplesFromRuns(runs []map[string]any) ([]stats.Sample, error) {
+	type key struct{ cell, metric string }
+	values := map[key][]float64{}
+	order := []key{}
+	add := func(k key, v float64) {
+		if _, seen := values[k]; !seen {
+			order = append(order, k)
+		}
+		values[k] = append(values[k], v)
+	}
+	for _, run := range runs {
+		exp, _ := run["experiment"].(string)
+		scenario, _ := run["scenario"].(string)
+		cell := exp + "/" + scenario
+		for _, name := range sortedKeys(run) {
+			switch v := run[name].(type) {
+			case float64:
+				add(key{cell, name}, v)
+			case map[string]any:
+				if name != "dist" {
+					continue
+				}
+				for _, dk := range sortedKeys(v) {
+					if dv, ok := v[dk].(float64); ok {
+						add(key{cell, dk}, dv)
+					}
+				}
+			}
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no numeric per-run metrics found")
+	}
+	out := make([]stats.Sample, 0, len(order))
+	for _, k := range order {
+		out = append(out, stats.Sample{
+			Cell: k.cell, Metric: k.metric, Unit: metricUnit(k.metric),
+			Values: values[k],
+		})
+	}
+	return out, nil
+}
+
+func loadCSV(data []byte) ([]stats.Sample, error) {
+	rows, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("CSV has no data rows")
+	}
+	header := rows[0]
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	type key struct{ cell, metric string }
+	values := map[key][]float64{}
+	order := []key{}
+	for _, row := range rows[1:] {
+		cell := row[col["experiment"]] + "/" + row[col["scenario"]]
+		for i, field := range row {
+			name := header[i]
+			if name == "experiment" || name == "scenario" || field == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				continue
+			}
+			k := key{cell, name}
+			if _, seen := values[k]; !seen {
+				order = append(order, k)
+			}
+			values[k] = append(values[k], v)
+		}
+	}
+	out := make([]stats.Sample, 0, len(order))
+	for _, k := range order {
+		out = append(out, stats.Sample{
+			Cell: k.cell, Metric: k.metric, Unit: metricUnit(k.metric),
+			Values: values[k],
+		})
+	}
+	return out, nil
+}
+
+// metricUnit derives a unit label from the repo's metric-naming
+// conventions; unknown names get no unit.
+func metricUnit(metric string) string {
+	switch {
+	case strings.HasSuffix(metric, "_seconds") || strings.HasSuffix(metric, "_sec"):
+		return "seconds"
+	case strings.HasSuffix(metric, "_bytes"):
+		return "bytes"
+	case strings.HasPrefix(metric, "packets") || strings.HasSuffix(metric, "_pa"):
+		return "packets"
+	case strings.Contains(metric, "_ms_"):
+		return "ms"
+	case strings.HasSuffix(metric, "_pct") || strings.HasSuffix(metric, "_ratio"):
+		return "ratio"
+	case metric == "ns_per_op":
+		return "ns/op"
+	}
+	return ""
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,130 @@
+// Command perfdiff compares two performance snapshots and flags
+// statistically significant regressions, so a benchmark or experiment
+// run can gate CI without tripping on seed noise.
+//
+// A difference only counts as a regression when BOTH hold:
+//
+//   - the relative delta exceeds -threshold (default 5%), and
+//   - the Student-t 95% confidence intervals of the two populations do
+//     not overlap (single-value snapshots have zero-width intervals, so
+//     the threshold alone decides).
+//
+// Inputs may be benchjson snapshots (BENCH_*.json), httpperf -json
+// output, or httpperf -csv metrics files; formats are detected by
+// shape and may be mixed only old-vs-new of the same kind (cells pair
+// by name).
+//
+// Usage:
+//
+//	perfdiff old.json new.json            # table of significant deltas
+//	perfdiff -all old.json new.json       # every compared delta
+//	perfdiff -threshold 10 old new        # require a 10% delta
+//	perfdiff -annotate old new            # add GitHub ::warning:: lines
+//
+// Exit status: 0 when no significant regression, 1 when at least one,
+// 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", stats.DefaultThresholdPct, "minimum |delta| percent for significance")
+	all := fs.Bool("all", false, "print every compared delta, not only significant ones")
+	annotate := fs.Bool("annotate", false, "emit GitHub Actions ::warning:: annotations for regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: perfdiff [-threshold pct] [-all] [-annotate] old new")
+		return 2
+	}
+	oldS, err := loadSamples(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "perfdiff:", err)
+		return 2
+	}
+	newS, err := loadSamples(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "perfdiff:", err)
+		return 2
+	}
+	deltas := stats.Compare(oldS, newS, stats.Options{ThresholdPct: *threshold})
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "perfdiff: no comparable (cell, metric) pairs between the snapshots")
+		return 2
+	}
+
+	regressions, improvements := 0, 0
+	for _, d := range deltas {
+		switch {
+		case d.Regression:
+			regressions++
+		case d.Improvement:
+			improvements++
+		}
+		if !d.Significant && !*all {
+			continue
+		}
+		fmt.Fprintln(stdout, formatDelta(d))
+		if *annotate && d.Regression {
+			fmt.Fprintf(stdout, "::warning title=perfdiff regression::%s %s %s\n",
+				d.Cell, d.Metric, formatPct(d.DeltaPct))
+		}
+	}
+	fmt.Fprintf(stdout, "perfdiff: %d compared, %d regressions, %d improvements (threshold %.1f%%, 95%% CI)\n",
+		len(deltas), regressions, improvements, *threshold)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// formatDelta renders one comparison line:
+//
+//	REGRESS bench:Table4JigsawLAN pipeline_first_sec 0.486 -> 0.612 (+25.9%) [seconds]
+func formatDelta(d stats.Delta) string {
+	tag := "  ok   "
+	switch {
+	case d.Regression:
+		tag = "REGRESS"
+	case d.Improvement:
+		tag = "improve"
+	}
+	line := fmt.Sprintf("%s %s %s %s -> %s (%s)",
+		tag, d.Cell, d.Metric, formatMean(d.Old), formatMean(d.New), formatPct(d.DeltaPct))
+	if d.Unit != "" {
+		line += " [" + d.Unit + "]"
+	}
+	return line
+}
+
+func formatMean(s stats.Summary) string {
+	if s.CI95 > 0 {
+		return fmt.Sprintf("%.4g ±%.2g", s.Mean, s.CI95)
+	}
+	return fmt.Sprintf("%.4g", s.Mean)
+}
+
+func formatPct(pct float64) string {
+	if math.IsInf(pct, 1) {
+		return "+inf%"
+	}
+	if math.IsInf(pct, -1) {
+		return "-inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchOld = `{
+  "schema": "benchjson/1",
+  "date": "2026-08-01",
+  "benchmarks": [
+    {"name": "Table4", "procs": 1, "iterations": 1, "ns_per_op": 1000,
+     "metrics": {"pipeline_first_sec": 0.486, "pipeline_first_pa": 206}}
+  ],
+  "units": {"ns_per_op": "ns/op", "pipeline_first_sec": "seconds", "pipeline_first_pa": "packets"}
+}`
+
+// TestInjectedRegressionFails is the acceptance criterion: a snapshot
+// with a significant injected regression must exit non-zero.
+func TestInjectedRegressionFails(t *testing.T) {
+	benchNew := strings.Replace(benchOld, "0.486", "0.986", 1) // ≈ +103%
+	old := write(t, "old.json", benchOld)
+	newer := write(t, "new.json", benchNew)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, newer}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d on injected regression, want 1\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "REGRESS bench:Table4 pipeline_first_sec") {
+		t.Errorf("regression line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regressions") {
+		t.Errorf("summary missing regression count:\n%s", out)
+	}
+}
+
+func TestIdenticalSnapshotsPass(t *testing.T) {
+	old := write(t, "old.json", benchOld)
+	newer := write(t, "new.json", benchOld)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, newer}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on identical snapshots, want 0\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 regressions") {
+		t.Errorf("summary wrong:\n%s", stdout.String())
+	}
+}
+
+func TestBelowThresholdPasses(t *testing.T) {
+	benchNew := strings.Replace(benchOld, "0.486", "0.500", 1) // ≈ +2.9%
+	old := write(t, "old.json", benchOld)
+	newer := write(t, "new.json", benchNew)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, newer}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on below-threshold delta, want 0", code)
+	}
+	// But a tighter threshold flags it.
+	if code := run([]string{"-threshold", "2", old, newer}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d with -threshold 2, want 1", code)
+	}
+}
+
+func TestAnnotateEmitsWarning(t *testing.T) {
+	benchNew := strings.Replace(benchOld, "0.486", "0.986", 1)
+	old := write(t, "old.json", benchOld)
+	newer := write(t, "new.json", benchNew)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-annotate", old, newer}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "::warning title=perfdiff regression::bench:Table4 pipeline_first_sec") {
+		t.Errorf("no GitHub annotation:\n%s", stdout.String())
+	}
+}
+
+// TestRunsPopulationsUseCIs: replicated httpperf runs form populations;
+// a large delta whose CIs overlap must NOT gate.
+func TestRunsPopulationsUseCIs(t *testing.T) {
+	// Old cell: mean 10, tight. New cell: mean 13 (+30%) but enormous
+	// spread, so the CIs overlap and the delta is noise.
+	oldJSON := `{"runs": [
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 9.9},
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 10.0},
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 10.1}
+	]}`
+	newJSON := `{"runs": [
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 1.0},
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 13.0},
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 25.0}
+	]}`
+	old := write(t, "old.json", oldJSON)
+	newer := write(t, "new.json", newJSON)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, newer}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on overlapping-CI delta, want 0\n%s", code, stdout.String())
+	}
+	// The same means with tight new-side spread DO gate.
+	tight := `{"runs": [
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 12.9},
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 13.0},
+	  {"experiment": "e", "scenario": "s", "elapsed_seconds": 13.1}
+	]}`
+	tightPath := write(t, "tight.json", tight)
+	if code := run([]string{old, tightPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d on disjoint-CI regression, want 1\n%s", code, stdout.String())
+	}
+}
+
+func TestCSVInput(t *testing.T) {
+	oldCSV := "experiment,scenario,seed,run,packets,elapsed_seconds\n" +
+		"e,s,1,0,100,2.0\n" +
+		"e,s,2,0,102,2.1\n"
+	newCSV := "experiment,scenario,seed,run,packets,elapsed_seconds\n" +
+		"e,s,1,0,300,2.0\n" +
+		"e,s,2,0,302,2.1\n"
+	old := write(t, "old.csv", oldCSV)
+	newer := write(t, "new.csv", newCSV)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, newer}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d on tripled packets, want 1\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "e/s packets") || !strings.Contains(out, "[packets]") {
+		t.Errorf("packets regression missing:\n%s", out)
+	}
+	// seed and run are bookkeeping: never compared.
+	if strings.Contains(out, "e/s seed") || strings.Contains(out, "e/s run") {
+		t.Errorf("bookkeeping columns compared:\n%s", out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"one-arg-only"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on bad usage, want 2", code)
+	}
+	garbage := write(t, "garbage.txt", "not a snapshot\n")
+	ok := write(t, "ok.json", benchOld)
+	if code := run([]string{garbage, ok}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on unrecognised input, want 2", code)
+	}
+	empty := write(t, "empty.json", `{"neither": true}`)
+	if code := run([]string{empty, ok}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on shapeless JSON, want 2", code)
+	}
+}

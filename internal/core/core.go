@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tcpsim"
 	"repro/internal/trace"
 	"repro/internal/webgen"
@@ -135,6 +136,10 @@ type RunResult struct {
 	// Timeline holds the full-stack event bus when Run was given
 	// WithTimeline; nil otherwise.
 	Timeline *obs.Bus
+	// Latency holds the per-request latency distributions (queue time,
+	// TTFB, total — nanosecond histograms) when Run was given WithStats;
+	// nil otherwise.
+	Latency *stats.LatencySet
 }
 
 // ErrDidNotFinish reports a run whose client never completed the page.
@@ -153,6 +158,7 @@ type Option func(*runConfig)
 type runConfig struct {
 	capture  bool
 	timeline bool
+	stats    bool
 	seed     *uint64
 	metrics  *exp.Metrics
 }
@@ -167,6 +173,16 @@ func WithCapture() Option { return func(c *runConfig) { c.capture = true } }
 // trace or a request waterfall. Observation does not perturb the
 // simulation: a run measures identically with or without it.
 func WithTimeline() Option { return func(c *runConfig) { c.timeline = true } }
+
+// WithStats collects per-request latency distributions — queue time
+// (decided-to-fetch → request written), time to first byte, and total
+// time per object — into RunResult.Latency, and their p50/p90/p99/max
+// quantiles into the metrics record's Dist map when WithMetrics is also
+// given. Latencies derive from the same request-lifecycle spans the
+// timeline records, so, like observation, statistics collection does
+// not perturb the simulation: a run measures identically with or
+// without it.
+func WithStats() Option { return func(c *runConfig) { c.stats = true } }
 
 // WithSeed overrides the scenario's seed for this run.
 func WithSeed(seed uint64) Option {
@@ -199,16 +215,21 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	clientHost := net.AddHost("client")
 	serverHost := net.AddHost("server")
 
+	// The bus exists for a timeline run (every layer publishes into it)
+	// and for a stats run (only the client's request-lifecycle spans are
+	// needed, so the other layers stay unwired and the bus stays small).
 	var bus *obs.Bus
-	if cfg.timeline {
+	if cfg.timeline || cfg.stats {
 		bus = obs.New(s)
+	}
+	if cfg.timeline {
 		net.Obs = bus
 	}
 
 	var rng *sim.Rand
 	cpuJitter := 0.0
 	pathOpts := netem.PathOptions{}
-	if bus != nil {
+	if cfg.timeline {
 		pathOpts.Observer = func(ev netem.LinkEvent) {
 			if ev.Dropped {
 				bus.WireDrop(ev.Link, ev.WireBytes)
@@ -284,7 +305,9 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		serverCfg.NoDelay = true
 	}
 	serverCfg.EnableDeflate = serverCfg.EnableDeflate || clientCfg.AcceptDeflate
-	serverCfg.Obs = bus
+	if cfg.timeline {
+		serverCfg.Obs = bus
+	}
 	clientCfg.Obs = bus
 	if sc.Fault != faults.None {
 		serverCfg.Faults = script.Server
@@ -326,7 +349,10 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 				}
 			}
 		}
-		proxyCfg := proxy.Config{Cache: pcache, NoDelay: true, Obs: bus}
+		proxyCfg := proxy.Config{Cache: pcache, NoDelay: true}
+		if cfg.timeline {
+			proxyCfg.Obs = bus
+		}
 		if sc.Fault != faults.None {
 			pol := faults.Default()
 			proxyCfg.Recovery = &pol
@@ -370,7 +396,24 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	if cfg.capture {
 		res.Capture = capture
 	}
-	res.Timeline = bus
+	if cfg.timeline {
+		res.Timeline = bus
+	}
+	if cfg.stats {
+		// Per-request latencies derive from the client's lifecycle spans:
+		// queue = decided-to-fetch → request handed to TCP, TTFB = request
+		// written → first response byte, total = decided → complete.
+		// Intermediary-originated spans (Via) and abandoned spans never
+		// completed carry no client-visible latency and are skipped.
+		ls := &stats.LatencySet{}
+		for _, sp := range bus.Spans() {
+			if sp.Via != "" || sp.Done == obs.NoTime || sp.Written == obs.NoTime {
+				continue
+			}
+			ls.Observe(int64(sp.Written-sp.Queued), int64(sp.FirstByte-sp.Written), int64(sp.Done-sp.Queued))
+		}
+		res.Latency = ls
+	}
 	if m := cfg.metrics; m != nil {
 		st := res.Stats
 		m.Scenario = sc.String()
@@ -403,8 +446,11 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.RecoverySeconds = res.Client.RecoverySeconds
 		m.Fallbacks = res.Client.Fallbacks
 		m.FaultsInjected = res.Server.FaultsInjected
-		m.TimelineEvents = bus.Len()
-		m.TimelineSpans = len(bus.Spans())
+		if cfg.timeline {
+			m.TimelineEvents = bus.Len()
+			m.TimelineSpans = len(bus.Spans())
+		}
+		m.Dist = res.Latency.DistMap()
 		if res.Proxy != nil {
 			p := res.Proxy
 			m.CacheHits = p.Hits

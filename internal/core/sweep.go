@@ -29,6 +29,10 @@ type Sweep struct {
 	Experiment string
 	// Collector, when non-nil, receives one record per simulation run.
 	Collector *exp.Collector
+	// Stats runs every repetition with WithStats, so each RunResult
+	// carries per-request latency distributions and each collected
+	// record its Dist quantiles.
+	Stats bool
 }
 
 // series executes the sweep's Runs×Seeds repetitions of sc, stepping the
@@ -58,6 +62,9 @@ func (sw Sweep) series(sc Scenario, site *webgen.Site, stride uint64) ([]*RunRes
 		if metrics != nil {
 			metrics[i] = &exp.Metrics{Experiment: sw.Experiment, Run: i}
 			opts = append(opts, WithMetrics(metrics[i]))
+		}
+		if sw.Stats {
+			opts = append(opts, WithStats())
 		}
 		res, err := Run(one, site, opts...)
 		if err != nil {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/stats"
+	"repro/internal/webgen"
+)
+
+// VarianceRow is one cell of the seed-variance experiment: one protocol
+// mode in one environment under clean or burst-loss conditions, with
+// the whole-fetch quantities reported as mean ± Student-t 95%
+// confidence interval across the seeded population and the per-request
+// total-latency quantiles from the population's merged histogram.
+type VarianceRow struct {
+	Env   string
+	Fault string
+	Mode  string
+
+	// N is the number of independent runs behind the cell.
+	N int
+
+	Seconds stats.Summary
+	Packets stats.Summary
+
+	// LatP50Ms..LatMaxMs are per-request total-latency quantiles in
+	// milliseconds, from the histograms of all N runs merged.
+	LatP50Ms, LatP90Ms, LatP99Ms, LatMaxMs float64
+}
+
+// varianceFaults are the two loss conditions the experiment contrasts:
+// the clean link every paper table used, and seeded Gilbert–Elliott
+// burst loss.
+var varianceFaults = []faults.Profile{faults.None, faults.BurstLoss}
+
+// VarianceTable runs the seed-variance experiment: the four protocol
+// modes fetching the site first-time over PPP and WAN, clean and under
+// burst loss, each cell repeated across the sweep's seeded population.
+// Where the paper reported one tcpdump-accounted number per cell, this
+// reports the distribution — mean ± 95% CI for elapsed time and
+// packets, and exact-rank latency quantiles per request — so a
+// conclusion like "pipelining wins" can be checked for robustness to
+// loss variance rather than taken from a single draw.
+func (sw Sweep) VarianceTable(site *webgen.Site) ([]VarianceRow, error) {
+	sw.Stats = true
+	envs := []netem.Environment{netem.PPP, netem.WAN}
+	var rows []VarianceRow
+	for ei, env := range envs {
+		for fi, prof := range varianceFaults {
+			for mi, mode := range protocolModes {
+				sc := Scenario{
+					Server:   httpserver.ProfileApache,
+					Client:   mode,
+					Env:      env,
+					Workload: httpclient.FirstTime,
+					Seed:     16000 + uint64(ei)*1000 + uint64(fi)*100 + uint64(mi),
+					Fault:    prof,
+				}
+				results, err := sw.series(sc, site, 23)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sc, err)
+				}
+				secs := make([]float64, len(results))
+				pkts := make([]float64, len(results))
+				var lat stats.LatencySet
+				for i, res := range results {
+					secs[i] = res.Elapsed.Seconds()
+					pkts[i] = float64(res.Stats.Packets)
+					lat.Merge(res.Latency)
+				}
+				ms := func(v int64) float64 { return float64(v) / 1e6 }
+				rows = append(rows, VarianceRow{
+					Env: env.String(), Fault: prof.String(), Mode: mode.String(),
+					N:        len(results),
+					Seconds:  stats.Summarize(secs),
+					Packets:  stats.Summarize(pkts),
+					LatP50Ms: ms(lat.Total.Quantile(0.50)),
+					LatP90Ms: ms(lat.Total.Quantile(0.90)),
+					LatP99Ms: ms(lat.Total.Quantile(0.99)),
+					LatMaxMs: ms(lat.Total.Max()),
+				})
+			}
+		}
+	}
+	return rows, nil
+}

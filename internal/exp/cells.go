@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"repro/internal/stats"
+)
+
+// CellStats is the cross-seed aggregate of one experiment cell: every
+// collected record sharing an (experiment, scenario) pair, reduced to
+// mean ± Student-t 95% confidence interval for the paper's headline
+// quantities, plus the per-run distribution metrics averaged across the
+// population.
+type CellStats struct {
+	Experiment string `json:"experiment,omitempty"`
+	Scenario   string `json:"scenario"`
+	// N is the number of runs aggregated into the cell.
+	N int `json:"n"`
+
+	Elapsed stats.Summary `json:"elapsed_seconds"`
+	Packets stats.Summary `json:"packets"`
+
+	// Dist averages each optional distribution metric (e.g.
+	// lat_total_ms_p50) over the runs that reported it; nil when none
+	// did.
+	Dist map[string]float64 `json:"dist,omitempty"`
+}
+
+// Cells groups the collected records by (experiment, scenario) and
+// aggregates each group. Cells appear in the order of Records() — the
+// deterministic (experiment, scenario, seed, run) sort — so the output
+// is byte-identical at any parallelism level.
+func (c *Collector) Cells() []CellStats {
+	recs := c.Records()
+	var out []CellStats
+	idx := map[[2]string]int{}
+	groups := map[[2]string][]Metrics{}
+	for _, m := range recs {
+		k := [2]string{m.Experiment, m.Scenario}
+		if _, ok := idx[k]; !ok {
+			idx[k] = len(out)
+			out = append(out, CellStats{Experiment: m.Experiment, Scenario: m.Scenario})
+		}
+		groups[k] = append(groups[k], m)
+	}
+	for k, i := range idx {
+		ms := groups[k]
+		cell := &out[i]
+		cell.N = len(ms)
+		elapsed := make([]float64, len(ms))
+		packets := make([]float64, len(ms))
+		distSum := map[string]float64{}
+		distN := map[string]int{}
+		for j, m := range ms {
+			elapsed[j] = m.ElapsedSeconds
+			packets[j] = float64(m.Packets)
+			for dk, dv := range m.Dist {
+				distSum[dk] += dv
+				distN[dk]++
+			}
+		}
+		cell.Elapsed = stats.Summarize(elapsed)
+		cell.Packets = stats.Summarize(packets)
+		if len(distSum) > 0 {
+			cell.Dist = make(map[string]float64, len(distSum))
+			for dk, sum := range distSum {
+				cell.Dist[dk] = sum / float64(distN[dk])
+			}
+		}
+	}
+	return out
+}

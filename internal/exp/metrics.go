@@ -97,6 +97,14 @@ type Metrics struct {
 	TimelineEvents int `json:"timeline_events,omitempty"`
 	TimelineSpans  int `json:"timeline_spans,omitempty"`
 
+	// Dist carries the run's optional distribution metrics — per-request
+	// latency quantiles in milliseconds (lat_queue_ms_p50, ...,
+	// lat_total_ms_max), derived from the request-lifecycle spans — and
+	// is nil unless the run executed with core.WithStats. Keys are
+	// stable; CSV emission appends them after the fixed columns in
+	// sorted order, with empty cells for records that lack a key.
+	Dist map[string]float64 `json:"dist,omitempty"`
+
 	// Cache and origin-side accounting for runs through the shared
 	// caching proxy tier (all zero on direct client↔origin runs). On a
 	// proxy run the Packets/Bytes fields above describe the client-side
@@ -204,14 +212,47 @@ func (c *Collector) Records() []Metrics {
 	return out
 }
 
-// WriteCSV writes the collected records as CSV with a header row.
+// distColumns returns the sorted union of Dist keys across the records
+// — the optional CSV columns, in their one deterministic order.
+func distColumns(recs []Metrics) []string {
+	seen := map[string]bool{}
+	var cols []string
+	for _, m := range recs {
+		for k := range m.Dist {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// WriteCSV writes the collected records as CSV with a header row: the
+// fixed columns in Metrics field order, then any optional distribution
+// columns present in the population, sorted by name. Records lacking an
+// optional key emit an empty cell, so the header — and the whole file —
+// is a pure function of the collected records, independent of worker
+// scheduling or map iteration order.
 func (c *Collector) WriteCSV(w io.Writer) error {
+	recs := c.Records()
+	extras := distColumns(recs)
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	header := append(append(make([]string, 0, len(csvHeader)+len(extras)), csvHeader...), extras...)
+	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, m := range c.Records() {
-		if err := cw.Write(m.csvRow()); err != nil {
+	for _, m := range recs {
+		row := m.csvRow()
+		for _, k := range extras {
+			if v, ok := m.Dist[k]; ok {
+				row = append(row, strconv.FormatFloat(v, 'f', 6, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}

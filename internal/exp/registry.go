@@ -26,6 +26,11 @@ type Session struct {
 	// Collector, when non-nil, receives one Metrics record per
 	// simulation run.
 	Collector *Collector
+	// Stats enables per-request latency collection on every run of the
+	// sweep (core.WithStats): collected records gain their Dist
+	// quantiles, at the cost of recording request-lifecycle spans.
+	// Measurements are unperturbed either way.
+	Stats bool
 }
 
 // Experiment is one registered, regenerable experiment: a declarative

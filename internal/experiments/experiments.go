@@ -27,6 +27,7 @@ func sweepFor(s *exp.Session, name string) core.Sweep {
 		Parallel:   s.Parallel,
 		Experiment: name,
 		Collector:  s.Collector,
+		Stats:      s.Stats,
 	}
 }
 
@@ -185,6 +186,16 @@ func init() {
 		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "faults").FaultsTable(s.Site) },
 		Render: func(w io.Writer, _ *exp.Session, d any) error {
 			report.Faults(w, d.([]core.FaultRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
+		Name: "variance", Title: "Seed-variance experiment: per-cell 95% CIs and latency quantiles (clean vs burst loss)",
+		Generate: func(s *exp.Session) (any, error) {
+			return sweepFor(s, "variance").VarianceTable(s.Site)
+		},
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Variance(w, d.([]core.VarianceRow))
 			return nil
 		},
 	})

@@ -19,22 +19,36 @@ func TestLegacyTablesUnchanged(t *testing.T) {
 	for _, name := range []string{"3", "reset"} {
 		s := session(t, 4)
 		got := render(t, s, name)
-		path := filepath.Join("testdata", "legacy_"+name+"_golden.txt")
-		if *updateGolden {
-			if err := os.MkdirAll("testdata", 0o755); err != nil {
-				t.Fatal(err)
-			}
-			if err := os.WriteFile(path, got, 0o644); err != nil {
-				t.Fatal(err)
-			}
-			continue
+		checkGolden(t, name, filepath.Join("testdata", "legacy_"+name+"_golden.txt"), got)
+	}
+}
+
+// TestVarianceGolden pins the rendered seed-variance table — the
+// distribution/±CI renderer driven by real runs — byte-for-byte. The
+// table must also be independent of worker-pool width.
+func TestVarianceGolden(t *testing.T) {
+	s := session(t, 4)
+	s.Seeds = 3
+	got := render(t, s, "variance")
+	checkGolden(t, "variance", filepath.Join("testdata", "variance_golden.txt"), got)
+}
+
+func checkGolden(t *testing.T, name, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
 		}
-		want, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
 		}
-		if !bytes.Equal(got, want) {
-			t.Errorf("%s: rendered table changed with no fault profile configured:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
-		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: rendered table changed:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
 	}
 }

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+// MeanCI formats a mean with its 95% confidence-interval half-width as
+// the conventional "m ± c" cell. A zero-width interval (single sample)
+// renders the mean alone, so unreplicated tables stay clean.
+func MeanCI(s stats.Summary, prec int) string {
+	if s.CI95 == 0 {
+		return fmt.Sprintf("%.*f", prec, s.Mean)
+	}
+	return fmt.Sprintf("%.*f ±%.*f", prec, s.Mean, prec, s.CI95)
+}
+
+// Variance renders the seed-variance experiment: per-cell mean ± 95% CI
+// for the paper's headline quantities and per-request total-latency
+// quantiles, clean vs burst loss.
+func Variance(w io.Writer, rows []core.VarianceRow) {
+	s := Spec[core.VarianceRow]{
+		Title: "Seed-variance experiment (Apache, first-time retrieval; Student-t 95% CIs over N seeded runs)",
+		Width: 130,
+		PreHeader: []string{
+			"Sec/Pa = whole-fetch elapsed seconds and packets, mean ± 95% CI | p50/p90/p99/max = per-request total latency [ms]",
+		},
+		Cols: []Col[core.VarianceRow]{
+			{Head: "env", Format: "%-5s", Value: func(r core.VarianceRow) any { return r.Env }},
+			{Head: "fault", Format: "%-12s", Value: func(r core.VarianceRow) any { return r.Fault }},
+			{Format: "%-33s", Value: func(r core.VarianceRow) any { return r.Mode }},
+			{Head: "N", Format: "%3d", Value: func(r core.VarianceRow) any { return r.N }},
+			{Head: "Sec", Format: "%15s", Value: func(r core.VarianceRow) any { return MeanCI(r.Seconds, 2) }},
+			{Head: "Pa", Format: "%15s", Value: func(r core.VarianceRow) any { return MeanCI(r.Packets, 1) }},
+			{Format: "|", Value: nil},
+			{Head: "p50", Format: "%8.1f", Value: func(r core.VarianceRow) any { return r.LatP50Ms }},
+			{Head: "p90", Format: "%8.1f", Value: func(r core.VarianceRow) any { return r.LatP90Ms }},
+			{Head: "p99", Format: "%8.1f", Value: func(r core.VarianceRow) any { return r.LatP99Ms }},
+			{Head: "max", Format: "%9.1f", Value: func(r core.VarianceRow) any { return r.LatMaxMs }},
+		},
+	}
+	s.Render(w, rows)
+}
+
+// Cells renders the cross-seed per-cell aggregates a collector
+// accumulated over any experiment mix: mean ± 95% CI for elapsed time
+// and packets, plus the averaged latency quantiles where runs collected
+// them (empty cells otherwise).
+func Cells(w io.Writer, cells []exp.CellStats) {
+	lat := func(c exp.CellStats, key string) string {
+		v, ok := c.Dist[key]
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+	s := Spec[exp.CellStats]{
+		Title: "Per-cell statistics (mean ± Student-t 95% CI across collected runs; latency quantiles [ms] where recorded)",
+		Width: 148,
+		Cols: []Col[exp.CellStats]{
+			{Head: "exp", Format: "%-9s", Value: func(c exp.CellStats) any { return c.Experiment }},
+			{Head: "scenario", Format: "%-64s", Value: func(c exp.CellStats) any { return c.Scenario }},
+			{Head: "N", Format: "%3d", Value: func(c exp.CellStats) any { return c.N }},
+			{Head: "Sec", Format: "%15s", Value: func(c exp.CellStats) any { return MeanCI(c.Elapsed, 2) }},
+			{Head: "Pa", Format: "%15s", Value: func(c exp.CellStats) any { return MeanCI(c.Packets, 1) }},
+			{Head: "p50", Format: "%8s", Value: func(c exp.CellStats) any { return lat(c, "lat_total_ms_p50") }},
+			{Head: "p90", Format: "%8s", Value: func(c exp.CellStats) any { return lat(c, "lat_total_ms_p90") }},
+			{Head: "p99", Format: "%8s", Value: func(c exp.CellStats) any { return lat(c, "lat_total_ms_p99") }},
+		},
+	}
+	s.Render(w, cells)
+}

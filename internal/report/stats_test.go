@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+func TestMeanCI(t *testing.T) {
+	if got := MeanCI(stats.Summary{Mean: 3.14159}, 2); got != "3.14" {
+		t.Errorf("single sample: %q", got)
+	}
+	if got := MeanCI(stats.Summary{Mean: 3.14159, CI95: 0.256}, 2); got != "3.14 ±0.26" {
+		t.Errorf("with CI: %q", got)
+	}
+}
+
+// TestVarianceRenderer pins the distribution/±CI table bytes on
+// synthetic rows, so format drift is a deliberate golden update rather
+// than an accident.
+func TestVarianceRenderer(t *testing.T) {
+	rows := []core.VarianceRow{
+		{Env: "PPP", Fault: "none", Mode: "HTTP/1.1 pipelined", N: 8,
+			Seconds:  stats.Summary{N: 8, Mean: 12.345, CI95: 0.678},
+			Packets:  stats.Summary{N: 8, Mean: 234.0},
+			LatP50Ms: 101.5, LatP90Ms: 303.25, LatP99Ms: 404.0, LatMaxMs: 505.9},
+		{Env: "WAN", Fault: "burst-loss", Mode: "HTTP/1.0", N: 8,
+			Seconds:  stats.Summary{N: 8, Mean: 80.96, CI95: 25.08},
+			Packets:  stats.Summary{N: 8, Mean: 861.2, CI95: 185.8},
+			LatP50Ms: 17448.3, LatP90Ms: 41339.1, LatP99Ms: 68182.6, LatMaxMs: 68734.9},
+	}
+	var buf bytes.Buffer
+	Variance(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{
+		"Seed-variance experiment",
+		"12.35 ±0.68",  // mean ± CI at two decimals
+		"234.0",        // zero-width CI renders bare mean
+		"861.2 ±185.8", // packets with CI at one decimal
+		"101.5",
+		"68734.9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("variance table missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering the same rows twice is byte-identical.
+	var again bytes.Buffer
+	Variance(&again, rows)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("variance renderer not deterministic")
+	}
+}
+
+func TestCellsRenderer(t *testing.T) {
+	cells := []exp.CellStats{
+		{Experiment: "variance", Scenario: "Apache PPP HTTP/1.0 first", N: 8,
+			Elapsed: stats.Summary{N: 8, Mean: 72.4, CI95: 1.55},
+			Packets: stats.Summary{N: 8, Mean: 700.1, CI95: 3.2},
+			Dist: map[string]float64{
+				"lat_total_ms_p50": 1500.5,
+				"lat_total_ms_p90": 2000.1,
+				"lat_total_ms_p99": 2500.9,
+			}},
+		{Experiment: "3", Scenario: "Apache LAN HTTP/1.0 revalidate", N: 1,
+			Elapsed: stats.Summary{N: 1, Mean: 0.35},
+			Packets: stats.Summary{N: 1, Mean: 120}},
+	}
+	var buf bytes.Buffer
+	Cells(&buf, cells)
+	out := buf.String()
+	for _, want := range []string{
+		"Per-cell statistics",
+		"72.40 ±1.55",
+		"1500.5",
+		"2500.9",
+		"0.35",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cells table missing %q:\n%s", want, out)
+		}
+	}
+	// A cell without latency metrics renders empty quantile cells, not
+	// zeros: its row ends with the packets column followed by blanks.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "revalidate") && strings.TrimRight(line, " ") != strings.TrimRight(line[:strings.Index(line, "120.0")+5], " ") {
+			t.Errorf("dist-free cell rendered non-empty quantile cells: %q", line)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHistogramMerge is the merge-associativity target run in the CI
+// fuzz-smoke job: any partition of a value stream into shards, merged
+// in any order (left fold forward, left fold backward, pairwise tree),
+// must yield bucket-for-bucket identical histograms — the property that
+// makes per-run histograms safely aggregable across seeds and workers.
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255, 0})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		nShards := int(data[0]%7) + 2
+		values := make([]int64, 0, len(data)/8)
+		for b := data[1:]; len(b) >= 8; b = b[8:] {
+			v := int64(binary.LittleEndian.Uint64(b))
+			if v < 0 {
+				v = -v
+			}
+			if v < 0 { // MinInt64 negates to itself
+				v = 0
+			}
+			values = append(values, v)
+		}
+		if len(values) == 0 {
+			return
+		}
+		var whole Histogram
+		shards := make([]Histogram, nShards)
+		for i, v := range values {
+			whole.Observe(v)
+			shards[i%nShards].Observe(v)
+		}
+		var fwd, rev, tree Histogram
+		for i := range shards {
+			fwd.Merge(&shards[i])
+		}
+		for i := len(shards) - 1; i >= 0; i-- {
+			rev.Merge(&shards[i])
+		}
+		// Pairwise tree merge over copies (Merge mutates the receiver).
+		level := make([]Histogram, len(shards))
+		copy(level, shards)
+		for len(level) > 1 {
+			var next []Histogram
+			for i := 0; i < len(level); i += 2 {
+				h := level[i]
+				if i+1 < len(level) {
+					h.Merge(&level[i+1])
+				}
+				next = append(next, h)
+			}
+			level = next
+		}
+		tree = level[0]
+
+		for name, got := range map[string]*Histogram{"fwd": &fwd, "rev": &rev, "tree": &tree} {
+			if got.Count() != whole.Count() || got.sum != whole.sum ||
+				got.Min() != whole.Min() || got.Max() != whole.Max() {
+				t.Fatalf("%s: summary differs from single-pass", name)
+			}
+			for i := range whole.counts {
+				var g int64
+				if i < len(got.counts) {
+					g = got.counts[i]
+				}
+				if g != whole.counts[i] {
+					t.Fatalf("%s: bucket %d = %d, want %d", name, i, g, whole.counts[i])
+				}
+			}
+			for i := len(whole.counts); i < len(got.counts); i++ {
+				if got.counts[i] != 0 {
+					t.Fatalf("%s: phantom bucket %d = %d", name, i, got.counts[i])
+				}
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+				if got.Quantile(q) != whole.Quantile(q) {
+					t.Fatalf("%s: q%.2f = %d, want %d", name, q, got.Quantile(q), whole.Quantile(q))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package stats
+
+import "io"
+
+// LatencySet groups the three per-request latency distributions the
+// request-lifecycle spans yield: queue time (decided-to-fetch → request
+// bytes handed to TCP), TTFB (request written → first response byte),
+// and total (decided-to-fetch → response complete). All values are
+// nanoseconds. The zero value is empty and ready; sets merge
+// distribution-wise, so per-run sets aggregate into per-cell sets in
+// any order.
+type LatencySet struct {
+	Queue Histogram
+	TTFB  Histogram
+	Total Histogram
+}
+
+// Observe records one completed request's latencies, in nanoseconds.
+func (ls *LatencySet) Observe(queueNs, ttfbNs, totalNs int64) {
+	ls.Queue.Observe(queueNs)
+	ls.TTFB.Observe(ttfbNs)
+	ls.Total.Observe(totalNs)
+}
+
+// Merge folds o into ls. Safe when o is nil.
+func (ls *LatencySet) Merge(o *LatencySet) {
+	if o == nil {
+		return
+	}
+	ls.Queue.Merge(&o.Queue)
+	ls.TTFB.Merge(&o.TTFB)
+	ls.Total.Merge(&o.Total)
+}
+
+// Count returns the number of requests observed.
+func (ls *LatencySet) Count() int64 { return ls.Total.Count() }
+
+// distQuantiles names the quantile columns DistMap emits per
+// distribution, in emission order.
+var distQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1},
+}
+
+// DistMap flattens the set's quantiles into the stable string-keyed
+// form the metrics layer carries: lat_<dist>_ms_<quantile> → value in
+// milliseconds. Keys are fixed, so CSV emission can sort them into a
+// deterministic column order. Returns nil for an empty set.
+func (ls *LatencySet) DistMap() map[string]float64 {
+	if ls == nil || ls.Count() == 0 {
+		return nil
+	}
+	out := make(map[string]float64, 12)
+	for _, d := range []struct {
+		name string
+		h    *Histogram
+	}{
+		{"queue", &ls.Queue}, {"ttfb", &ls.TTFB}, {"total", &ls.Total},
+	} {
+		for _, p := range distQuantiles {
+			v := d.h.Quantile(p.q)
+			if p.q >= 1 {
+				v = d.h.Max()
+			}
+			out["lat_"+d.name+"_ms_"+p.suffix] = float64(v) / 1e6
+		}
+	}
+	return out
+}
+
+// Fprint renders the three distributions as ASCII histograms in
+// milliseconds.
+func (ls *LatencySet) Fprint(w io.Writer) {
+	ls.Queue.Fprint(w, "queue", "ms", 1e6)
+	ls.TTFB.Fprint(w, "ttfb", "ms", 1e6)
+	ls.Total.Fprint(w, "total", "ms", 1e6)
+}
