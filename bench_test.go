@@ -10,11 +10,14 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/httpclient"
 	"repro/internal/httpserver"
 	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
 	"repro/internal/webgen"
 )
 
@@ -64,7 +67,7 @@ func mainTableBench(b *testing.B, number int) {
 	var tab core.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = core.MainTable(number, site, 1)
+		tab, err = core.Sweep{Runs: 1}.MainTable(number, site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +93,7 @@ func BenchmarkTable3InitialTuning(b *testing.B) {
 	var rows []core.Table3Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.Table3(site, 1)
+		rows, err = core.Sweep{Runs: 1}.Table3(site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +124,7 @@ func browserTableBench(b *testing.B, number int) {
 	var tab core.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = core.BrowserTable(number, site, 1)
+		tab, err = core.Sweep{Runs: 1}.BrowserTable(number, site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +152,7 @@ func BenchmarkModemCompression(b *testing.B) {
 	var rows []core.ModemRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.ModemTable(site, httpserver.ProfileJigsaw, 1)
+		rows, err = core.Sweep{Runs: 1}.ModemTable(site, httpserver.ProfileJigsaw)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +226,7 @@ func BenchmarkNagleInteraction(b *testing.B) {
 	var rows []core.NagleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.NagleTable(site, 1)
+		rows, err = core.Sweep{Runs: 1}.NagleTable(site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +244,7 @@ func BenchmarkResetScenario(b *testing.B) {
 	var rows []core.ResetRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.ResetTable(site, 1)
+		rows, err = core.Sweep{Runs: 1}.ResetTable(site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -259,7 +262,7 @@ func BenchmarkFlushPolicyAblation(b *testing.B) {
 	var rows []core.FlushRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.FlushAblation(site, 1)
+		rows, err = core.Sweep{Runs: 1}.FlushAblation(site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -291,6 +294,109 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 	}
 }
 
+// engineBenchState drives a self-perpetuating timer population: every
+// firing schedules a successor, so the pending set stays at its seeded
+// depth — the shape of a population-scale run where thousands of
+// connections each keep a handful of timers live.
+type engineBenchState struct {
+	s    *sim.Simulator
+	rng  *sim.Rand
+	left int
+}
+
+func engineBenchFire(a any) {
+	st := a.(*engineBenchState)
+	if st.left == 0 {
+		return
+	}
+	st.left--
+	// 1 in 8 events is retransmission/delayed-ACK-scale (out to 200ms);
+	// the rest are packet-scale (µs) — the simulator's observed mix.
+	var d time.Duration
+	if st.left&7 == 0 {
+		d = time.Duration(st.rng.Intn(int(200 * time.Millisecond)))
+	} else {
+		d = time.Duration(st.rng.Intn(int(500 * time.Microsecond)))
+	}
+	st.s.ScheduleArg(d, engineBenchFire, st)
+}
+
+func engineWorkload(e sim.Engine, depth, events int) time.Duration {
+	s := sim.NewWithEngine(e)
+	st := &engineBenchState{s: s, rng: sim.NewRand(1), left: events}
+	start := time.Now()
+	for i := 0; i < depth; i++ {
+		s.ScheduleArg(time.Duration(st.rng.Intn(int(500*time.Microsecond))), engineBenchFire, st)
+	}
+	s.Run()
+	return time.Since(start)
+}
+
+// BenchmarkEngine pins the event-engine redesign: the same deep mixed
+// timer workload on the timer wheel and on the legacy heap queue, with
+// the throughput of each — and the wheel:heap ratio — attached as
+// metrics so perfdiff gates the speedup, not an anecdote.
+func BenchmarkEngine(b *testing.B) {
+	const depth, events = 4096, 300_000
+	var wheel, heap time.Duration
+	for i := 0; i < b.N; i++ {
+		wheel += engineWorkload(sim.EngineWheel, depth, events)
+		heap += engineWorkload(sim.EngineHeap, depth, events)
+	}
+	total := float64(events) * float64(b.N)
+	wheelEPS := total / wheel.Seconds()
+	heapEPS := total / heap.Seconds()
+	b.ReportMetric(wheelEPS, "events_per_sec")
+	b.ReportMetric(heapEPS, "heap_events_per_sec")
+	b.ReportMetric(wheelEPS/heapEPS, "engine_speedup_ratio")
+}
+
+// BenchmarkPacketPath measures the steady-state TCP wire path: bulk
+// transfers over an established connection, reporting packet throughput
+// and — the zero-alloc discipline's pinned number — heap allocations
+// per simulated packet.
+func BenchmarkPacketPath(b *testing.B) {
+	const payloadLen = 2_000_000
+	payload := make([]byte, payloadLen)
+
+	s := sim.NewWithEngine(sim.EngineWheel)
+	n := tcpsim.NewNetwork(s)
+	client := n.AddHost("client")
+	server := n.AddHost("server")
+	cfg := netem.Config{BitsPerSecond: 100_000_000, PropagationDelay: 5 * time.Millisecond, MTU: 1500}
+	n.ConnectHosts(client, server, netem.NewAsymPath(s, "t", cfg, cfg))
+
+	var srvConn *tcpsim.Conn
+	server.Listen(80, tcpsim.Options{}, func(c *tcpsim.Conn) tcpsim.Handler {
+		return &tcpsim.Callbacks{Data: func(c *tcpsim.Conn, d []byte) { srvConn = c }}
+	})
+	client.Dial("server", 80, tcpsim.Options{}, &tcpsim.Callbacks{
+		Connect: func(c *tcpsim.Conn) { c.Write([]byte("GET")) },
+	})
+	s.Run() // handshake + request; the connection stays open
+	if srvConn == nil {
+		b.Fatal("request never reached the server")
+	}
+
+	const runs = 4
+	var allocs float64
+	before := n.Packets()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		allocs += testing.AllocsPerRun(runs, func() {
+			srvConn.Write(payload)
+			s.Run()
+		})
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+	packets := n.Packets() - before
+	perRun := float64(packets) / float64(b.N*(runs+1))
+	b.ReportMetric(allocs/(float64(b.N)*perRun), "allocs_per_packet")
+	b.ReportMetric(float64(packets)/elapsed.Seconds(), "packets_per_sec")
+}
+
 // BenchmarkSiteSynthesis measures Microscape generation (image search +
 // HTML emission).
 func BenchmarkSiteSynthesis(b *testing.B) {
@@ -310,7 +416,7 @@ func BenchmarkRangeProbe(b *testing.B) {
 	var rows []core.RangeRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.RangeTable(site, 1)
+		rows, err = core.Sweep{Runs: 1}.RangeTable(site)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -347,7 +453,7 @@ func BenchmarkInitialCwnd(b *testing.B) {
 	var rows []core.CwndRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = core.CwndTable(site, 1)
+		rows, err = core.Sweep{Runs: 1}.CwndTable(site)
 		if err != nil {
 			b.Fatal(err)
 		}

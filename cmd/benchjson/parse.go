@@ -86,6 +86,11 @@ func unitFor(metric string) string {
 	switch {
 	case metric == "ns_per_op":
 		return "ns/op"
+	// _per_sec must precede the plain _sec suffix it also matches.
+	case strings.HasSuffix(metric, "_per_sec"):
+		return "1/s"
+	case strings.HasSuffix(metric, "_per_packet"):
+		return "per packet"
 	case strings.HasSuffix(metric, "_pa"):
 		return "packets"
 	case strings.HasSuffix(metric, "_sec"):

@@ -20,6 +20,7 @@
 //	perfdiff -all old.json new.json       # every compared delta
 //	perfdiff -threshold 10 old new        # require a 10% delta
 //	perfdiff -annotate old new            # add GitHub ::warning:: lines
+//	perfdiff -only 'events_per_sec' a b   # gate only matching metrics
 //
 // Exit status: 0 when no significant regression, 1 when at least one,
 // 2 on usage or input errors.
@@ -31,6 +32,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 
 	"repro/internal/stats"
 )
@@ -45,12 +47,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", stats.DefaultThresholdPct, "minimum |delta| percent for significance")
 	all := fs.Bool("all", false, "print every compared delta, not only significant ones")
 	annotate := fs.Bool("annotate", false, "emit GitHub Actions ::warning:: annotations for regressions")
+	only := fs.String("only", "", "compare only metrics matching this regexp (anchored match anywhere)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: perfdiff [-threshold pct] [-all] [-annotate] old new")
+		fmt.Fprintln(stderr, "usage: perfdiff [-threshold pct] [-all] [-annotate] [-only regexp] old new")
 		return 2
+	}
+	var onlyRE *regexp.Regexp
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintln(stderr, "perfdiff: bad -only pattern:", err)
+			return 2
+		}
+		onlyRE = re
 	}
 	oldS, err := loadSamples(fs.Arg(0))
 	if err != nil {
@@ -61,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "perfdiff:", err)
 		return 2
+	}
+	if onlyRE != nil {
+		oldS = filterSamples(oldS, onlyRE)
+		newS = filterSamples(newS, onlyRE)
 	}
 	deltas := stats.Compare(oldS, newS, stats.Options{ThresholdPct: *threshold})
 	if len(deltas) == 0 {
@@ -91,6 +107,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// filterSamples keeps the samples whose metric matches re, so a CI gate
+// can hard-fail on a chosen metric family while the rest stays advisory.
+func filterSamples(samples []stats.Sample, re *regexp.Regexp) []stats.Sample {
+	out := samples[:0]
+	for _, s := range samples {
+		if re.MatchString(s.Metric) {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // formatDelta renders one comparison line:

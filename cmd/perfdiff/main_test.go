@@ -142,6 +142,32 @@ func TestCSVInput(t *testing.T) {
 	}
 }
 
+// TestOnlyFilter: -only restricts the gate to matching metrics, so a
+// regression outside the filter passes while one inside it fails.
+func TestOnlyFilter(t *testing.T) {
+	benchNew := strings.Replace(benchOld, "0.486", "0.986", 1) // regress _sec only
+	old := write(t, "old.json", benchOld)
+	newer := write(t, "new.json", benchNew)
+	var stdout, stderr bytes.Buffer
+	// Filter matches only the untouched packets metric: no regression.
+	if code := run([]string{"-only", "_pa$", old, newer}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d with -only excluding the regression, want 0\n%s", code, stdout.String())
+	}
+	// Filter matches the regressed metric: still gates.
+	if code := run([]string{"-only", "pipeline_first_sec", old, newer}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d with -only covering the regression, want 1\n%s", code, stdout.String())
+	}
+	// A filter matching nothing is a usage-level error (exit 2), so a CI
+	// gate with a typoed pattern fails loudly instead of passing silently.
+	if code := run([]string{"-only", "no_such_metric", old, newer}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d with -only matching nothing, want 2", code)
+	}
+	// Malformed regexp is a usage error.
+	if code := run([]string{"-only", "(", old, newer}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d with malformed -only pattern, want 2", code)
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"one-arg-only"}, &stdout, &stderr); code != 2 {

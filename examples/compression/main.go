@@ -49,7 +49,7 @@ func main() {
 	}
 
 	fmt.Println("\nSingle GET of the page over the 28.8k modem link:")
-	mrows, err := core.ModemTable(site, httpserver.ProfileApache, 1)
+	mrows, err := core.Sweep{Runs: 1}.ModemTable(site, httpserver.ProfileApache)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -374,7 +374,9 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	s.Schedule(0, func() {
 		robot.Start("/", sc.Workload, nil)
 	})
+	wallStart := time.Now()
 	s.Run()
+	wall := time.Since(wallStart)
 
 	if !robot.Finished() {
 		return nil, fmt.Errorf("%w: %s", ErrDidNotFinish, sc)
@@ -446,6 +448,10 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.RecoverySeconds = res.Client.RecoverySeconds
 		m.Fallbacks = res.Client.Fallbacks
 		m.FaultsInjected = res.Server.FaultsInjected
+		m.SimEvents = s.Stats().Fired
+		if secs := wall.Seconds(); secs > 0 {
+			m.SimEventsPerSec = float64(m.SimEvents) / secs
+		}
 		if cfg.timeline {
 			m.TimelineEvents = bus.Len()
 			m.TimelineSpans = len(bus.Spans())

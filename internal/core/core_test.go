@@ -216,7 +216,7 @@ func TestJitterVariesRuns(t *testing.T) {
 
 func TestRunAveraged(t *testing.T) {
 	sc := scenario(httpserver.ProfileApache, httpclient.ModeHTTP11Pipelined, netem.LAN, httpclient.Revalidate)
-	avg, err := RunAveraged(sc, testSite(t), 5)
+	avg, err := Sweep{Runs: 5}.RunAveraged(sc, testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestModemCompressionRequiresPPP(t *testing.T) {
 }
 
 func TestModemTableShape(t *testing.T) {
-	rows, err := ModemTable(testSite(t), httpserver.ProfileApache, 1)
+	rows, err := Sweep{Runs: 1}.ModemTable(testSite(t), httpserver.ProfileApache)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestTagCaseTableShape(t *testing.T) {
 }
 
 func TestNagleTableShape(t *testing.T) {
-	rows, err := NagleTable(testSite(t), 1)
+	rows, err := Sweep{Runs: 1}.NagleTable(testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestNagleTableShape(t *testing.T) {
 }
 
 func TestResetTableShape(t *testing.T) {
-	rows, err := ResetTable(testSite(t), 1)
+	rows, err := Sweep{Runs: 1}.ResetTable(testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestResetTableShape(t *testing.T) {
 }
 
 func TestFlushAblationShape(t *testing.T) {
-	rows, err := FlushAblation(testSite(t), 1)
+	rows, err := Sweep{Runs: 1}.FlushAblation(testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestFlushAblationShape(t *testing.T) {
 }
 
 func TestMainTableStructure(t *testing.T) {
-	tab, err := MainTable(5, testSite(t), 1)
+	tab, err := Sweep{Runs: 1}.MainTable(5, testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,20 +344,20 @@ func TestMainTableStructure(t *testing.T) {
 			t.Errorf("row %q missing paper comparison", r.Label)
 		}
 	}
-	ppp, err := MainTable(8, testSite(t), 1)
+	ppp, err := Sweep{Runs: 1}.MainTable(8, testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ppp.Rows) != 3 {
 		t.Fatalf("Table 8 rows = %d, want 3 (no HTTP/1.0 over PPP)", len(ppp.Rows))
 	}
-	if _, err := MainTable(12, testSite(t), 1); err == nil {
+	if _, err := (Sweep{Runs: 1}).MainTable(12, testSite(t)); err == nil {
 		t.Fatal("bogus table number accepted")
 	}
 }
 
 func TestTable3Shape(t *testing.T) {
-	rows, err := Table3(testSite(t), 1)
+	rows, err := Sweep{Runs: 1}.Table3(testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +390,7 @@ func TestTable3Shape(t *testing.T) {
 
 func TestBrowserTables(t *testing.T) {
 	for _, n := range []int{10, 11} {
-		tab, err := BrowserTable(n, testSite(t), 1)
+		tab, err := Sweep{Runs: 1}.BrowserTable(n, testSite(t))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -400,11 +400,11 @@ func TestBrowserTables(t *testing.T) {
 	}
 	// The Table 10 anomaly: IE revalidating against Jigsaw costs several
 	// times the packets of IE against Apache (301 vs 117 in the paper).
-	jig, err := BrowserTable(10, testSite(t), 1)
+	jig, err := Sweep{Runs: 1}.BrowserTable(10, testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	apa, err := BrowserTable(11, testSite(t), 1)
+	apa, err := Sweep{Runs: 1}.BrowserTable(11, testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestBrowserTables(t *testing.T) {
 		t.Errorf("IE reval on Jigsaw (%.0f packets) should far exceed on Apache (%.0f)",
 			ieJig.Packets, ieApa.Packets)
 	}
-	if _, err := BrowserTable(7, testSite(t), 1); err == nil {
+	if _, err := (Sweep{Runs: 1}).BrowserTable(7, testSite(t)); err == nil {
 		t.Fatal("bogus browser table number accepted")
 	}
 }
@@ -429,7 +429,7 @@ func TestScenarioString(t *testing.T) {
 
 func TestRunCapturedKeepsTrace(t *testing.T) {
 	sc := scenario(httpserver.ProfileApache, httpclient.ModeHTTP11Pipelined, netem.LAN, httpclient.Revalidate)
-	res, err := RunCaptured(sc, testSite(t))
+	res, err := Run(sc, testSite(t), WithCapture())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,7 +455,7 @@ func TestErrDidNotFinishSurfaces(t *testing.T) {
 }
 
 func TestRangeTableShape(t *testing.T) {
-	rows, err := RangeTable(testSite(t), 1)
+	rows, err := Sweep{Runs: 1}.RangeTable(testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +540,7 @@ func TestFidelityEnvelope(t *testing.T) {
 		secLo, secHi = 0.30, 2.00
 	)
 	for _, n := range []int{4, 5, 6, 7, 8, 9} {
-		tab, err := MainTable(n, testSite(t), 1)
+		tab, err := Sweep{Runs: 1}.MainTable(n, testSite(t))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -569,7 +569,7 @@ func TestFidelityEnvelope(t *testing.T) {
 }
 
 func TestCwndTableShape(t *testing.T) {
-	rows, err := CwndTable(testSite(t), 1)
+	rows, err := Sweep{Runs: 1}.CwndTable(testSite(t))
 	if err != nil {
 		t.Fatal(err)
 	}

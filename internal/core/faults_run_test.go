@@ -28,7 +28,7 @@ func TestEarlyClosePipelinedRecovers(t *testing.T) {
 		Seed:     7,
 		Fault:    faults.EarlyClose,
 	}
-	res, err := RunCaptured(sc, site)
+	res, err := Run(sc, site, WithCapture())
 	if err != nil {
 		t.Fatalf("%s: %v", sc, err)
 	}

@@ -97,6 +97,14 @@ type Metrics struct {
 	TimelineEvents int `json:"timeline_events,omitempty"`
 	TimelineSpans  int `json:"timeline_spans,omitempty"`
 
+	// SimEvents is the number of discrete events the simulation engine
+	// fired during the run — a deterministic measure of engine work per
+	// cell. SimEventsPerSec divides it by the run's wall-clock time; it
+	// varies with host load, so it appears in the JSON records but not
+	// in the deterministic CSV.
+	SimEvents       uint64  `json:"sim_events"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
+
 	// Dist carries the run's optional distribution metrics — per-request
 	// latency quantiles in milliseconds (lat_queue_ms_p50, ...,
 	// lat_total_ms_max), derived from the request-lifecycle spans — and
@@ -134,6 +142,7 @@ var csvHeader = []string{
 	"timeouts", "requests_recovered", "requests_failed",
 	"wasted_bytes", "recovery_seconds", "fallbacks", "faults_injected",
 	"timeline_events", "timeline_spans",
+	"sim_events",
 	"cache_hits", "cache_misses", "cache_revalidations",
 	"cache_hit_ratio", "cache_bytes_saved", "upstream_requests",
 	"origin_packets", "origin_bytes",
@@ -156,6 +165,7 @@ func (m Metrics) csvRow() []string {
 		strconv.Itoa(m.Timeouts), strconv.Itoa(m.RequestsRecovered), strconv.Itoa(m.RequestsFailed),
 		strconv.FormatInt(m.WastedBytes, 10), f(m.RecoverySeconds), strconv.Itoa(m.Fallbacks), strconv.Itoa(m.FaultsInjected),
 		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
+		strconv.FormatUint(m.SimEvents, 10),
 		strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMisses), strconv.Itoa(m.CacheRevalidations),
 		f(m.CacheHitRatio), strconv.FormatInt(m.CacheBytesSaved, 10), strconv.Itoa(m.UpstreamRequests),
 		strconv.Itoa(m.OriginPackets), strconv.FormatInt(m.OriginBytes, 10),

@@ -39,6 +39,7 @@ func TestCSVHeaderPinned(t *testing.T) {
 		"timeouts,requests_recovered,requests_failed," +
 		"wasted_bytes,recovery_seconds,fallbacks,faults_injected," +
 		"timeline_events,timeline_spans," +
+		"sim_events," +
 		"cache_hits,cache_misses,cache_revalidations," +
 		"cache_hit_ratio,cache_bytes_saved,upstream_requests," +
 		"origin_packets,origin_bytes," +

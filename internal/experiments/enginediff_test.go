@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// TestEngineDifferential is the determinism contract of the event-engine
+// redesign: every registered experiment must render byte-identical
+// tables — and emit a byte-identical metrics CSV — on the timer-wheel
+// and on the legacy heap engine, at serial and wide parallelism alike.
+// The CSV includes the per-run sim_events count, so the engines must
+// agree not only on output bytes but on the exact number of events
+// fired.
+func TestEngineDifferential(t *testing.T) {
+	type variant struct {
+		engine   sim.Engine
+		parallel int
+	}
+	variants := []variant{
+		{sim.EngineWheel, 1},
+		{sim.EngineWheel, 8},
+		{sim.EngineHeap, 1},
+		{sim.EngineHeap, 8},
+	}
+	for _, name := range exp.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			type result struct {
+				label string
+				table []byte
+				csv   []byte
+			}
+			var results []result
+			for _, v := range variants {
+				prev := sim.SetDefaultEngine(v.engine)
+				s := session(t, v.parallel)
+				s.Runs = 1
+				table := render(t, s, name)
+				var csv bytes.Buffer
+				if err := s.Collector.WriteCSV(&csv); err != nil {
+					t.Fatal(err)
+				}
+				sim.SetDefaultEngine(prev)
+				results = append(results, result{
+					label: fmt.Sprintf("%v/parallel=%d", v.engine, v.parallel),
+					table: table,
+					csv:   csv.Bytes(),
+				})
+			}
+			ref := results[0]
+			for _, r := range results[1:] {
+				if !bytes.Equal(ref.table, r.table) {
+					t.Errorf("rendered table differs: %s vs %s:\n%s\nvs\n%s",
+						ref.label, r.label, ref.table, r.table)
+				}
+				if !bytes.Equal(ref.csv, r.csv) {
+					t.Errorf("metrics CSV differs: %s vs %s", ref.label, r.label)
+				}
+			}
+		})
+	}
+}

@@ -62,7 +62,7 @@ type Robot struct {
 	consecFails  int
 	fallbackLvl  int
 	backoffUntil sim.Time
-	backoffTimer *sim.Timer
+	backoffTimer sim.TimerHandle
 	recoverFrom  sim.Time
 	recovering   bool
 	lastData     sim.Time
@@ -206,11 +206,8 @@ func (r *Robot) holdForBackoff() bool {
 	if r.backoffUntil <= r.sim.Now() || r.liveConn() != nil {
 		return false
 	}
-	if r.backoffTimer == nil {
-		r.backoffTimer = r.sim.At(r.backoffUntil, func() {
-			r.backoffTimer = nil
-			r.dispatch()
-		})
+	if !r.backoffTimer.Active() {
+		r.backoffTimer = r.sim.AtArg(r.backoffUntil, robotDispatch, r)
 	}
 	return true
 }
@@ -580,8 +577,8 @@ type clientConn struct {
 	inflight []workItem
 
 	sendBuf    []byte
-	flushTimer *sim.Timer
-	watchdog   *sim.Timer
+	flushTimer sim.TimerHandle
+	watchdog   sim.TimerHandle
 	sentFirst  bool
 	dead       bool
 	// unflushed holds the spans of buffered pipelined requests; their
@@ -625,10 +622,7 @@ func (cc *clientConn) sendImmediate(it workItem) {
 }
 
 func (cc *clientConn) flush() {
-	if cc.flushTimer != nil {
-		cc.r.sim.Stop(cc.flushTimer)
-		cc.flushTimer = nil
-	}
+	cc.flushTimer.Stop()
 	if len(cc.sendBuf) == 0 || cc.dead {
 		return
 	}
@@ -655,45 +649,52 @@ func (cc *clientConn) armWatchdog() {
 	if p == nil || p.RequestTimeout <= 0 {
 		return
 	}
-	cc.stopWatchdog()
 	if cc.dead || len(cc.inflight) == 0 {
+		cc.stopWatchdog()
 		return
 	}
-	var fire func()
-	fire = func() {
-		cc.watchdog = nil
-		// Parallel connections share the link: one of them starving while
-		// the others transfer is contention, not a stall. Only declare
-		// the connection dead once the whole robot has been silent for
-		// the timeout.
-		if since := cc.r.sim.Now().Sub(cc.r.lastData); since < p.RequestTimeout {
-			cc.watchdog = cc.r.sim.Schedule(p.RequestTimeout-since, fire)
-			return
-		}
-		cc.r.result.Timeouts++
-		cc.r.cfg.Obs.ClientTimeout(cc.conn.ObsID(), p.RequestTimeout)
-		cc.conn.Abort()
-		cc.r.failConn(cc, true)
+	// Rescheduling the live watchdog or arming a fresh one both consume
+	// one sequence number, exactly like the old stop-then-schedule pair,
+	// keeping event order byte-identical. This runs on every data
+	// arrival, so it must not allocate.
+	if !cc.watchdog.Reschedule(p.RequestTimeout) {
+		cc.watchdog = cc.r.sim.ScheduleArg(p.RequestTimeout, watchdogFire, cc)
 	}
-	cc.watchdog = cc.r.sim.Schedule(p.RequestTimeout, fire)
+}
+
+// Package-level timer thunks keep the per-event path allocation-free.
+func watchdogFire(a any)  { a.(*clientConn).onWatchdog() }
+func flushFire(a any)     { a.(*clientConn).onFlushTimer() }
+func robotDispatch(a any) { a.(*Robot).dispatch() }
+
+func (cc *clientConn) onWatchdog() {
+	p := cc.r.cfg.Recovery
+	// Parallel connections share the link: one of them starving while
+	// the others transfer is contention, not a stall. Only declare
+	// the connection dead once the whole robot has been silent for
+	// the timeout.
+	if since := cc.r.sim.Now().Sub(cc.r.lastData); since < p.RequestTimeout {
+		cc.watchdog = cc.r.sim.ScheduleArg(p.RequestTimeout-since, watchdogFire, cc)
+		return
+	}
+	cc.r.result.Timeouts++
+	cc.r.cfg.Obs.ClientTimeout(cc.conn.ObsID(), p.RequestTimeout)
+	cc.conn.Abort()
+	cc.r.failConn(cc, true)
 }
 
 func (cc *clientConn) stopWatchdog() {
-	if cc.watchdog != nil {
-		cc.r.sim.Stop(cc.watchdog)
-		cc.watchdog = nil
-	}
+	cc.watchdog.Stop()
 }
 
 func (cc *clientConn) armFlushTimer() {
-	if cc.flushTimer != nil || cc.r.cfg.FlushTimeout <= 0 {
+	if cc.flushTimer.Active() || cc.r.cfg.FlushTimeout <= 0 {
 		return
 	}
-	cc.flushTimer = cc.r.sim.Schedule(cc.r.cfg.FlushTimeout, func() {
-		cc.flushTimer = nil
-		cc.flush()
-	})
+	cc.flushTimer = cc.r.sim.ScheduleArg(cc.r.cfg.FlushTimeout, flushFire, cc)
 }
+
+func (cc *clientConn) onFlushTimer() { cc.flush() }
 
 func (cc *clientConn) onData(c *tcpsim.Conn, data []byte) {
 	cc.r.lastData = cc.r.sim.Now()

@@ -21,27 +21,27 @@ const maxBodyBytes = 64 << 20
 // RequestParser incrementally parses a pipelined stream of requests, as a
 // server reads them from a connection.
 type RequestParser struct {
-	buf  []byte
+	buf  stream
 	head *Request // parsed head awaiting its body
 	need int      // body bytes still needed
 }
 
 // Feed appends data to the parse buffer and returns all requests that are
-// now complete.
+// now complete. data is copied; the caller may reuse the slice.
 func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
-	p.buf = append(p.buf, data...)
+	p.buf.push(data)
 	var out []*Request
 	for {
 		if p.head == nil {
-			end := bytes.Index(p.buf, []byte("\r\n\r\n"))
+			end := bytes.Index(p.buf.bytes(), []byte("\r\n\r\n"))
 			if end < 0 {
 				return out, nil
 			}
-			req, err := parseRequestHead(p.buf[:end+4])
+			req, err := parseRequestHead(p.buf.bytes()[:end+4])
 			if err != nil {
 				return out, err
 			}
-			p.buf = p.buf[end+4:]
+			p.buf.advance(end + 4)
 			p.head = req
 			p.need = 0
 			if cl := req.Header.Get("Content-Length"); cl != "" {
@@ -55,12 +55,14 @@ func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
 				p.need = n
 			}
 		}
-		if p.need > len(p.buf) {
+		if p.need > p.buf.len() {
 			return out, nil
 		}
 		if p.need > 0 {
-			p.head.Body = append([]byte(nil), p.buf[:p.need]...)
-			p.buf = p.buf[p.need:]
+			// The body must be copied out: the stream's backing array is
+			// reused for subsequent pipelined requests.
+			p.head.Body = append([]byte(nil), p.buf.bytes()[:p.need]...)
+			p.buf.advance(p.need)
 		}
 		out = append(out, p.head)
 		p.head = nil
@@ -69,7 +71,7 @@ func (p *RequestParser) Feed(data []byte) ([]*Request, error) {
 }
 
 // Buffered returns the number of unconsumed bytes.
-func (p *RequestParser) Buffered() int { return len(p.buf) }
+func (p *RequestParser) Buffered() int { return p.buf.len() }
 
 func parseRequestHead(head []byte) (*Request, error) {
 	lines := strings.Split(string(head), "\r\n")
@@ -115,7 +117,7 @@ const (
 // Because body framing depends on the request (HEAD has no body), callers
 // must push the method of each outstanding request in order.
 type ResponseParser struct {
-	buf     []byte
+	buf     stream
 	methods []string
 
 	// BodyChunk, if non-nil, observes body bytes incrementally as they
@@ -164,28 +166,29 @@ func (p *ResponseParser) Outstanding() int {
 func (p *ResponseParser) Parsed() int { return p.count }
 
 // Buffered returns the number of unconsumed bytes.
-func (p *ResponseParser) Buffered() int { return len(p.buf) }
+func (p *ResponseParser) Buffered() int { return p.buf.len() }
 
 // Pending returns the bytes held for the incomplete in-progress
 // response — unconsumed buffer plus the partial body already accumulated
 // — i.e. delivered work that is lost if the stream dies now.
-func (p *ResponseParser) Pending() int { return len(p.buf) + len(p.body) }
+func (p *ResponseParser) Pending() int { return p.buf.len() + len(p.body) }
 
-// Feed appends data and returns all responses completed by it.
+// Feed appends data and returns all responses completed by it. data is
+// copied; the caller may reuse the slice.
 func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
-	p.buf = append(p.buf, data...)
+	p.buf.push(data)
 	var out []*Response
 	for {
 		if p.head == nil {
-			end := bytes.Index(p.buf, []byte("\r\n\r\n"))
+			end := bytes.Index(p.buf.bytes(), []byte("\r\n\r\n"))
 			if end < 0 {
 				return out, nil
 			}
-			resp, err := parseResponseHead(p.buf[:end+4])
+			resp, err := parseResponseHead(p.buf.bytes()[:end+4])
 			if err != nil {
 				return out, err
 			}
-			p.buf = p.buf[end+4:]
+			p.buf.advance(end + 4)
 			if len(p.methods) == 0 {
 				return out, fmt.Errorf("%w: response with no outstanding request", ErrMalformed)
 			}
@@ -214,7 +217,7 @@ func (p *ResponseParser) Feed(data []byte) ([]*Response, error) {
 // completes it; a response cut off in any other framing is an error.
 func (p *ResponseParser) CloseEOF() (*Response, error) {
 	if p.head == nil {
-		if len(p.buf) > 0 {
+		if p.buf.len() > 0 {
 			return nil, ErrTruncatedMessage
 		}
 		return nil, nil
@@ -222,8 +225,8 @@ func (p *ResponseParser) CloseEOF() (*Response, error) {
 	if p.kind != bodyUntilClose {
 		return nil, ErrTruncatedMessage
 	}
-	p.head.Body = append(p.body, p.buf...)
-	p.buf = nil
+	p.head.Body = append(p.body, p.buf.bytes()...)
+	p.buf.reset()
 	resp := p.head
 	p.head = nil
 	p.count++
@@ -235,22 +238,22 @@ func (p *ResponseParser) consumeBody() (bool, error) {
 	case bodyNone:
 		return true, nil
 	case bodyLength:
-		if len(p.buf) < p.need {
+		if p.buf.len() < p.need {
 			// Deliver the partial body for incremental consumers.
-			p.need -= len(p.buf)
-			p.appendBody(p.buf)
-			p.buf = p.buf[:0]
+			p.need -= p.buf.len()
+			p.appendBody(p.buf.bytes())
+			p.buf.reset()
 			return false, nil
 		}
-		p.appendBody(p.buf[:p.need])
-		p.buf = p.buf[p.need:]
+		p.appendBody(p.buf.bytes()[:p.need])
+		p.buf.advance(p.need)
 		p.need = 0
 		return true, nil
 	case bodyChunked:
 		return p.consumeChunked()
 	case bodyUntilClose:
-		p.appendBody(p.buf)
-		p.buf = p.buf[:0]
+		p.appendBody(p.buf.bytes())
+		p.buf.reset()
 		return false, nil
 	}
 	return false, ErrMalformed
@@ -260,11 +263,12 @@ func (p *ResponseParser) consumeChunked() (bool, error) {
 	for {
 		if p.chunkNeed < 0 {
 			// Need a chunk-size line.
-			nl := bytes.Index(p.buf, []byte("\r\n"))
+			buf := p.buf.bytes()
+			nl := bytes.Index(buf, []byte("\r\n"))
 			if nl < 0 {
 				return false, nil
 			}
-			sizeStr := strings.TrimSpace(string(p.buf[:nl]))
+			sizeStr := strings.TrimSpace(string(buf[:nl]))
 			if i := strings.IndexByte(sizeStr, ';'); i >= 0 {
 				sizeStr = sizeStr[:i] // drop chunk extensions
 			}
@@ -272,7 +276,7 @@ func (p *ResponseParser) consumeChunked() (bool, error) {
 			if err != nil || n < 0 {
 				return false, fmt.Errorf("%w: bad chunk size %q", ErrMalformed, sizeStr)
 			}
-			p.buf = p.buf[nl+2:]
+			p.buf.advance(nl + 2)
 			if n == 0 {
 				p.chunkLast = true
 				p.chunkNeed = 0
@@ -282,26 +286,28 @@ func (p *ResponseParser) consumeChunked() (bool, error) {
 		}
 		if p.chunkLast {
 			// Trailer: we support only the empty trailer "\r\n".
-			if len(p.buf) < 2 {
+			buf := p.buf.bytes()
+			if len(buf) < 2 {
 				return false, nil
 			}
-			if p.buf[0] != '\r' || p.buf[1] != '\n' {
+			if buf[0] != '\r' || buf[1] != '\n' {
 				return false, fmt.Errorf("%w: unsupported chunked trailer", ErrMalformed)
 			}
-			p.buf = p.buf[2:]
+			p.buf.advance(2)
 			p.chunkNeed = -1
 			p.chunkLast = false
 			return true, nil
 		}
 		// Chunk payload plus its CRLF.
-		if len(p.buf) < p.chunkNeed+2 {
+		buf := p.buf.bytes()
+		if len(buf) < p.chunkNeed+2 {
 			return false, nil
 		}
-		p.appendBody(p.buf[:p.chunkNeed])
-		if p.buf[p.chunkNeed] != '\r' || p.buf[p.chunkNeed+1] != '\n' {
+		p.appendBody(buf[:p.chunkNeed])
+		if buf[p.chunkNeed] != '\r' || buf[p.chunkNeed+1] != '\n' {
 			return false, fmt.Errorf("%w: missing chunk CRLF", ErrMalformed)
 		}
-		p.buf = p.buf[p.chunkNeed+2:]
+		p.buf.advance(p.chunkNeed + 2)
 		p.chunkNeed = -1
 	}
 }

@@ -1,0 +1,51 @@
+package httpmsg
+
+// stream is the parsers' input buffer: bytes are appended at the tail
+// and consumed from a moving read offset. Unlike the old idiom of
+// re-slicing the buffer forward (`buf = buf[n:]`), consuming never
+// discards the array's prefix, so a long-lived connection parses an
+// arbitrary number of messages with a single steady-state allocation:
+// the buffer rewinds to the start whenever it empties, and compacts
+// before it would otherwise have to grow.
+type stream struct {
+	data []byte
+	off  int
+}
+
+// bytes returns the unconsumed region. The slice is invalidated by the
+// next push or advance.
+func (s *stream) bytes() []byte { return s.data[s.off:] }
+
+// len returns the number of unconsumed bytes.
+func (s *stream) len() int { return len(s.data) - s.off }
+
+// push appends p to the buffer.
+func (s *stream) push(p []byte) {
+	if s.off == len(s.data) {
+		// Empty: rewind to the array start.
+		s.data = s.data[:0]
+		s.off = 0
+	} else if s.off > 0 && len(s.data)+len(p) > cap(s.data) {
+		// Would grow: slide the live region down first so the existing
+		// array is reused whenever the consumed prefix makes room.
+		n := copy(s.data, s.data[s.off:])
+		s.data = s.data[:n]
+		s.off = 0
+	}
+	s.data = append(s.data, p...)
+}
+
+// advance consumes n bytes.
+func (s *stream) advance(n int) {
+	s.off += n
+	if s.off == len(s.data) {
+		s.data = s.data[:0]
+		s.off = 0
+	}
+}
+
+// reset discards all unconsumed bytes.
+func (s *stream) reset() {
+	s.data = s.data[:0]
+	s.off = 0
+}

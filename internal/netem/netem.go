@@ -134,6 +134,18 @@ func (l *Link) Transit(wireBytes int) time.Duration {
 // the last bit arrives at the far end. Send reports whether the packet
 // was accepted (false = dropped by the loss model).
 func (l *Link) Send(raw []byte, wireBytes int, deliver func()) bool {
+	return l.SendArg(raw, wireBytes, callFunc, deliver)
+}
+
+// callFunc invokes a boxed func(); it adapts Send's closure form to the
+// allocation-free SendArg path.
+func callFunc(a any) { a.(func())() }
+
+// SendArg is Send for an argument-taking delivery function: fn(arg) runs
+// at the instant the last bit arrives. With fn a package-level function
+// and arg a pointer, accepting a packet allocates nothing — this is the
+// form the TCP hot path uses.
+func (l *Link) SendArg(raw []byte, wireBytes int, fn func(any), arg any) bool {
 	idx := l.sent
 	l.sent++
 	if l.cfg.MTU > 0 && wireBytes > l.cfg.MTU {
@@ -175,7 +187,7 @@ func (l *Link) Send(raw []byte, wireBytes int, deliver func()) bool {
 	done := start.Add(ser)
 	l.busyUntil = done
 	arrive := done.Add(l.cfg.PropagationDelay)
-	l.sim.At(arrive, deliver)
+	l.sim.AtArg(arrive, fn, arg)
 	if l.cfg.Observer != nil {
 		l.cfg.Observer(LinkEvent{
 			Link: l.name, WireBytes: wireBytes,

@@ -5,13 +5,34 @@ import (
 	"time"
 )
 
-func BenchmarkScheduleAndRun(b *testing.B) {
-	s := New()
+// benchEngine drives a mixed workload shaped like the TCP simulation:
+// mostly near-term events (segment arrivals, delayed ACKs), a slice of
+// RTO-range timers that are rescheduled before firing, and an
+// occasional far-future event that exercises the overflow path.
+func benchEngine(b *testing.B, e Engine) {
+	b.ReportAllocs()
+	s := NewWithEngine(e)
+	noop := func(any) {}
+	var rto TimerHandle
 	for i := 0; i < b.N; i++ {
-		s.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
-		if i%1024 == 0 {
+		switch i & 7 {
+		case 0:
+			if !rto.Reschedule(time.Second) {
+				rto = s.ScheduleArg(time.Second, noop, nil)
+			}
+		case 1:
+			s.ScheduleArg(200*time.Millisecond, noop, nil)
+		default:
+			s.ScheduleArg(time.Duration(i%1000)*time.Microsecond, noop, nil)
+		}
+		if i%1024 == 1023 {
 			s.Run()
 		}
 	}
 	s.Run()
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.Run("wheel", func(b *testing.B) { benchEngine(b, EngineWheel) })
+	b.Run("heap", func(b *testing.B) { benchEngine(b, EngineHeap) })
 }

@@ -1,0 +1,8 @@
+//go:build simlegacy
+
+package sim
+
+// defaultEngine under the simlegacy build tag: every Simulator runs on
+// the legacy heap queue unless explicitly constructed with
+// NewWithEngine(EngineWheel).
+var defaultEngine = EngineHeap

@@ -1,0 +1,7 @@
+//go:build !simlegacy
+
+package sim
+
+// defaultEngine is the engine New uses; the simlegacy build tag flips it
+// to the legacy heap for differential runs of the whole binary.
+var defaultEngine = EngineWheel

@@ -5,10 +5,22 @@
 // instant fire in the order they were scheduled, so every run is exactly
 // reproducible. The engine is intentionally single-threaded: callbacks run
 // on the caller's goroutine inside Run, Step, or RunUntil.
+//
+// Two interchangeable event queues implement the (when, seq) firing
+// order: the default hierarchical timer wheel (wheel.go) and the legacy
+// container/heap queue (heapq.go), kept for differential testing. Both
+// fire the exact same events in the exact same order; they differ only
+// in speed and allocation behaviour.
+//
+// The hot path is allocation-free: timer state lives in a free-list
+// arena inside the Simulator, and callers hold value-type TimerHandles
+// (a generation counter makes stale handles inert). The *Arg scheduling
+// variants take a plain function and an any argument, so callers can
+// schedule package-level functions with a pointer receiver boxed into
+// the argument — no closure allocation per event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -37,51 +49,270 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // MaxTime is the largest representable instant.
 const MaxTime = Time(math.MaxInt64)
 
-// Timer is a handle to a scheduled event. A Timer may be stopped before it
-// fires; stopping an already-fired or already-stopped timer is a no-op.
-type Timer struct {
-	when    Time
-	seq     uint64
-	index   int // heap index, -1 when not queued
-	fn      func()
-	stopped bool
+// Engine selects the event-queue implementation backing a Simulator.
+type Engine int
+
+const (
+	// EngineWheel is the hierarchical timer wheel, the default.
+	EngineWheel Engine = iota
+	// EngineHeap is the legacy container/heap queue. It fires the same
+	// events in the same order as the wheel; it exists as the reference
+	// implementation for differential tests and benchmarks.
+	EngineHeap
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == EngineHeap {
+		return "heap"
+	}
+	return "wheel"
 }
 
-// When returns the instant the timer is scheduled to fire.
-func (t *Timer) When() Time { return t.when }
+// SetDefaultEngine changes the engine New uses and returns the previous
+// default. It exists for differential tests; production code should not
+// call it. The simlegacy build tag flips the compiled-in default to
+// EngineHeap.
+func SetDefaultEngine(e Engine) Engine {
+	prev := defaultEngine
+	defaultEngine = e
+	return prev
+}
 
-// Stopped reports whether Stop was called before the timer fired.
-func (t *Timer) Stopped() bool { return t.stopped }
+// entry states.
+const (
+	stateFree uint8 = iota
+	statePending
+)
+
+// entry locations (meaning is engine-specific).
+const (
+	locNone uint8 = iota
+	locWheel
+	locDue
+	locOverflow
+	locHeap
+)
+
+// entry is one scheduled event in the simulator's arena. Entries are
+// recycled through a free list; gen increments each time an entry dies
+// (fires or is stopped), which is what makes stale TimerHandles inert.
+type entry struct {
+	when  Time
+	seq   uint64
+	gen   uint32
+	state uint8
+	loc   uint8
+	level uint8
+	slot  uint8
+	// next/prev link the entry into a wheel slot's doubly-linked list;
+	// the heap engines reuse next as the heap position.
+	next, prev int32
+	fn         func()
+	afn        func(any)
+	arg        any
+}
+
+// queue is the event-queue contract shared by the wheel and heap
+// engines. All methods key on (entry.when, entry.seq).
+type queue interface {
+	// insert places a pending entry.
+	insert(s *Simulator, idx int32)
+	// remove detaches a pending entry before it fires.
+	remove(s *Simulator, idx int32)
+	// peek returns the index of the next event to fire (normalizing
+	// internal structures as needed), or -1 when empty.
+	peek(s *Simulator) int32
+	// pop discards the entry the preceding peek returned.
+	pop(s *Simulator)
+	// depth reports the engine's occupancy depth for Stats.WheelDepth:
+	// the deepest populated tier of the wheel (1-4, 5 when the overflow
+	// heap holds events), or 1 for a non-empty heap engine.
+	depth() int
+}
 
 // Simulator owns the virtual clock and the pending event queue.
 // The zero value is not usable; call New.
 type Simulator struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	fired  uint64
-	limit  uint64 // safety cap on events per Run; 0 = none
-	inStep bool
+	now     Time
+	seq     uint64
+	fired   uint64
+	limit   uint64 // safety cap on events per Run; 0 = none
+	pending int
+
+	ents []entry
+	free []int32
+	q    queue
 }
 
-// New returns an empty simulator with the clock at zero.
-func New() *Simulator {
-	return &Simulator{}
+// New returns an empty simulator with the clock at zero, on the default
+// engine (the timer wheel unless built with the simlegacy tag).
+func New() *Simulator { return NewWithEngine(defaultEngine) }
+
+// NewWithEngine returns an empty simulator on the given engine.
+func NewWithEngine(e Engine) *Simulator {
+	s := &Simulator{}
+	if e == EngineHeap {
+		s.q = &heapQueue{}
+	} else {
+		s.q = newWheel()
+	}
+	return s
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
-// Fired returns the number of events executed so far.
-func (s *Simulator) Fired() uint64 { return s.fired }
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Fired is the number of events executed so far.
+	Fired uint64
+	// Pending is the number of scheduled events not yet fired or stopped.
+	Pending int
+	// WheelDepth is the deepest populated tier of the event queue:
+	// 0 when empty, 1-4 for wheel levels, 5 when the far-future overflow
+	// heap holds events (always 0 or 1 on the legacy heap engine).
+	WheelDepth int
+	// PoolInUse is the number of timer-arena entries currently live.
+	PoolInUse int
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (s *Simulator) Stats() Stats {
+	return Stats{
+		Fired:      s.fired,
+		Pending:    s.pending,
+		WheelDepth: s.q.depth(),
+		PoolInUse:  len(s.ents) - len(s.free),
+	}
+}
 
 // SetEventLimit caps the number of events a single Run may execute; it
 // guards against runaway feedback loops in tests. Zero removes the cap.
 func (s *Simulator) SetEventLimit(n uint64) { s.limit = n }
 
+// TimerHandle is a value-type reference to a scheduled event. The zero
+// value is inert. A handle goes stale the moment its event fires or is
+// stopped — Stop and Reschedule on a stale handle return false and do
+// nothing, so re-arming after a fire is always explicit. Handles are
+// safe by construction against the recycled timer slot being reused: a
+// generation counter distinguishes the handle's event from any later
+// event occupying the same arena slot.
+type TimerHandle struct {
+	s   *Simulator
+	idx int32
+	gen uint32
+}
+
+// ent returns the handle's live entry, or nil if the handle is stale.
+func (h TimerHandle) ent() *entry {
+	if h.s == nil || int(h.idx) >= len(h.s.ents) {
+		return nil
+	}
+	e := &h.s.ents[h.idx]
+	if e.gen != h.gen || e.state != statePending {
+		return nil
+	}
+	return e
+}
+
+// Active reports whether the handle's event is still pending.
+func (h TimerHandle) Active() bool { return h.ent() != nil }
+
+// When returns the instant the event will fire, and whether the handle
+// is still pending.
+func (h TimerHandle) When() (Time, bool) {
+	if e := h.ent(); e != nil {
+		return e.when, true
+	}
+	return 0, false
+}
+
+// Stop cancels the event if it has not fired. It reports whether the
+// call actually prevented the event from firing; stopping an
+// already-fired, already-stopped, or zero handle returns false.
+func (h TimerHandle) Stop() bool {
+	e := h.ent()
+	if e == nil {
+		return false
+	}
+	s := h.s
+	s.q.remove(s, h.idx)
+	s.pending--
+	s.release(h.idx)
+	return true
+}
+
+// Reschedule moves a still-pending event to fire after delay from now,
+// keeping the handle valid. It returns false — and schedules nothing —
+// if the event already fired or was stopped: re-arming a dead timer is
+// the caller's explicit decision, never an implicit resurrection.
+// A successful Reschedule consumes one sequence number, exactly like a
+// Stop followed by a Schedule, and allocates nothing.
+func (h TimerHandle) Reschedule(delay Duration) bool {
+	e := h.ent()
+	if e == nil {
+		return false
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	s := h.s
+	s.q.remove(s, h.idx)
+	s.seq++
+	e.when = s.now.Add(delay)
+	e.seq = s.seq
+	s.q.insert(s, h.idx)
+	return true
+}
+
+// alloc takes an entry from the free list (or grows the arena) and
+// returns its index. The entry's gen is whatever its last death left.
+func (s *Simulator) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.ents = append(s.ents, entry{})
+	return int32(len(s.ents) - 1)
+}
+
+// release kills an entry: bump the generation so outstanding handles go
+// stale, clear the callback references, and return it to the free list.
+func (s *Simulator) release(idx int32) {
+	e := &s.ents[idx]
+	e.gen++
+	e.state = stateFree
+	e.loc = locNone
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	s.free = append(s.free, idx)
+}
+
+// schedule is the common path behind At/Schedule and their Arg variants.
+func (s *Simulator) schedule(t Time, fn func(), afn func(any), arg any) TimerHandle {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	idx := s.alloc()
+	e := &s.ents[idx]
+	e.when = t
+	e.seq = s.seq
+	e.state = statePending
+	e.fn = fn
+	e.afn = afn
+	e.arg = arg
+	s.q.insert(s, idx)
+	s.pending++
+	return TimerHandle{s: s, idx: idx, gen: e.gen}
+}
+
 // Schedule runs fn after delay of virtual time. A negative delay is treated
-// as zero. The returned Timer may be used to cancel the event.
-func (s *Simulator) Schedule(delay Duration, fn func()) *Timer {
+// as zero. The returned handle may be used to cancel or move the event.
+func (s *Simulator) Schedule(delay Duration, fn func()) TimerHandle {
 	if delay < 0 {
 		delay = 0
 	}
@@ -91,55 +322,51 @@ func (s *Simulator) Schedule(delay Duration, fn func()) *Timer {
 // At runs fn at instant t. If t is in the past it fires at the current
 // instant (but still through the queue, after already-queued events for
 // that instant).
-func (s *Simulator) At(t Time, fn func()) *Timer {
+func (s *Simulator) At(t Time, fn func()) TimerHandle {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	tm := &Timer{when: t, seq: s.seq, fn: fn, index: -1}
-	heap.Push(&s.queue, tm)
-	return tm
+	return s.schedule(t, fn, nil, nil)
 }
 
-// Stop cancels the timer if it has not fired. It reports whether the call
-// actually prevented the event from firing.
-func (s *Simulator) Stop(t *Timer) bool {
-	if t == nil || t.stopped || t.index < 0 {
-		return false
+// ScheduleArg is Schedule for an argument-taking function: fn(arg) runs
+// after delay. Scheduling this way allocates nothing when fn is a
+// package-level function and arg a pointer, which is what keeps the
+// per-packet and per-timer hot paths allocation-free.
+func (s *Simulator) ScheduleArg(delay Duration, fn func(any), arg any) TimerHandle {
+	if delay < 0 {
+		delay = 0
 	}
-	heap.Remove(&s.queue, t.index)
-	t.stopped = true
-	return true
+	return s.AtArg(s.now.Add(delay), fn, arg)
 }
 
-// Reschedule moves a pending timer to fire after delay from now. If the
-// timer already fired or was stopped, a fresh event is scheduled with the
-// same function. It returns the timer that is now pending.
-func (s *Simulator) Reschedule(t *Timer, delay Duration) *Timer {
-	if t == nil {
-		panic("sim: Reschedule of nil timer")
+// AtArg is At for an argument-taking function: fn(arg) runs at instant t.
+func (s *Simulator) AtArg(t Time, fn func(any), arg any) TimerHandle {
+	if fn == nil {
+		panic("sim: AtArg called with nil function")
 	}
-	fn := t.fn
-	s.Stop(t)
-	return s.Schedule(delay, fn)
+	return s.schedule(t, nil, fn, arg)
 }
-
-// Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return s.queue.Len() }
 
 // Step executes the single next event, advancing the clock to its instant.
 // It reports whether an event was executed.
 func (s *Simulator) Step() bool {
-	if s.queue.Len() == 0 {
+	idx := s.q.peek(s)
+	if idx < 0 {
 		return false
 	}
-	tm := heap.Pop(&s.queue).(*Timer)
-	s.now = tm.when
+	s.q.pop(s)
+	e := &s.ents[idx]
+	s.now = e.when
+	fn, afn, arg := e.fn, e.afn, e.arg
+	s.pending--
+	s.release(idx)
 	s.fired++
-	tm.fn()
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	return true
 }
 
@@ -157,7 +384,11 @@ func (s *Simulator) Run() {
 // RunUntil executes events with instants <= t, then advances the clock to
 // t (even if the queue still holds later events).
 func (s *Simulator) RunUntil(t Time) {
-	for s.queue.Len() > 0 && s.queue[0].when <= t {
+	for {
+		idx := s.q.peek(s)
+		if idx < 0 || s.ents[idx].when > t {
+			break
+		}
 		s.Step()
 	}
 	if s.now < t {
@@ -168,37 +399,11 @@ func (s *Simulator) RunUntil(t Time) {
 // RunFor executes events for d of virtual time from now.
 func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
-// eventQueue is a min-heap ordered by (when, seq) so that simultaneous
-// events fire in scheduling order.
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// less orders entries by (when, seq), the engine-wide firing order.
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.ents[a], &s.ents[b]
+	if ea.when != eb.when {
+		return ea.when < eb.when
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+	return ea.seq < eb.seq
 }

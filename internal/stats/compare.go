@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"strings"
 )
 
 // Sample is one metric's value population in one cell of a snapshot —
@@ -56,10 +57,15 @@ func Direction(metric string) int {
 	case "seed", "run", "procs", "iterations",
 		"timeline_events", "timeline_spans",
 		"responses_200", "responses_304", "responses_206",
-		"faults_injected":
+		"faults_injected", "sim_events":
 		return 0
 	case "cache_hits", "cache_hit_ratio", "cache_bytes_saved",
-		"requests_recovered":
+		"requests_recovered", "engine_speedup_ratio":
+		return -1
+	}
+	// Throughput metrics (events_per_sec, packets_per_sec, ...): higher
+	// is better.
+	if strings.HasSuffix(metric, "_per_sec") {
 		return -1
 	}
 	return 1

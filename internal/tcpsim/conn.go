@@ -29,7 +29,7 @@ type Conn struct {
 	finPending bool
 	finSent    bool
 	finSeq     uint32
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.TimerHandle
 	rto        sim.Duration
 	retries    int
 	dupAcks    int
@@ -49,7 +49,7 @@ type Conn struct {
 	readClosed  bool
 	peerFin     bool
 	ackOwed     int
-	delackTimer *sim.Timer
+	delackTimer sim.TimerHandle
 	totalRead   int64
 
 	segsSent, segsRcvd int
@@ -57,7 +57,7 @@ type Conn struct {
 	rtoTimeouts        int
 	err                error
 	closeSignaled      bool
-	timeWaitTimer      *sim.Timer
+	timeWaitTimer      sim.TimerHandle
 }
 
 func newConn(h *Host, local, remote Addr, opts Options, handler Handler) *Conn {
@@ -500,9 +500,9 @@ func (c *Conn) processData(seg Segment) {
 	c.totalRead += int64(len(seg.Payload))
 	c.ackOwed++
 	if c.handler != nil {
-		data := make([]byte, len(seg.Payload))
-		copy(data, seg.Payload)
-		c.handler.OnData(c, data)
+		// seg.Payload aliases the sender's buffer; OnData's contract says
+		// the slice is transient, so no defensive copy is needed here.
+		c.handler.OnData(c, seg.Payload)
 	}
 	if c.state == StateClosed {
 		return // handler aborted
@@ -593,8 +593,12 @@ func (c *Conn) trySend() {
 			}
 			break
 		}
-		payload := make([]byte, n)
-		copy(payload, c.sndBuf[offset:offset+n])
+		// Zero-copy: the segment aliases sndBuf. Safe because sndBuf is
+		// only ever trimmed from the front (a reslice) and appended at the
+		// absolute end of the backing array, so an in-flight range is
+		// never overwritten. The full-capacity slice keeps appends from
+		// sharing spare capacity with the segment.
+		payload := c.sndBuf[offset : offset+n : offset+n]
 		flags := FlagACK
 		if last {
 			flags |= FlagPSH
@@ -663,47 +667,50 @@ func (c *Conn) sendAck() {
 
 func (c *Conn) clearAckOwed() {
 	c.ackOwed = 0
-	if c.delackTimer != nil {
-		c.sim().Stop(c.delackTimer)
-		c.delackTimer = nil
-	}
+	c.delackTimer.Stop()
 }
+
+// Package-level timer thunks: scheduling these with the connection as
+// the boxed argument keeps the timer hot path allocation-free (a method
+// value or closure would allocate per arm).
+func connDelack(a any)   { a.(*Conn).onDelack() }
+func connRTO(a any)      { a.(*Conn).onRTO() }
+func connTimeWait(a any) { a.(*Conn).teardown(nil, false) }
 
 // armDelack schedules a pure ACK at the next delayed-ACK heartbeat
 // boundary, mimicking the BSD 200ms fast timer.
 func (c *Conn) armDelack() {
-	if c.delackTimer != nil {
+	if c.delackTimer.Active() {
 		return
 	}
 	interval := sim.Time(c.opts.DelAckInterval)
 	now := c.sim().Now()
 	next := (now/interval + 1) * interval
-	c.delackTimer = c.sim().At(next, func() {
-		c.delackTimer = nil
-		if c.ackOwed > 0 && c.state != StateClosed {
-			c.sendAck()
-		}
-	})
+	c.delackTimer = c.sim().AtArg(next, connDelack, c)
+}
+
+func (c *Conn) onDelack() {
+	if c.ackOwed > 0 && c.state != StateClosed {
+		c.sendAck()
+	}
 }
 
 // --- retransmission ---
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.sim().Stop(c.rtoTimer)
+	// Rescheduling the live timer and re-arming a fired/stopped one both
+	// consume exactly one sequence number, mirroring the old
+	// stop-then-schedule pair, so event ordering is unchanged.
+	if !c.rtoTimer.Reschedule(c.rto) {
+		c.rtoTimer = c.sim().ScheduleArg(c.rto, connRTO, c)
 	}
-	c.rtoTimer = c.sim().Schedule(c.rto, c.onRTO)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.sim().Stop(c.rtoTimer)
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
 	if c.state == StateClosed || c.state == StateTimeWait {
 		return
 	}
@@ -788,9 +795,7 @@ func (c *Conn) goBackN(newCwnd int) {
 func (c *Conn) enterTimeWait() {
 	c.setState(StateTimeWait)
 	c.stopRTO()
-	c.timeWaitTimer = c.sim().Schedule(c.opts.TimeWait, func() {
-		c.teardown(nil, false)
-	})
+	c.timeWaitTimer = c.sim().ScheduleArg(c.opts.TimeWait, connTimeWait, c)
 }
 
 func (c *Conn) teardown(err error, notifyErr bool) {
@@ -800,14 +805,8 @@ func (c *Conn) teardown(err error, notifyErr bool) {
 	c.setState(StateClosed)
 	c.err = err
 	c.stopRTO()
-	if c.delackTimer != nil {
-		c.sim().Stop(c.delackTimer)
-		c.delackTimer = nil
-	}
-	if c.timeWaitTimer != nil {
-		c.sim().Stop(c.timeWaitTimer)
-		c.timeWaitTimer = nil
-	}
+	c.delackTimer.Stop()
+	c.timeWaitTimer.Stop()
 	c.host.removeConn(c)
 	if c.handler != nil {
 		if err != nil && notifyErr {

@@ -32,8 +32,31 @@ type Network struct {
 	hosts map[string]*Host
 	paths []pathEntry
 
+	// flights pools in-flight delivery records so that transmitting a
+	// segment allocates nothing once the pool is warm.
+	flights []*flight
+
 	packets     int64
 	rtoTimeouts int64
+}
+
+// flight carries one accepted segment from transmit to delivery.
+type flight struct {
+	dst *Host
+	seg Segment
+	net *Network
+}
+
+// deliverFlight is the link-delivery thunk: it recycles the flight
+// before handing the segment to the destination host.
+func deliverFlight(a any) {
+	f := a.(*flight)
+	dst, seg := f.dst, f.seg
+	f.dst, f.seg = nil, Segment{}
+	f.net.flights = append(f.net.flights, f)
+	if dst != nil {
+		dst.receive(seg)
+	}
 }
 
 type pathEntry struct {
@@ -101,11 +124,19 @@ func (n *Network) transmit(seg Segment, retrans bool) {
 	n.packets++
 	wire := seg.WireBytes()
 	dst := n.hosts[seg.To.Host]
-	accepted := l.Send(seg.Payload, wire, func() {
-		if dst != nil {
-			dst.receive(seg)
-		}
-	})
+	var f *flight
+	if k := len(n.flights); k > 0 {
+		f = n.flights[k-1]
+		n.flights = n.flights[:k-1]
+	} else {
+		f = &flight{net: n}
+	}
+	f.dst, f.seg = dst, seg
+	accepted := l.SendArg(seg.Payload, wire, deliverFlight, f)
+	if !accepted {
+		f.dst, f.seg = nil, Segment{}
+		n.flights = append(n.flights, f)
+	}
 	if n.PacketHook != nil {
 		n.PacketHook(PacketEvent{
 			Time:      n.Sim.Now(),

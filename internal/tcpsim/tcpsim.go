@@ -132,7 +132,9 @@ func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
 type Handler interface {
 	// OnConnect fires when the connection reaches ESTABLISHED.
 	OnConnect(c *Conn)
-	// OnData delivers in-order payload bytes as they arrive.
+	// OnData delivers in-order payload bytes as they arrive. The slice
+	// aliases the sender's buffer and is only valid for the duration of
+	// the call: copy it if it must be retained.
 	OnData(c *Conn, data []byte)
 	// OnPeerClose fires when the peer's FIN is received (EOF): all of the
 	// peer's data has been delivered.
