@@ -26,6 +26,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	stampEnv(snap)
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -18,8 +20,10 @@ const SchemaVersion = "benchjson/1"
 type Snapshot struct {
 	Schema     string      `json:"schema"`
 	Date       string      `json:"date"`
+	GoVersion  string      `json:"go,omitempty"`
 	GOOS       string      `json:"goos,omitempty"`
 	GOARCH     string      `json:"goarch,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Package    string      `json:"pkg,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
@@ -78,6 +82,45 @@ func Parse(r io.Reader, date string) (*Snapshot, error) {
 		}
 	}
 	return snap, nil
+}
+
+// stampEnv fills the snapshot's environment header from the running
+// process, so perfdiff can warn when two snapshots being compared came
+// from different machines or toolchains. Values the bench output itself
+// carried (goos/goarch/cpu header lines) win; the Go version and
+// GOMAXPROCS are always the converter's own, and the CPU model falls
+// back to /proc/cpuinfo when the bench output had no cpu line.
+func stampEnv(snap *Snapshot) {
+	snap.GoVersion = runtime.Version()
+	snap.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if snap.GOOS == "" {
+		snap.GOOS = runtime.GOOS
+	}
+	if snap.GOARCH == "" {
+		snap.GOARCH = runtime.GOARCH
+	}
+	if snap.CPU == "" {
+		if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+			snap.CPU = cpuModelFrom(string(data))
+		}
+	}
+}
+
+// cpuModelFrom extracts the CPU model from /proc/cpuinfo content,
+// covering the field names x86 ("model name"), older ARM ("Processor"),
+// and MIPS ("cpu model") use. Empty when no such field exists.
+func cpuModelFrom(data string) string {
+	for _, line := range strings.Split(data, "\n") {
+		name, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(name) {
+		case "model name", "Processor", "cpu model":
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // unitFor derives a metric's unit from the suffix convention

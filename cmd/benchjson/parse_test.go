@@ -1,6 +1,7 @@
 package main
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -86,5 +87,45 @@ func TestParseRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Parse(strings.NewReader("BenchmarkX-2 notanumber 5 ns/op\n"), "d"); err == nil {
 		t.Fatal("bad iteration count accepted")
+	}
+}
+
+func TestStampEnv(t *testing.T) {
+	snap := &Snapshot{}
+	stampEnv(snap)
+	if snap.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", snap.GoVersion, runtime.Version())
+	}
+	if snap.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", snap.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if snap.GOOS != runtime.GOOS || snap.GOARCH != runtime.GOARCH {
+		t.Errorf("GOOS/GOARCH = %q/%q, want %q/%q", snap.GOOS, snap.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+
+	// Fields the bench output already carried (goos/goarch header lines)
+	// win over the stamping process's own values.
+	snap = &Snapshot{GOOS: "plan9", GOARCH: "riscv64", CPU: "bespoke"}
+	stampEnv(snap)
+	if snap.GOOS != "plan9" || snap.GOARCH != "riscv64" || snap.CPU != "bespoke" {
+		t.Errorf("stampEnv overwrote parsed fields: %+v", snap)
+	}
+}
+
+func TestCPUModelFrom(t *testing.T) {
+	x86 := "processor\t: 0\nvendor_id\t: GenuineIntel\nmodel name\t: Intel(R) Xeon(R) CPU E5-2690 v4 @ 2.60GHz\nmodel name\t: second entry ignored\n"
+	if got := cpuModelFrom(x86); got != "Intel(R) Xeon(R) CPU E5-2690 v4 @ 2.60GHz" {
+		t.Errorf("x86 model = %q", got)
+	}
+	arm := "Processor\t: ARMv7 Processor rev 4 (v7l)\nBogoMIPS\t: 38.40\n"
+	if got := cpuModelFrom(arm); got != "ARMv7 Processor rev 4 (v7l)" {
+		t.Errorf("arm model = %q", got)
+	}
+	mips := "system type\t: mt7621\ncpu model\t: MIPS 1004Kc V2.15\n"
+	if got := cpuModelFrom(mips); got != "MIPS 1004Kc V2.15" {
+		t.Errorf("mips model = %q", got)
+	}
+	if got := cpuModelFrom("no colon lines here\n"); got != "" {
+		t.Errorf("garbage cpuinfo yielded %q, want empty", got)
 	}
 }

@@ -49,6 +49,26 @@
 //	httpperf -waterfall            # devtools-style request waterfall table
 //	httpperf -topology proxy:WAN   # interpose a shared caching proxy
 //	httpperf -fault early-close    # inject a scripted fault profile
+//
+// Live telemetry (any mode; all off by default and non-perturbing —
+// output stays byte-identical with these on):
+//
+//	httpperf -progress                      # live cells/runs/rate/ETA line on stderr
+//	httpperf -telemetry out.jsonl           # JSON-lines stream: meta, periodic samples
+//	                                        # (registry + memory/GC), progress, flight records
+//	httpperf -telemetry-interval 250ms      # sampler period (default 500ms)
+//	httpperf -flight dumps/                 # flight recorder: retain the last -flight-events
+//	                                        # bus events per run; dump Perfetto JSON + pcap
+//	                                        # on panic, recovery-watchdog fire, or cell error
+//	httpperf -validate-telemetry out.jsonl  # check a stream against the telemetry/1 schema
+//
+// Profiling:
+//
+//	httpperf -cpuprofile cpu.pb.gz          # CPU profile of the whole invocation
+//	httpperf -memprofile mem.pb.gz          # heap profile at exit
+//	httpperf -mutexprofile mutex.pb.gz      # mutex-contention profile at exit
+//	httpperf -profile-slowest slow.pb.gz    # after a sweep, re-run its slowest cell
+//	                                        # alone under the CPU profiler
 package main
 
 import (
@@ -58,16 +78,25 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	_ "repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the whole invocation so deferred telemetry and
+// profile finalizers run before the process exits.
+func realMain() int {
 	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, variance, sweep, all)")
 	experiment := flag.String("experiment", "", "alias for -table")
 	faultsOnly := flag.Bool("faults", false, "shortcut for -table faults")
@@ -88,22 +117,114 @@ func main() {
 	pcap := flag.String("pcap", "", "run -scenario once and write its packet capture to this pcap file")
 	timeline := flag.String("timeline", "", "run -scenario once and write its event timeline to this Perfetto JSON file")
 	waterfall := flag.Bool("waterfall", false, "run -scenario once and print its request waterfall table")
+	progress := flag.Bool("progress", false, "report live sweep progress (cells, runs, rate, ETA) on stderr")
+	telemetryOut := flag.String("telemetry", "", "stream live telemetry (samples, progress, flight records) to this JSON-lines file")
+	telemetryInterval := flag.Duration("telemetry-interval", 500*time.Millisecond, "sampler period for -telemetry")
+	flightDir := flag.String("flight", "", "arm the flight recorder: dump the last -flight-events bus events into this directory when a run panics, the recovery watchdog fires, or a cell errors")
+	flightEvents := flag.Int("flight-events", telemetry.DefaultFlightEvents, "events the flight recorder retains per run")
+	validateTelemetry := flag.String("validate-telemetry", "", "validate a -telemetry JSON-lines file against the telemetry/1 schema and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the invocation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
+	profileSlowest := flag.String("profile-slowest", "", "after the sweep, re-run its slowest cell alone and write that CPU profile to this file")
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "httpperf:", err)
+		return 1
+	}
 
 	if *list {
 		printList(os.Stdout)
-		return
+		return 0
 	}
 	if *listEnvs {
 		report.Environments(os.Stdout)
-		return
+		return 0
 	}
+	if *validateTelemetry != "" {
+		if err := validateStreamFile(*validateTelemetry, os.Stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	// Profiling. The mutex fraction must be set before the work runs;
+	// the heap and mutex profiles are written on the way out.
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	cpuStopped := false
+	stopCPU := func() {
+		if *cpuprofile != "" && !cpuStopped {
+			cpuStopped = true
+			pprof.StopCPUProfile()
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer stopCPU()
+	}
+	defer writeExitProfiles(*memprofile, *mutexprofile)
+
+	// Telemetry stream + sampler.
+	var stream *telemetry.Stream
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		stream = telemetry.NewStream(f)
+		telemetry.SetStream(stream)
+		sampler := telemetry.StartSampler(stream, telemetry.Default(), *telemetryInterval)
+		defer func() {
+			sampler.Close()
+			telemetry.SetStream(nil)
+			if err := stream.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "httpperf: telemetry stream:", err)
+			}
+		}()
+	}
+
+	// Flight recorder.
+	if *flightDir != "" {
+		fl, err := telemetry.NewFlight(*flightDir, *flightEvents)
+		if err != nil {
+			return fail(err)
+		}
+		telemetry.SetFlight(fl)
+		defer telemetry.SetFlight(nil)
+	}
+
+	// Progress reporter: feeds the stream whenever one is open, and
+	// stderr only under -progress.
+	var reporter *telemetry.Reporter
+	if *progress || stream != nil {
+		var human io.Writer
+		if *progress {
+			human = os.Stderr
+		}
+		reporter = telemetry.NewReporter(telemetry.Default(), stream, human)
+		exp.SetProgress(reporter.Observe)
+		defer func() {
+			exp.SetProgress(nil)
+			reporter.Close()
+		}()
+	}
+
 	if *pcap != "" || *timeline != "" || *waterfall || *hist {
 		if err := observe(*scenario, *topology, *fault, *seed, *pcap, *timeline, *waterfall, *hist); err != nil {
-			fmt.Fprintln(os.Stderr, "httpperf:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	if *faultsOnly {
 		*table = "faults"
@@ -115,10 +236,114 @@ func main() {
 		*seeds = *reps
 	}
 	s := &exp.Session{Runs: *runs, Seeds: *seeds, Parallel: *parallel, Stats: *statsOn}
-	if err := run(s, *table, *asJSON, *asCSV, *statsOn); err != nil {
-		fmt.Fprintln(os.Stderr, "httpperf:", err)
-		os.Exit(1)
+	if *profileSlowest != "" {
+		// The recorder lets us recover the exact Scenario of the slowest
+		// cell, and the collector supplies its wall-time measurements.
+		core.RecordScenarios(true)
+		s.Collector = exp.NewCollector()
 	}
+	if err := run(s, *table, *asJSON, *asCSV, *statsOn, reporter); err != nil {
+		return fail(err)
+	}
+	if *profileSlowest != "" {
+		stopCPU() // only one CPU profile can run at a time
+		if err := writeSlowestProfile(*profileSlowest, s); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// validateStreamFile checks a JSON-lines telemetry file against the
+// telemetry/1 schema and prints the per-type record counts.
+func validateStreamFile(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	counts, err := telemetry.ValidateStream(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if counts[telemetry.RecordSample] == 0 {
+		return fmt.Errorf("%s: no sample records (sampler never fired?)", path)
+	}
+	fmt.Fprintf(w, "%s: valid %s stream: %d meta, %d sample, %d progress, %d flight\n",
+		path, telemetry.SchemaVersion,
+		counts[telemetry.RecordMeta], counts[telemetry.RecordSample],
+		counts[telemetry.RecordProgress], counts[telemetry.RecordFlight])
+	return nil
+}
+
+// writeExitProfiles writes the heap and mutex profiles, when requested.
+func writeExitProfiles(memprofile, mutexprofile string) {
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err == nil {
+			runtime.GC() // up-to-date allocation data
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "httpperf: memprofile:", err)
+		}
+	}
+	if mutexprofile != "" {
+		f, err := os.Create(mutexprofile)
+		if err == nil {
+			err = pprof.Lookup("mutex").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "httpperf: mutexprofile:", err)
+		}
+	}
+}
+
+// writeSlowestProfile finds the sweep's slowest cell by per-run wall
+// time (sim_events / events-per-second), re-runs that exact scenario
+// alone under the CPU profiler, and writes the profile to path.
+func writeSlowestProfile(path string, s *exp.Session) error {
+	var slowest exp.Metrics
+	var slowestWall float64
+	found := false
+	for _, rec := range s.Collector.Records() {
+		if rec.SimEventsPerSec <= 0 {
+			continue
+		}
+		wall := float64(rec.SimEvents) / rec.SimEventsPerSec
+		if !found || wall > slowestWall {
+			found, slowest, slowestWall = true, rec, wall
+		}
+	}
+	if !found {
+		return fmt.Errorf("profile-slowest: the sweep collected no per-run metrics")
+	}
+	sc, ok := core.RecordedScenario(slowest.Scenario)
+	if !ok {
+		return fmt.Errorf("profile-slowest: scenario %q was not recorded", slowest.Scenario)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	_, runErr := core.Run(sc, s.Site, core.WithSeed(slowest.Seed))
+	pprof.StopCPUProfile()
+	if runErr != nil {
+		return fmt.Errorf("profile-slowest: re-running %s: %w", slowest.Scenario, runErr)
+	}
+	fmt.Fprintf(os.Stderr, "httpperf: wrote %s (slowest cell %s seed %d, ~%.0fms wall)\n",
+		path, slowest.Scenario, slowest.Seed, slowestWall*1000)
+	return nil
 }
 
 // printList enumerates the registered experiments and the scenario
@@ -210,7 +435,7 @@ func observe(spec, topology, fault string, seed uint64, pcap, timeline string, w
 	return nil
 }
 
-func run(s *exp.Session, table string, asJSON, asCSV, statsOn bool) error {
+func run(s *exp.Session, table string, asJSON, asCSV, statsOn bool, reporter *telemetry.Reporter) error {
 	site, err := core.DefaultSite()
 	if err != nil {
 		return err
@@ -224,9 +449,19 @@ func run(s *exp.Session, table string, asJSON, asCSV, statsOn bool) error {
 		}
 		names = []string{table}
 	}
+	expDone := func(name string) {
+		if reporter != nil {
+			reporter.ExperimentDone(name)
+		}
+	}
+	if reporter != nil {
+		reporter.SetTotalExperiments(len(names))
+	}
 
 	if asJSON || asCSV {
-		s.Collector = exp.NewCollector()
+		if s.Collector == nil {
+			s.Collector = exp.NewCollector()
+		}
 		results := make(map[string]any, len(names)+1)
 		for _, name := range names {
 			data, err := s.Generate(name)
@@ -236,6 +471,7 @@ func run(s *exp.Session, table string, asJSON, asCSV, statsOn bool) error {
 			if data != nil {
 				results[name] = data
 			}
+			expDone(name)
 		}
 		if asCSV {
 			return s.Collector.WriteCSV(os.Stdout)
@@ -262,6 +498,7 @@ func run(s *exp.Session, table string, asJSON, asCSV, statsOn bool) error {
 			return fmt.Errorf("table %s: %w", name, err)
 		}
 		fmt.Println()
+		expDone(name)
 	}
 	if statsOn {
 		report.Cells(os.Stdout, s.Collector.Cells())

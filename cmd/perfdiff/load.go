@@ -12,8 +12,40 @@ import (
 	"repro/internal/stats"
 )
 
+// snapshotEnv is the environment header a benchjson snapshot carries
+// (Go toolchain, OS/arch, parallelism, CPU model). Other formats carry
+// none; missing fields stay empty and are never compared.
+type snapshotEnv struct {
+	Go         string
+	GOOS       string
+	GOARCH     string
+	GOMAXPROCS int
+	CPU        string
+}
+
+// mismatches compares two environment headers field by field, skipping
+// any field either side left empty (old snapshots predate the stamp).
+func (e snapshotEnv) mismatches(other snapshotEnv) []string {
+	var out []string
+	check := func(label, a, b string) {
+		if a != "" && b != "" && a != b {
+			out = append(out, fmt.Sprintf("%s %q vs %q", label, a, b))
+		}
+	}
+	check("go", e.Go, other.Go)
+	check("goos", e.GOOS, other.GOOS)
+	check("goarch", e.GOARCH, other.GOARCH)
+	check("cpu", e.CPU, other.CPU)
+	if e.GOMAXPROCS > 0 && other.GOMAXPROCS > 0 && e.GOMAXPROCS != other.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("gomaxprocs %d vs %d", e.GOMAXPROCS, other.GOMAXPROCS))
+	}
+	return out
+}
+
 // loadSamples reads a performance snapshot file and flattens it into
-// Compare's sample form. Three formats are recognised by shape:
+// Compare's sample form, together with the snapshot's environment
+// header when the format carries one. Three formats are recognised by
+// shape:
 //
 //   - benchjson snapshots ({"benchmarks": [...]}) — one value per
 //     (benchmark, metric); cells are "bench:<Name>"
@@ -21,23 +53,30 @@ import (
 //     by experiment/scenario, so replicated runs become populations and
 //     Compare can use their confidence intervals
 //   - httpperf -csv metrics files (header starts "experiment,scenario")
-func loadSamples(path string) ([]stats.Sample, error) {
+func loadSamples(path string) ([]stats.Sample, snapshotEnv, error) {
+	var env snapshotEnv
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, env, err
 	}
 	trimmed := strings.TrimSpace(string(data))
 	switch {
 	case strings.HasPrefix(trimmed, "{"):
 		return loadJSON(data, path)
 	case strings.HasPrefix(trimmed, "experiment,scenario"):
-		return loadCSV(data)
+		samples, err := loadCSV(data)
+		return samples, env, err
 	}
-	return nil, fmt.Errorf("%s: unrecognised snapshot format (want benchjson JSON, httpperf -json, or httpperf -csv)", path)
+	return nil, env, fmt.Errorf("%s: unrecognised snapshot format (want benchjson JSON, httpperf -json, or httpperf -csv)", path)
 }
 
-func loadJSON(data []byte, path string) ([]stats.Sample, error) {
+func loadJSON(data []byte, path string) ([]stats.Sample, snapshotEnv, error) {
 	var probe struct {
+		Go         string `json:"go"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		CPU        string `json:"cpu"`
 		Benchmarks []struct {
 			Name    string             `json:"name"`
 			NsPerOp float64            `json:"ns_per_op"`
@@ -46,9 +85,12 @@ func loadJSON(data []byte, path string) ([]stats.Sample, error) {
 		Units map[string]string `json:"units"`
 		Runs  []map[string]any  `json:"runs"`
 	}
+	env := snapshotEnv{}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, env, fmt.Errorf("%s: %w", path, err)
 	}
+	env = snapshotEnv{Go: probe.Go, GOOS: probe.GOOS, GOARCH: probe.GOARCH,
+		GOMAXPROCS: probe.GOMAXPROCS, CPU: probe.CPU}
 	switch {
 	case probe.Benchmarks != nil:
 		var out []stats.Sample
@@ -65,11 +107,12 @@ func loadJSON(data []byte, path string) ([]stats.Sample, error) {
 				})
 			}
 		}
-		return out, nil
+		return out, env, nil
 	case probe.Runs != nil:
-		return samplesFromRuns(probe.Runs)
+		samples, err := samplesFromRuns(probe.Runs)
+		return samples, env, err
 	}
-	return nil, fmt.Errorf("%s: JSON has neither \"benchmarks\" nor \"runs\"", path)
+	return nil, env, fmt.Errorf("%s: JSON has neither \"benchmarks\" nor \"runs\"", path)
 }
 
 // samplesFromRuns groups per-run metric records by experiment/scenario

@@ -33,6 +33,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 
 	"repro/internal/stats"
 )
@@ -48,11 +49,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "print every compared delta, not only significant ones")
 	annotate := fs.Bool("annotate", false, "emit GitHub Actions ::warning:: annotations for regressions")
 	only := fs.String("only", "", "compare only metrics matching this regexp (anchored match anywhere)")
+	verbose := fs.Bool("v", false, "print a one-line per-metric summary (cells, mean delta, worst delta) even when nothing regresses")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: perfdiff [-threshold pct] [-all] [-annotate] [-only regexp] old new")
+		fmt.Fprintln(stderr, "usage: perfdiff [-threshold pct] [-all] [-v] [-annotate] [-only regexp] old new")
 		return 2
 	}
 	var onlyRE *regexp.Regexp
@@ -64,15 +66,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		onlyRE = re
 	}
-	oldS, err := loadSamples(fs.Arg(0))
+	oldS, oldEnv, err := loadSamples(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "perfdiff:", err)
 		return 2
 	}
-	newS, err := loadSamples(fs.Arg(1))
+	newS, newEnv, err := loadSamples(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(stderr, "perfdiff:", err)
 		return 2
+	}
+	// Snapshots from different machines or toolchains still compare, but
+	// their absolute deltas may reflect the environment, not the code —
+	// say so. Fields either snapshot lacks (pre-stamp baselines) are
+	// skipped, so old baselines never warn spuriously.
+	for _, m := range oldEnv.mismatches(newEnv) {
+		fmt.Fprintf(stderr, "perfdiff: warning: environment mismatch: %s — deltas may reflect the machine, not the code\n", m)
 	}
 	if onlyRE != nil {
 		oldS = filterSamples(oldS, onlyRE)
@@ -101,12 +110,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 				d.Cell, d.Metric, formatPct(d.DeltaPct))
 		}
 	}
+	if *verbose {
+		printMetricSummary(stdout, deltas)
+	}
 	fmt.Fprintf(stdout, "perfdiff: %d compared, %d regressions, %d improvements (threshold %.1f%%, 95%% CI)\n",
 		len(deltas), regressions, improvements, *threshold)
 	if regressions > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printMetricSummary condenses the comparison to one line per metric —
+// how many cells carried it, the mean delta, and the largest-magnitude
+// delta with its cell — so a clean run still shows where each metric
+// moved without dumping every (cell, metric) pair.
+func printMetricSummary(w io.Writer, deltas []stats.Delta) {
+	type agg struct {
+		n         int
+		sum       float64
+		worst     float64
+		worstCell string
+		unit      string
+	}
+	byMetric := map[string]*agg{}
+	var order []string
+	for _, d := range deltas {
+		a := byMetric[d.Metric]
+		if a == nil {
+			a = &agg{}
+			byMetric[d.Metric] = a
+			order = append(order, d.Metric)
+		}
+		a.n++
+		pct := d.DeltaPct
+		if math.IsInf(pct, 0) {
+			pct = math.Copysign(100, pct) // cap for the mean; worst keeps ±inf
+		}
+		a.sum += pct
+		if math.Abs(d.DeltaPct) >= math.Abs(a.worst) {
+			a.worst = d.DeltaPct
+			a.worstCell = d.Cell
+		}
+		a.unit = d.Unit
+	}
+	sort.Strings(order)
+	for _, m := range order {
+		a := byMetric[m]
+		line := fmt.Sprintf("metric %-28s %3d cells  mean %s  worst %s (%s)",
+			m, a.n, formatPct(a.sum/float64(a.n)), formatPct(a.worst), a.worstCell)
+		if a.unit != "" {
+			line += " [" + a.unit + "]"
+		}
+		fmt.Fprintln(w, line)
+	}
 }
 
 // filterSamples keeps the samples whose metric matches re, so a CI gate

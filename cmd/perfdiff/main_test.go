@@ -183,3 +183,67 @@ func TestBadInputs(t *testing.T) {
 		t.Fatalf("exit %d on shapeless JSON, want 2", code)
 	}
 }
+
+// TestVerboseMetricSummary: -v adds a per-metric digest — cell count,
+// mean delta, worst cell — without changing the gate's exit status.
+func TestVerboseMetricSummary(t *testing.T) {
+	benchNew := strings.Replace(benchOld, "0.486", "0.986", 1)
+	old := write(t, "old.json", benchOld)
+	newer := write(t, "new.json", benchNew)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-v", old, newer}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (-v must not change the gate)", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "metric pipeline_first_sec") {
+		t.Errorf("no summary line for pipeline_first_sec:\n%s", out)
+	}
+	if !strings.Contains(out, "1 cells") || !strings.Contains(out, "worst +102.9% (bench:Table4)") {
+		t.Errorf("summary line missing cell count or worst cell:\n%s", out)
+	}
+	if !strings.Contains(out, "[seconds]") {
+		t.Errorf("summary line missing unit:\n%s", out)
+	}
+	// An unchanged metric still gets a summary line under -v, even though
+	// its delta line is suppressed.
+	if !strings.Contains(out, "metric pipeline_first_pa") {
+		t.Errorf("unchanged metric absent from -v summary:\n%s", out)
+	}
+
+	// Without -v none of the summary lines appear.
+	stdout.Reset()
+	run([]string{old, newer}, &stdout, &stderr)
+	if strings.Contains(stdout.String(), "metric pipeline_first_sec") {
+		t.Errorf("summary printed without -v:\n%s", stdout.String())
+	}
+}
+
+// TestEnvMismatchWarns: snapshots stamped on different machines compare,
+// but perfdiff must say the deltas may be environmental.
+func TestEnvMismatchWarns(t *testing.T) {
+	stamped := strings.Replace(benchOld, `"schema": "benchjson/1",`,
+		`"schema": "benchjson/1", "go": "go1.22.1", "gomaxprocs": 8, "cpu": "Xeon E5",`, 1)
+	other := strings.Replace(benchOld, `"schema": "benchjson/1",`,
+		`"schema": "benchjson/1", "go": "go1.24.0", "gomaxprocs": 2, "cpu": "EPYC 7543",`, 1)
+	old := write(t, "old.json", stamped)
+	newer := write(t, "new.json", other)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, newer}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on identical numbers, want 0 (env mismatch warns, never gates)", code)
+	}
+	errs := stderr.String()
+	for _, frag := range []string{"environment mismatch", "go1.22.1", "go1.24.0", "gomaxprocs 8 vs 2", "cpu"} {
+		if !strings.Contains(errs, frag) {
+			t.Errorf("stderr missing %q:\n%s", frag, errs)
+		}
+	}
+
+	// An unstamped baseline against a stamped snapshot stays silent: old
+	// snapshots predate the stamp and must not warn forever.
+	plain := write(t, "plain.json", benchOld)
+	stderr.Reset()
+	run([]string{plain, old}, &stdout, &stderr)
+	if strings.Contains(stderr.String(), "environment mismatch") {
+		t.Errorf("pre-stamp baseline warned:\n%s", stderr.String())
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -29,9 +30,16 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcpsim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/webgen"
 )
+
+// testHookAfterRun, when non-nil, runs right after the simulation
+// drains and before result assembly. Tests install a panicking hook to
+// exercise the flight recorder's dump-on-panic path without corrupting
+// a real simulation.
+var testHookAfterRun func(sc Scenario)
 
 // Scenario is one experiment configuration.
 type Scenario struct {
@@ -209,27 +217,34 @@ func Run(sc Scenario, site *webgen.Site, opts ...Option) (*RunResult, error) {
 }
 
 func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
+	recordScenario(sc)
 	s := sim.New()
 	s.SetEventLimit(50_000_000)
 	net := tcpsim.NewNetwork(s)
 	clientHost := net.AddHost("client")
 	serverHost := net.AddHost("server")
 
-	// The bus exists for a timeline run (every layer publishes into it)
-	// and for a stats run (only the client's request-lifecycle spans are
-	// needed, so the other layers stay unwired and the bus stays small).
+	// The bus exists for a timeline run (every layer publishes into it),
+	// for a stats run (only the client's request-lifecycle spans are
+	// needed, so the other layers stay unwired and the bus stays small),
+	// and for a flight-recorded run (the recorder subscribes to the
+	// fully-wired bus but retains only a bounded tail). Wiring the bus
+	// never perturbs the simulation — publishers observe, they do not
+	// schedule — so a flight-armed run still measures byte-identically.
+	flight := telemetry.ActiveFlight()
+	wired := cfg.timeline || flight != nil
 	var bus *obs.Bus
-	if cfg.timeline || cfg.stats {
+	if wired || cfg.stats {
 		bus = obs.New(s)
 	}
-	if cfg.timeline {
+	if wired {
 		net.Obs = bus
 	}
 
 	var rng *sim.Rand
 	cpuJitter := 0.0
 	pathOpts := netem.PathOptions{}
-	if cfg.timeline {
+	if wired {
 		pathOpts.Observer = func(ev netem.LinkEvent) {
 			if ev.Dropped {
 				bus.WireDrop(ev.Link, ev.WireBytes)
@@ -305,7 +320,7 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		serverCfg.NoDelay = true
 	}
 	serverCfg.EnableDeflate = serverCfg.EnableDeflate || clientCfg.AcceptDeflate
-	if cfg.timeline {
+	if wired {
 		serverCfg.Obs = bus
 	}
 	clientCfg.Obs = bus
@@ -350,7 +365,7 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 			}
 		}
 		proxyCfg := proxy.Config{Cache: pcache, NoDelay: true}
-		if cfg.timeline {
+		if wired {
 			proxyCfg.Obs = bus
 		}
 		if sc.Fault != faults.None {
@@ -374,12 +389,79 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	s.Schedule(0, func() {
 		robot.Start("/", sc.Workload, nil)
 	})
+
+	// Flight recorder: retain the tail of the event stream in a bounded
+	// ring, note whether the client's recovery watchdog ever fired, and
+	// keep a dump closure ready for the three triggers — panic, watchdog,
+	// cell error. The subscriber runs on the simulation goroutine and
+	// only appends to the ring, so recording never perturbs the run.
+	var ring *telemetry.Ring[obs.Event]
+	sawWatchdog := false
+	if flight != nil {
+		ring = telemetry.NewRing[obs.Event](flight.Events())
+		detach := bus.Subscribe(func(ev obs.Event) {
+			ring.Push(ev)
+			if ev.Kind == obs.KindClientTimeout {
+				sawWatchdog = true
+			}
+		})
+		defer detach()
+	}
+	dump := func(reason string) {
+		if flight == nil {
+			return
+		}
+		flight.Dump(telemetry.DumpSource{
+			Label:   sc.String(),
+			Reason:  reason,
+			Events:  ring.Len(),
+			Dropped: ring.Dropped(),
+			Perfetto: func(w *os.File) error {
+				return obs.WritePerfettoEvents(w, ring.Snapshot(), bus.Conns(), bus.Spans())
+			},
+			Pcap: func(w *os.File) error {
+				return capture.WritePcap(w)
+			},
+		})
+	}
+	if flight != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				dump("panic")
+				panic(r)
+			}
+		}()
+	}
+
+	// Live engine telemetry: with a stream active, run with safe-point
+	// polls publishing the engine's counters into the process registry.
+	// RunWithPoll fires the exact same events in the exact same order as
+	// Run, so an observed run still produces byte-identical results.
+	var tracker *telemetry.SimTracker
+	if telemetry.Active() {
+		tracker = telemetry.NewSimTracker(telemetry.Default())
+	}
 	wallStart := time.Now()
-	s.Run()
+	if tracker != nil {
+		s.RunWithPoll(telemetry.PollEvents, func() {
+			st := s.Stats()
+			tracker.Poll(st.Fired, st.Pending, st.WheelDepth, st.PoolInUse)
+		})
+		tracker.Finish(s.Stats().Fired)
+	} else {
+		s.Run()
+	}
+	if testHookAfterRun != nil {
+		testHookAfterRun(sc)
+	}
 	wall := time.Since(wallStart)
 
 	if !robot.Finished() {
+		dump("error")
 		return nil, fmt.Errorf("%w: %s", ErrDidNotFinish, sc)
+	}
+	if sawWatchdog {
+		dump("watchdog")
 	}
 	res := &RunResult{
 		Scenario: sc,

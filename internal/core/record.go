@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The scenario recorder remembers each executed Scenario value keyed by
+// its display string. Scenario strings do not round-trip through
+// ParseScenario (the paper's mode names contain slashes), so the CLI's
+// -profile-slowest — which knows the slowest cell only by the scenario
+// string on its metrics record — uses the recorder to recover the exact
+// Scenario and re-run it under the CPU profiler.
+var scenarioRec struct {
+	on atomic.Bool
+	mu sync.Mutex
+	m  map[string]Scenario
+}
+
+// RecordScenarios turns the scenario recorder on or off. While on,
+// every Run remembers its Scenario (seed excluded from the key; the
+// caller pairs the label with a seed from a metrics record).
+func RecordScenarios(on bool) {
+	scenarioRec.mu.Lock()
+	if on && scenarioRec.m == nil {
+		scenarioRec.m = map[string]Scenario{}
+	}
+	scenarioRec.on.Store(on)
+	scenarioRec.mu.Unlock()
+}
+
+// RecordedScenario returns the remembered Scenario for a display
+// string, if the recorder saw one.
+func RecordedScenario(label string) (Scenario, bool) {
+	scenarioRec.mu.Lock()
+	defer scenarioRec.mu.Unlock()
+	sc, ok := scenarioRec.m[label]
+	return sc, ok
+}
+
+// recordScenario files sc under its display string when the recorder is
+// on. The atomic guard keeps the off path to a single load.
+func recordScenario(sc Scenario) {
+	if !scenarioRec.on.Load() {
+		return
+	}
+	label := sc.String()
+	scenarioRec.mu.Lock()
+	scenarioRec.m[label] = sc
+	scenarioRec.mu.Unlock()
+}

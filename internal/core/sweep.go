@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/exp"
 	"repro/internal/netem"
 	"repro/internal/webgen"
@@ -53,6 +55,10 @@ func (sw Sweep) series(sc Scenario, site *webgen.Site, stride uint64) ([]*RunRes
 	if sw.Collector != nil {
 		metrics = make([]*exp.Metrics, n)
 	}
+	// completed counts finished repetitions for the progress layer; the
+	// run reaching n marks the cell done. The counter perturbs nothing:
+	// it exists only when a progress consumer is installed.
+	var completed atomic.Int64
 	err := exp.ForEach(sw.Parallel, n, func(i int) error {
 		family, rep := i/runs, i%runs
 		one := sc
@@ -71,6 +77,16 @@ func (sw Sweep) series(sc Scenario, site *webgen.Site, stride uint64) ([]*RunRes
 			return err
 		}
 		results[i] = res
+		if exp.ProgressActive() {
+			exp.NotifyProgress(exp.ProgressEvent{
+				Experiment: sw.Experiment,
+				Scenario:   sc.String(),
+				Seed:       one.Seed,
+				Run:        i,
+				CellDone:   completed.Add(1) == int64(n),
+				SimSeconds: res.Elapsed.Seconds(),
+			})
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,54 @@
+package exp
+
+import "sync/atomic"
+
+// ProgressEvent is one unit of sweep progress: a single simulation run
+// finishing inside a cell, with CellDone set when that run was the
+// cell's last. The sweep driver (internal/core) publishes these from
+// pool workers; a process-wide hook (SetProgress) consumes them. The
+// hook lives here rather than in internal/telemetry so that core —
+// which already imports exp — needs no new dependency edge, and exp
+// never imports telemetry (telemetry imports exp for this type).
+type ProgressEvent struct {
+	// Experiment is the registered experiment name ("" when the run is
+	// not part of a registered experiment, e.g. a bare -scenario run).
+	Experiment string
+	// Scenario labels the cell (the scenario's display string).
+	Scenario string
+	// Seed is the run's RNG seed; Run its replicate index in the cell.
+	Seed uint64
+	Run  int
+	// CellDone marks the completion of the cell's last run.
+	CellDone bool
+	// SimSeconds is the run's simulated page-load time in seconds.
+	SimSeconds float64
+}
+
+// progressHook holds the process-wide progress consumer.
+var progressHook atomic.Pointer[func(ProgressEvent)]
+
+// SetProgress installs fn as the process-wide progress consumer and
+// returns the previous one (nil for none). Passing nil uninstalls.
+// The consumer is called concurrently from pool workers and must be
+// safe for that.
+func SetProgress(fn func(ProgressEvent)) (prev func(ProgressEvent)) {
+	var p *func(ProgressEvent)
+	if fn != nil {
+		p = &fn
+	}
+	if old := progressHook.Swap(p); old != nil {
+		prev = *old
+	}
+	return prev
+}
+
+// ProgressActive reports whether a progress consumer is installed.
+// Publishers use it to skip building events nobody will read.
+func ProgressActive() bool { return progressHook.Load() != nil }
+
+// NotifyProgress delivers ev to the installed consumer, if any.
+func NotifyProgress(ev ProgressEvent) {
+	if p := progressHook.Load(); p != nil {
+		(*p)(ev)
+	}
+}

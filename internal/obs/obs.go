@@ -174,6 +174,7 @@ type Bus struct {
 	events []Event
 	conns  []ConnInfo
 	spans  []SpanInfo
+	subs   []func(Event)
 }
 
 // New returns an empty bus stamping events with s's clock.
@@ -221,9 +222,42 @@ func (b *Bus) Spans() []SpanInfo {
 	return b.spans
 }
 
+// Subscribe pushes fn onto the bus's subscriber stack; every event
+// recorded from then on is delivered to fn immediately after it is
+// appended to the bus (including wire-send events, whose Time stamp can
+// precede already-delivered events). The returned detach pops the
+// subscription and must be called in LIFO order relative to other
+// Subscribe calls on the same bus, mirroring trace.Attach. Subscribers
+// run on the simulation goroutine and must not publish back into the
+// bus or schedule events — they observe, nothing more.
+func (b *Bus) Subscribe(fn func(Event)) (detach func()) {
+	if b == nil {
+		return func() {}
+	}
+	b.subs = append(b.subs, fn)
+	depth := len(b.subs)
+	return func() {
+		if len(b.subs) != depth {
+			panic("obs: Subscribe detach out of LIFO order")
+		}
+		b.subs = b.subs[:depth-1]
+	}
+}
+
+// record appends a fully-stamped event and notifies subscribers. Both
+// publication paths — add (stamped now) and WireSend (stamped at
+// serialization start) — funnel through here, so a subscriber sees
+// every event the bus retains.
+func (b *Bus) record(ev Event) {
+	b.events = append(b.events, ev)
+	for _, fn := range b.subs {
+		fn(ev)
+	}
+}
+
 func (b *Bus) add(ev Event) {
 	ev.Time = b.sim.Now()
-	b.events = append(b.events, ev)
+	b.record(ev)
 }
 
 // --- connection publishers ---
@@ -290,7 +324,7 @@ func (b *Bus) WireSend(link string, wireBytes int, start, done, arrive sim.Time)
 	if b == nil {
 		return
 	}
-	b.events = append(b.events, Event{
+	b.record(Event{
 		Time: start, Kind: KindWireSend, Note: link,
 		A: int64(wireBytes), B: int64(done), C: int64(arrive),
 	})

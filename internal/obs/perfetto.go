@@ -61,7 +61,15 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
 		return err
 	}
+	return WritePerfettoEvents(w, b.events, b.conns, b.spans)
+}
 
+// WritePerfettoEvents exports an explicit event window in the same
+// layout as Bus.WritePerfetto. The flight recorder uses it to dump a
+// ring-buffered tail of the event stream: events may be any suffix of
+// the bus's stream, while conns and spans are the bus's complete tables
+// (they are small and index-addressed, so they are never truncated).
+func WritePerfettoEvents(w io.Writer, events []Event, conns []ConnInfo, spans []SpanInfo) error {
 	var evs []traceEvent
 	emit := func(ev traceEvent) { evs = append(evs, ev) }
 
@@ -77,8 +85,8 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 			Args: map[string]any{"name": host}})
 		return id
 	}
-	connPid := make([]int, len(b.conns)+1)
-	for _, ci := range b.conns {
+	connPid := make([]int, len(conns)+1)
+	for _, ci := range conns {
 		pid := pidOf(connHost(ci.Local))
 		connPid[ci.ID] = pid
 		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: int(ci.ID),
@@ -86,7 +94,7 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 	}
 
 	var last sim.Time
-	for _, ev := range b.events {
+	for _, ev := range events {
 		if ev.Time > last {
 			last = ev.Time
 		}
@@ -137,7 +145,7 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 			Pid: connPid[ev.Conn], Tid: int(ev.Conn), Args: args})
 	}
 
-	for _, ev := range b.events {
+	for _, ev := range events {
 		switch ev.Kind {
 		case KindConnState:
 			closeState(ev.Conn, ev.Time)
@@ -191,7 +199,7 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 
 	// Request spans as async begin/end pairs on the carrying connection:
 	// async slices may overlap (pipelining), which thread slices may not.
-	for _, sp := range b.spans {
+	for _, sp := range spans {
 		if sp.Conn == 0 || sp.Done == NoTime {
 			continue // never written or abandoned (e.g. connection reset)
 		}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSubscribeSeesEveryPublicationPath(t *testing.T) {
+	s := sim.New()
+	b := New(s)
+	var seen []Event
+	detach := b.Subscribe(func(ev Event) { seen = append(seen, ev) })
+	defer detach()
+
+	id := b.ConnOpen("client:1", "server:80")
+	b.Cwnd(id, 4096, 65535)
+	// WireSend bypasses add() (it stamps its own start time) — the
+	// subscriber must still see it.
+	b.WireSend("wire", 40, 10, 20, 30)
+	b.WireDrop("wire", 40)
+
+	if len(seen) != b.Len() {
+		t.Fatalf("subscriber saw %d events, bus retained %d", len(seen), b.Len())
+	}
+	for i, ev := range b.Events() {
+		if seen[i] != ev {
+			t.Fatalf("event %d: subscriber saw %+v, bus retained %+v", i, seen[i], ev)
+		}
+	}
+	if seen[2].Kind != KindWireSend || seen[2].Time != 10 {
+		t.Fatalf("wire-send not delivered with its serialization-start stamp: %+v", seen[2])
+	}
+}
+
+func TestSubscribeDetachStopsDelivery(t *testing.T) {
+	s := sim.New()
+	b := New(s)
+	n := 0
+	detach := b.Subscribe(func(Event) { n++ })
+	b.WireDrop("l", 1)
+	detach()
+	b.WireDrop("l", 1)
+	if n != 1 {
+		t.Fatalf("subscriber called %d times, want 1 (detached before second event)", n)
+	}
+}
+
+func TestSubscribeLIFO(t *testing.T) {
+	s := sim.New()
+	b := New(s)
+	var order []string
+	d1 := b.Subscribe(func(Event) { order = append(order, "first") })
+	d2 := b.Subscribe(func(Event) { order = append(order, "second") })
+	b.WireDrop("l", 1)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("delivery order = %v, want [first second]", order)
+	}
+
+	// Detaching out of LIFO order is a bug the bus surfaces loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-order detach did not panic")
+			}
+		}()
+		d1()
+	}()
+
+	d2()
+	d1()
+	order = order[:0]
+	b.WireDrop("l", 1)
+	if len(order) != 0 {
+		t.Fatalf("events delivered after full detach: %v", order)
+	}
+}
+
+func TestSubscribeNilBus(t *testing.T) {
+	var b *Bus
+	detach := b.Subscribe(func(Event) { t.Fatal("nil bus delivered an event") })
+	detach() // must be a no-op, not a panic
+}
+
+// TestSubscribeConcurrentBuses runs many buses with subscribers on
+// separate goroutines — the shape of a parallel sweep with the flight
+// recorder armed, where each run owns a bus and its subscription. Run
+// under -race this pins that per-bus subscriber state is unshared.
+func TestSubscribeConcurrentBuses(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := sim.New()
+			b := New(s)
+			count := 0
+			detach := b.Subscribe(func(Event) { count++ })
+			for i := 0; i < 1000; i++ {
+				b.WireDrop("l", i)
+			}
+			detach()
+			if count != 1000 {
+				t.Errorf("subscriber saw %d events, want 1000", count)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// chainN schedules a self-rescheduling chain firing n events total and
+// records each firing instant into out.
+func chainN(s *Simulator, n int, out *[]Time) {
+	var step func()
+	fired := 0
+	step = func() {
+		*out = append(*out, s.Now())
+		fired++
+		if fired < n {
+			s.Schedule(time.Millisecond, step)
+		}
+	}
+	s.Schedule(time.Millisecond, step)
+}
+
+// TestRunWithPollMatchesRun pins the non-perturbation contract: an
+// observed run fires the same events at the same instants as a plain
+// Run, and the polls land between events.
+func TestRunWithPollMatchesRun(t *testing.T) {
+	var plain []Time
+	s1 := New()
+	chainN(s1, 100, &plain)
+	s1.Run()
+
+	var polled []Time
+	s2 := New()
+	chainN(s2, 100, &polled)
+	polls := 0
+	var lastFired uint64
+	s2.RunWithPoll(7, func() {
+		polls++
+		st := s2.Stats()
+		if st.Fired < lastFired {
+			t.Fatal("fired count went backwards at a poll point")
+		}
+		lastFired = st.Fired
+	})
+
+	if len(plain) != len(polled) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(polled))
+	}
+	for i := range plain {
+		if plain[i] != polled[i] {
+			t.Fatalf("event %d fired at %v with polling, %v without", i, polled[i], plain[i])
+		}
+	}
+	// 100 events polled every 7 → 14 interior polls plus the final one.
+	if want := 100/7 + 1; polls != want {
+		t.Fatalf("polls = %d, want %d", polls, want)
+	}
+	if s1.Stats().Fired != s2.Stats().Fired {
+		t.Fatalf("fired = %d vs %d", s1.Stats().Fired, s2.Stats().Fired)
+	}
+}
+
+func TestRunWithPollDegenerateCases(t *testing.T) {
+	var out []Time
+	s := New()
+	chainN(s, 10, &out)
+	s.RunWithPoll(0, func() { t.Fatal("poll called with every=0") })
+	if len(out) != 10 {
+		t.Fatalf("events = %d, want 10", len(out))
+	}
+
+	s2 := New()
+	out = nil
+	chainN(s2, 10, &out)
+	s2.RunWithPoll(4, nil) // nil poll degrades to Run
+	if len(out) != 10 {
+		t.Fatalf("events = %d, want 10", len(out))
+	}
+
+	// Empty queue: the single trailing poll still fires.
+	s3 := New()
+	polls := 0
+	s3.RunWithPoll(1, func() { polls++ })
+	if polls != 1 {
+		t.Fatalf("polls on empty queue = %d, want 1 (final poll)", polls)
+	}
+}
+
+func TestRunWithPollHonorsEventLimit(t *testing.T) {
+	s := New()
+	s.SetEventLimit(50)
+	var forever func()
+	forever = func() { s.Schedule(time.Millisecond, forever) }
+	s.Schedule(time.Millisecond, forever)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("event limit did not panic under RunWithPoll")
+		}
+	}()
+	s.RunWithPoll(8, func() {})
+}

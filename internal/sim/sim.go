@@ -381,6 +381,34 @@ func (s *Simulator) Run() {
 	}
 }
 
+// RunWithPoll is Run with a telemetry safe-point: poll is called
+// between events, every `every` events fired, and once more after the
+// queue drains. Because poll runs on the simulation goroutine at a
+// point where no callback is mid-flight, it may read the simulator's
+// state (Stats, Now) race-free; because it is called between events
+// and schedules nothing, the event stream, the clock, and the
+// (when, seq) firing order are identical to a plain Run — an observed
+// run produces byte-identical results. every<=0 or a nil poll degrade
+// to Run.
+func (s *Simulator) RunWithPoll(every uint64, poll func()) {
+	if every == 0 || poll == nil {
+		s.Run()
+		return
+	}
+	start := s.fired
+	next := start + every
+	for s.Step() {
+		if s.limit > 0 && s.fired-start > s.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", s.limit, s.now))
+		}
+		if s.fired >= next {
+			poll()
+			next = s.fired + every
+		}
+	}
+	poll()
+}
+
 // RunUntil executes events with instants <= t, then advances the clock to
 // t (even if the queue still holds later events).
 func (s *Simulator) RunUntil(t Time) {

@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func TestRegistryInternsAndAggregates(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("Counter not interned: two lookups returned different pointers")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("a").Add(1)
+				reg.Gauge("g").Add(1)
+				reg.Gauge("g").Add(-1)
+				reg.Gauge("hw").SetMax(int64(i))
+				reg.Hist("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("a").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := reg.Gauge("g").Value(); got != 0 {
+		t.Fatalf("gauge after balanced deltas = %d, want 0", got)
+	}
+	if got := reg.Gauge("hw").Value(); got != 999 {
+		t.Fatalf("high-water gauge = %d, want 999", got)
+	}
+	if got := reg.Hist("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+	names := reg.Names()
+	want := []string{"a", "g", "h", "hw"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestStreamMetaFirstAndValidates(t *testing.T) {
+	var buf bytes.Buffer
+	st := NewStream(&buf)
+	st.Emit(SampleRecord{T: RecordSample, WallMS: st.WallMS()})
+	st.Emit(ProgressRecord{T: RecordProgress, WallMS: st.WallMS(), RunsDone: 1, RunsPerSec: 2})
+	st.Emit(FlightRecord{T: RecordFlight, Reason: "watchdog"})
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	var meta MetaRecord
+	if err := json.Unmarshal([]byte(first), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.T != RecordMeta || meta.Schema != SchemaVersion {
+		t.Fatalf("first record = %+v, want meta with schema %s", meta, SchemaVersion)
+	}
+	if meta.GoVersion == "" || meta.GOMAXPROCS <= 0 || meta.NumCPU <= 0 {
+		t.Fatalf("meta record missing environment facts: %+v", meta)
+	}
+
+	counts, err := ValidateStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateStream: %v", err)
+	}
+	for typ, want := range map[string]int{RecordMeta: 1, RecordSample: 1, RecordProgress: 1, RecordFlight: 1} {
+		if counts[typ] != want {
+			t.Fatalf("counts[%s] = %d, want %d (all: %v)", typ, counts[typ], want, counts)
+		}
+	}
+}
+
+func TestValidateStreamRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"not JSON":        "hello\n",
+		"meta not first":  `{"t":"sample","wall_ms":1,"heap_alloc_bytes":1,"gc_count":0,"sim_events_per_sec":0}` + "\n",
+		"wrong schema":    `{"t":"meta","schema":"telemetry/999"}` + "\n",
+		"unknown type":    `{"t":"meta","schema":"telemetry/1"}` + "\n" + `{"t":"mystery"}` + "\n",
+		"sample missing":  `{"t":"meta","schema":"telemetry/1"}` + "\n" + `{"t":"sample"}` + "\n",
+		"flight missing":  `{"t":"meta","schema":"telemetry/1"}` + "\n" + `{"t":"flight"}` + "\n",
+		"progress string": `{"t":"meta","schema":"telemetry/1"}` + "\n" + `{"t":"progress","wall_ms":"x","runs_done":1,"runs_per_sec":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateStream(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ValidateStream accepted invalid input %q", name, in)
+		}
+	}
+}
+
+func TestSamplerEmitsFinalSample(t *testing.T) {
+	var buf bytes.Buffer
+	st := NewStream(&buf)
+	reg := NewRegistry()
+	reg.Counter(MetricSimEventsTotal).Add(12345)
+	s := StartSampler(st, reg, 10*time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	s.Close()
+
+	counts, err := ValidateStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("sampler stream invalid: %v\n%s", err, buf.String())
+	}
+	if counts[RecordSample] < 1 {
+		t.Fatalf("no sample records after Close: %v", counts)
+	}
+	if !strings.Contains(buf.String(), `"sim_events_total":12345`) {
+		t.Fatalf("sample records missing registry counters:\n%s", buf.String())
+	}
+}
+
+func TestSimTrackerDeltas(t *testing.T) {
+	reg := NewRegistry()
+	a := NewSimTracker(reg)
+	b := NewSimTracker(reg)
+	a.Poll(100, 10, 2, 20)
+	b.Poll(50, 5, 3, 8)
+	if got := reg.Counter(MetricSimEventsTotal).Value(); got != 150 {
+		t.Fatalf("events total = %d, want 150", got)
+	}
+	if got := reg.Gauge(MetricSimPending).Value(); got != 15 {
+		t.Fatalf("pending = %d, want 15 (10+5 across runs)", got)
+	}
+	if got := reg.Gauge(MetricSimWheelDepth).Value(); got != 3 {
+		t.Fatalf("wheel depth = %d, want high-water 3", got)
+	}
+	a.Poll(180, 4, 1, 12) // pending shrank: delta is signed
+	if got := reg.Gauge(MetricSimPending).Value(); got != 9 {
+		t.Fatalf("pending = %d, want 9 (4+5)", got)
+	}
+	a.Finish(200)
+	b.Finish(60)
+	if got := reg.Counter(MetricSimEventsTotal).Value(); got != 260 {
+		t.Fatalf("events total = %d, want 260", got)
+	}
+	if got := reg.Gauge(MetricSimPending).Value(); got != 0 {
+		t.Fatalf("pending after both runs finished = %d, want 0", got)
+	}
+	if got := reg.Gauge(MetricSimPoolInUse).Value(); got != 0 {
+		t.Fatalf("pool in use after finish = %d, want 0", got)
+	}
+}
+
+// TestReporterEWMAAndETA drives the reporter on a synthetic clock: runs
+// arriving every 100ms give a 10 runs/sec EWMA exactly (constant input),
+// and two of four experiments done at a constant pace predict the
+// remaining two at that pace.
+func TestReporterEWMAAndETA(t *testing.T) {
+	var buf bytes.Buffer
+	st := NewStream(&buf)
+	var human bytes.Buffer
+	r := NewReporter(NewRegistry(), st, &human)
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	r.start, r.lastExpMark = now, now
+	r.SetTotalExperiments(4)
+
+	for i := 0; i < 20; i++ {
+		now = now.Add(100 * time.Millisecond)
+		r.Observe(exp.ProgressEvent{Experiment: "t", Scenario: "s", Run: i, CellDone: i%5 == 4, SimSeconds: 1.5})
+	}
+	if rate := r.RunsPerSec(); rate < 9.99 || rate > 10.01 {
+		t.Fatalf("EWMA rate = %v, want 10 (constant 100ms gaps)", rate)
+	}
+	runs, cells := r.Done()
+	if runs != 20 || cells != 4 {
+		t.Fatalf("Done = %d runs, %d cells; want 20, 4", runs, cells)
+	}
+
+	now = now.Add(time.Second)
+	r.ExperimentDone("t")
+	now = now.Add(3 * time.Second)
+	r.ExperimentDone("u")
+	// Both experiment gaps are 3s, so the EWMA is exactly 3s and the two
+	// remaining experiments predict 6s.
+	_, _, eta := r.etaLocked()
+	if eta < 5.99 || eta > 6.01 {
+		t.Fatalf("eta = %v, want 6s (constant 3s per experiment, 2 left)", eta)
+	}
+	done, total, _ := r.etaLocked()
+	if done != 2 || total != 4 {
+		t.Fatalf("experiments = %d/%d, want 2/4", done, total)
+	}
+
+	r.Close()
+	if !strings.Contains(human.String(), "runs/s") {
+		t.Fatalf("human progress line missing rate: %q", human.String())
+	}
+	if !strings.HasSuffix(human.String(), "\n") {
+		t.Fatal("Close did not terminate the stderr line with a newline")
+	}
+	if _, err := ValidateStream(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("reporter stream invalid: %v", err)
+	}
+}
+
+func TestFlightDumpWritesArtifactsAndStreams(t *testing.T) {
+	dir := t.TempDir()
+	fl, err := NewFlight(filepath.Join(dir, "dumps"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Events() != DefaultFlightEvents {
+		t.Fatalf("Events = %d, want default %d", fl.Events(), DefaultFlightEvents)
+	}
+
+	var buf bytes.Buffer
+	prev := SetStream(NewStream(&buf))
+	defer SetStream(prev)
+
+	paths, err := fl.Dump(DumpSource{
+		Label:   "Apache/HTTP 1.1/PPP", // slashes and spaces must sanitize
+		Reason:  "watchdog",
+		Events:  7,
+		Dropped: 3,
+		Perfetto: func(w *os.File) error {
+			_, err := w.WriteString(`{"traceEvents":[]}`)
+			return err
+		},
+		Pcap: func(w *os.File) error {
+			_, err := w.Write([]byte{0xd4, 0xc3, 0xb2, 0xa1})
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2 artifacts", paths)
+	}
+	for _, p := range paths {
+		base := filepath.Base(p)
+		if strings.ContainsAny(base, "/ ") {
+			t.Fatalf("unsanitized dump name %q", base)
+		}
+		if !strings.Contains(base, "watchdog") {
+			t.Fatalf("dump name %q missing trigger reason", base)
+		}
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+	}
+	counts, err := ValidateStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[RecordFlight] != 1 {
+		t.Fatalf("flight records on stream = %d, want 1", counts[RecordFlight])
+	}
+	if !strings.Contains(buf.String(), `"dropped":3`) {
+		t.Fatalf("flight record missing overflow accounting:\n%s", buf.String())
+	}
+
+	// A second dump must not overwrite the first.
+	paths2, err := fl.Dump(DumpSource{Label: "x", Reason: "error",
+		Perfetto: func(w *os.File) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths2) != 1 || paths2[0] == paths[0] {
+		t.Fatalf("second dump reused the first dump's path: %v vs %v", paths2, paths)
+	}
+}
+
+func TestProgressHookInstallUninstall(t *testing.T) {
+	if exp.ProgressActive() {
+		t.Fatal("progress hook active before install")
+	}
+	var got []exp.ProgressEvent
+	prev := exp.SetProgress(func(ev exp.ProgressEvent) { got = append(got, ev) })
+	if prev != nil {
+		t.Fatal("unexpected previous hook")
+	}
+	if !exp.ProgressActive() {
+		t.Fatal("hook not active after install")
+	}
+	exp.NotifyProgress(exp.ProgressEvent{Run: 3})
+	exp.SetProgress(nil)
+	if exp.ProgressActive() {
+		t.Fatal("hook still active after uninstall")
+	}
+	exp.NotifyProgress(exp.ProgressEvent{Run: 4}) // must not panic or deliver
+	if len(got) != 1 || got[0].Run != 3 {
+		t.Fatalf("delivered events = %+v, want exactly the pre-uninstall one", got)
+	}
+}
