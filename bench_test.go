@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpclient"
 	"repro/internal/httpserver"
+	"repro/internal/mux"
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -462,4 +463,55 @@ func BenchmarkInitialCwnd(b *testing.B) {
 	b.ReportMetric(rows[0].Seconds, "iw1_plain_sec")
 	b.ReportMetric(rows[1].Seconds, "iw1_deflate_sec")
 	b.ReportMetric(rows[2].Seconds, "iw2_plain_sec")
+}
+
+// BenchmarkMuxLoopback pins the mux framing layer's raw throughput: two
+// sessions wired back to back in memory (no simulator, no network), the
+// client opening a page's worth of streams per iteration and the server
+// answering each with an 8 KB body. Frames per wall-clock second rides
+// under the same hard perf gate as the event engine.
+func BenchmarkMuxLoopback(b *testing.B) {
+	const streams, objLen = 40, 8192
+	body := make([]byte, objLen)
+	reqFields := []mux.Field{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: "/object"},
+		{Name: ":authority", Value: "server"},
+	}
+	respFields := []mux.Field{
+		{Name: ":status", Value: "200"},
+		{Name: "content-type", Value: "image/gif"},
+	}
+	var frames float64
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var client, server *mux.Session
+		server = mux.NewServer(func(p []byte) { client.Feed(p) })
+		client = mux.NewClient(func(p []byte) { server.Feed(p) })
+		server.OnHeaders = func(st *mux.Stream, _ []mux.Field, _ bool) {
+			server.WriteHeaders(st, respFields, false)
+			server.WriteData(st, body, true)
+		}
+		done := 0
+		client.OnData = func(_ *mux.Stream, _ []byte, end bool) {
+			if end {
+				done++
+			}
+		}
+		client.Start()
+		server.Start()
+		for j := 0; j < streams; j++ {
+			client.OpenStream(reqFields, true, 0)
+		}
+		if done != streams {
+			b.Fatalf("completed %d streams, want %d", done, streams)
+		}
+		if err := client.CloseCheck(); err != nil {
+			b.Fatal(err)
+		}
+		frames += float64(client.Stats.FramesSent + server.Stats.FramesSent)
+	}
+	b.StopTimer()
+	b.ReportMetric(frames/time.Since(start).Seconds(), "mux_frames_per_sec")
 }

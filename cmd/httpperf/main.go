@@ -22,6 +22,7 @@
 //	httpperf -table proxy    # shared caching proxy tier (cold/warm/stale)
 //	httpperf -table faults   # fault injection and recovery matrix
 //	httpperf -faults         # shortcut for -table faults
+//	httpperf -table mux      # multiplexed modes: mux, server push, burst
 //	httpperf -table sweep    # per-run structured metrics sweep
 //	httpperf -list           # registered experiments + scenario vocabulary
 //	httpperf -list-envs      # Table 1
@@ -97,7 +98,7 @@ func main() {
 // realMain carries the whole invocation so deferred telemetry and
 // profile finalizers run before the process exits.
 func realMain() int {
-	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, variance, sweep, all)")
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, variance, mux, sweep, all)")
 	experiment := flag.String("experiment", "", "alias for -table")
 	faultsOnly := flag.Bool("faults", false, "shortcut for -table faults")
 	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")
@@ -357,7 +358,7 @@ func printList(w io.Writer) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Scenario spec (-scenario): server/client/env/workload[/topology][/fault]")
 	fmt.Fprintln(w, "  server:   jigsaw, apache")
-	fmt.Fprintln(w, "  client:   http10, serial, pipelined, deflate, netscape, msie")
+	fmt.Fprintln(w, "  client:   http10, serial, pipelined, deflate, netscape, msie, mux, mux-push, burst")
 	fmt.Fprintln(w, "  env:      LAN, WAN, PPP")
 	fmt.Fprintln(w, "  workload: first, reval")
 	fmt.Fprintln(w, "  topology: direct, proxy:ENV[:warm|:stale]   (also the -topology flag)")

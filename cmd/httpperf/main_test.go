@@ -51,3 +51,43 @@ func TestFaultMatrixGolden(t *testing.T) {
 		t.Errorf("fault matrix drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
 	}
 }
+
+// TestMuxGolden pins the exact bytes the CI mux smoke job diffs:
+// `httpperf -table mux -runs 1 -seeds 1 -parallel 4`. Regenerate with
+// `go test ./cmd/httpperf -run TestMuxGolden -update` after legitimate
+// changes to the multiplexed-protocol experiment.
+func TestMuxGolden(t *testing.T) {
+	site, err := core.DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &exp.Session{Runs: 1, Seeds: 1, Parallel: 4, Site: site}
+	e, ok := exp.Lookup("mux")
+	if !ok {
+		t.Fatal("mux experiment not registered")
+	}
+	data, err := e.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Render(&buf, s, data); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n') // run() prints a blank line after each table
+
+	const path = "testdata/mux_golden.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("mux table drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -153,6 +153,41 @@ type RunResult struct {
 // ErrDidNotFinish reports a run whose client never completed the page.
 var ErrDidNotFinish = errors.New("core: client did not finish the fetch")
 
+// ErrFaultMode reports a fault profile combined with a protocol mode
+// that cannot express it: the server-scripted faults (early-close,
+// truncation, abort, stall) are HTTP/1.x response-stream behaviours the
+// framed mux path never takes, and the mux client has no per-request
+// watchdog to clear a blackhole. Link-loss profiles (burst-loss, flap)
+// remain valid for every mode.
+var ErrFaultMode = errors.New("core: fault profile does not apply to this client mode")
+
+// ErrMuxTopology reports a mux-family scenario behind the HTTP/1.x
+// caching proxy, which cannot forward framed connections.
+var ErrMuxTopology = errors.New("core: mux-family client modes do not speak through the HTTP/1.x proxy")
+
+// validateMode rejects scenario combinations the new protocol modes
+// cannot express, with named errors so callers (and the CLI) can
+// distinguish a bad spec from a failed run.
+func validateMode(sc Scenario) error {
+	mux := sc.Client == httpclient.ModeMux || sc.Client == httpclient.ModeMuxPush
+	burst := sc.Client == httpclient.ModeBurst
+	if !mux && !burst {
+		return nil
+	}
+	if sc.Proxy != nil && mux {
+		return fmt.Errorf("%w: %s", ErrMuxTopology, sc)
+	}
+	switch sc.Fault {
+	case faults.EarlyClose, faults.Truncate, faults.Abort, faults.Stall:
+		return fmt.Errorf("%w: %s (server-scripted faults need an HTTP/1.x response stream)", ErrFaultMode, sc)
+	case faults.Blackhole:
+		if mux {
+			return fmt.Errorf("%w: %s (the mux client has no per-request watchdog to clear a blackhole)", ErrFaultMode, sc)
+		}
+	}
+	return nil
+}
+
 // serverPort is the simulated origin's port; proxyPort the caching
 // proxy's (3128, squid's convention).
 const (
@@ -217,6 +252,9 @@ func Run(sc Scenario, site *webgen.Site, opts ...Option) (*RunResult, error) {
 }
 
 func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
+	if err := validateMode(sc); err != nil {
+		return nil, err
+	}
 	recordScenario(sc)
 	s := sim.New()
 	s.SetEventLimit(50_000_000)
@@ -530,6 +568,12 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.RecoverySeconds = res.Client.RecoverySeconds
 		m.Fallbacks = res.Client.Fallbacks
 		m.FaultsInjected = res.Server.FaultsInjected
+		m.StreamsOpened = res.Client.StreamsOpened
+		m.PushPromised = res.Client.PushPromised
+		m.PushUsed = res.Client.PushUsed
+		m.PushWastedBytes = res.Client.PushWastedBytes
+		m.HeaderBytesSaved = res.Client.HeaderBytesSaved
+		m.FlowControlStalls = res.Client.FlowControlStalls + res.Server.FlowControlStalls
 		m.SimEvents = s.Stats().Fired
 		if secs := wall.Seconds(); secs > 0 {
 			m.SimEventsPerSec = float64(m.SimEvents) / secs

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/stats"
+	"repro/internal/webgen"
+)
+
+// muxModes are the multiplexed-protocol experiment's client
+// configurations: the paper's four measured modes plus the three
+// modes the mux layer adds, in table order.
+var muxModes = []httpclient.Mode{
+	httpclient.ModeHTTP10,
+	httpclient.ModeHTTP11Serial,
+	httpclient.ModeHTTP11Pipelined,
+	httpclient.ModeHTTP11PipelinedDeflate,
+	httpclient.ModeMux,
+	httpclient.ModeMuxPush,
+	httpclient.ModeBurst,
+}
+
+// newModes are just the three mux-layer additions, for the fault and
+// variance sections (the legacy modes already have their own fault and
+// variance experiments).
+var newModes = []httpclient.Mode{
+	httpclient.ModeMux,
+	httpclient.ModeMuxPush,
+	httpclient.ModeBurst,
+}
+
+// MuxCell is one workload's measurements in the mux grid: the paper's
+// packets/bytes/seconds quantities plus the multiplexing accounting.
+type MuxCell struct {
+	Packets float64
+	KBytes  float64
+	Seconds float64
+
+	// Streams counts client-opened streams; Promised/Used the server's
+	// push promises and the ones the client claimed; PushWasteKB pushed
+	// kilobytes the client never wanted; HdrSavedKB the header-
+	// compression win; Stalls flow-control window exhaustions on either
+	// endpoint. All zero for the HTTP/1.x modes.
+	Streams     float64
+	Promised    float64
+	Used        float64
+	PushWasteKB float64
+	HdrSavedKB  float64
+	Stalls      float64
+}
+
+// MuxRow is one protocol mode in one environment, both workloads.
+type MuxRow struct {
+	Env  string
+	Mode string
+
+	First MuxCell
+	Reval MuxCell
+}
+
+// MuxData is the multiplexed-protocol experiment: the full
+// mode-comparison grid, plus fault-recovery and seed-variance sections
+// for the three new modes.
+type MuxData struct {
+	Grid     []MuxRow
+	Faults   []FaultRow
+	Variance []VarianceRow
+}
+
+// muxFaults are the fault profiles valid for the new modes: link-level
+// disruptions only (the server-scripted faults are HTTP/1.x response
+// behaviours core rejects for framed and aggregated transfers).
+var muxFaults = []faults.Profile{faults.None, faults.BurstLoss, faults.Flap}
+
+// MuxTable runs the multiplexed-protocol experiment against the Apache
+// profile: every mode (the paper's four plus mux, mux-push, and burst)
+// across the three environments and both workloads, then the new modes
+// under link faults and across seeded populations. It asks the paper's
+// follow-on question — how much of pipelining's win does real
+// multiplexing extend, what does server push buy (and waste), and what
+// does aggregating the page into one response give up in cacheability.
+func (sw Sweep) MuxTable(site *webgen.Site) (*MuxData, error) {
+	data := &MuxData{}
+	envs := []netem.Environment{netem.PPP, netem.WAN, netem.LAN}
+	for ei, env := range envs {
+		for mi, mode := range muxModes {
+			row := MuxRow{Env: env.String(), Mode: mode.String()}
+			for wi, wl := range []httpclient.Workload{httpclient.FirstTime, httpclient.Revalidate} {
+				sc := Scenario{
+					Server:   httpserver.ProfileApache,
+					Client:   mode,
+					Env:      env,
+					Workload: wl,
+					Seed:     18000 + uint64(ei)*1000 + uint64(mi)*10 + uint64(wi),
+				}
+				results, err := sw.series(sc, site, 29)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sc, err)
+				}
+				var cell MuxCell
+				n := float64(len(results))
+				for _, res := range results {
+					c := res.Client
+					cell.Packets += float64(res.Stats.Packets) / n
+					cell.KBytes += float64(res.Stats.PayloadBytes) / 1024 / n
+					cell.Seconds += res.Elapsed.Seconds() / n
+					cell.Streams += float64(c.StreamsOpened) / n
+					cell.Promised += float64(c.PushPromised) / n
+					cell.Used += float64(c.PushUsed) / n
+					cell.PushWasteKB += float64(c.PushWastedBytes) / 1024 / n
+					cell.HdrSavedKB += float64(c.HeaderBytesSaved) / 1024 / n
+					cell.Stalls += float64(c.FlowControlStalls+res.Server.FlowControlStalls) / n
+				}
+				if wl == httpclient.FirstTime {
+					row.First = cell
+				} else {
+					row.Reval = cell
+				}
+			}
+			data.Grid = append(data.Grid, row)
+		}
+	}
+
+	// Fault section: the new modes under link-level disruption, with the
+	// same recovery counters as the fault-injection experiment.
+	for ei, env := range []netem.Environment{netem.PPP, netem.WAN} {
+		for fi, prof := range muxFaults {
+			for mi, mode := range newModes {
+				sc := Scenario{
+					Server:   httpserver.ProfileApache,
+					Client:   mode,
+					Env:      env,
+					Workload: httpclient.FirstTime,
+					Seed:     19000 + uint64(ei)*1000 + uint64(fi)*100 + uint64(mi),
+					Fault:    prof,
+				}
+				results, err := sw.series(sc, site, 17)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sc, err)
+				}
+				row := FaultRow{Env: env.String(), Fault: prof.String(), Mode: mode.String()}
+				n := float64(len(results))
+				for _, res := range results {
+					c := res.Client
+					row.Packets += float64(res.Stats.Packets) / n
+					row.Seconds += res.Elapsed.Seconds() / n
+					row.Errors += float64(c.Errors) / n
+					row.Retried += float64(c.Retried) / n
+					row.Timeouts += float64(c.Timeouts) / n
+					row.Recovered += float64(c.RequestsRecovered) / n
+					row.Failed += float64(c.RequestsFailed) / n
+					row.WastedKB += float64(c.WastedBytes) / 1024 / n
+					row.Fallbacks += float64(c.Fallbacks) / n
+				}
+				data.Faults = append(data.Faults, row)
+			}
+		}
+	}
+
+	// Variance section: distributional robustness of the new modes,
+	// clean and under burst loss.
+	vsw := sw
+	vsw.Stats = true
+	for ei, env := range []netem.Environment{netem.PPP, netem.WAN} {
+		for fi, prof := range varianceFaults {
+			for mi, mode := range newModes {
+				sc := Scenario{
+					Server:   httpserver.ProfileApache,
+					Client:   mode,
+					Env:      env,
+					Workload: httpclient.FirstTime,
+					Seed:     20000 + uint64(ei)*1000 + uint64(fi)*100 + uint64(mi),
+					Fault:    prof,
+				}
+				results, err := vsw.series(sc, site, 23)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sc, err)
+				}
+				secs := make([]float64, len(results))
+				pkts := make([]float64, len(results))
+				var lat stats.LatencySet
+				for i, res := range results {
+					secs[i] = res.Elapsed.Seconds()
+					pkts[i] = float64(res.Stats.Packets)
+					lat.Merge(res.Latency)
+				}
+				ms := func(v int64) float64 { return float64(v) / 1e6 }
+				data.Variance = append(data.Variance, VarianceRow{
+					Env: env.String(), Fault: prof.String(), Mode: mode.String(),
+					N:        len(results),
+					Seconds:  stats.Summarize(secs),
+					Packets:  stats.Summarize(pkts),
+					LatP50Ms: ms(lat.Total.Quantile(0.50)),
+					LatP90Ms: ms(lat.Total.Quantile(0.90)),
+					LatP99Ms: ms(lat.Total.Quantile(0.99)),
+					LatMaxMs: ms(lat.Total.Max()),
+				})
+			}
+		}
+	}
+	return data, nil
+}

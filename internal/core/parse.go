@@ -24,7 +24,7 @@ func ParseServerProfile(s string) (httpserver.Profile, error) {
 
 // ParseClientMode maps a command-line name to a client mode. Accepted
 // (case-insensitive): http10, serial, pipelined, deflate, netscape,
-// msie.
+// msie, mux, mux-push, burst.
 func ParseClientMode(s string) (httpclient.Mode, error) {
 	switch strings.ToLower(s) {
 	case "http10":
@@ -39,8 +39,14 @@ func ParseClientMode(s string) (httpclient.Mode, error) {
 		return httpclient.ModeNetscape, nil
 	case "msie":
 		return httpclient.ModeMSIE, nil
+	case "mux":
+		return httpclient.ModeMux, nil
+	case "mux-push", "muxpush", "push":
+		return httpclient.ModeMuxPush, nil
+	case "burst":
+		return httpclient.ModeBurst, nil
 	}
-	return 0, fmt.Errorf("unknown client mode %q (want http10, serial, pipelined, deflate, netscape, or msie)", s)
+	return 0, fmt.Errorf("unknown client mode %q (want http10, serial, pipelined, deflate, netscape, msie, mux, mux-push, or burst)", s)
 }
 
 // ParseEnvironment maps a command-line name to a network environment.
@@ -111,7 +117,7 @@ func ParseScenario(spec string) (Scenario, error) {
 	parts := strings.Split(spec, "/")
 	if len(parts) < 4 || len(parts) > 6 {
 		return Scenario{}, fmt.Errorf(
-			"scenario %q: want server/client/env/workload[/topology][/fault] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]; fault: %s",
+			"scenario %q: want server/client/env/workload[/topology][/fault] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie|mux|mux-push|burst; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]; fault: %s",
 			spec, strings.Join(faults.Names(), "|"))
 	}
 	var sc Scenario

@@ -91,6 +91,18 @@ type Metrics struct {
 	Fallbacks         int     `json:"fallbacks,omitempty"`
 	FaultsInjected    int     `json:"faults_injected,omitempty"`
 
+	// Multiplexed-protocol accounting (all zero outside the mux, mux-push
+	// and burst client modes): client-opened streams, server push
+	// promises made/claimed, pushed bytes the client never wanted,
+	// HPACK-style header compression savings, and flow-control window
+	// exhaustions on either endpoint.
+	StreamsOpened     int   `json:"streams_opened,omitempty"`
+	PushPromised      int   `json:"push_promised,omitempty"`
+	PushUsed          int   `json:"push_used,omitempty"`
+	PushWastedBytes   int64 `json:"push_wasted_bytes,omitempty"`
+	HeaderBytesSaved  int64 `json:"header_bytes_saved,omitempty"`
+	FlowControlStalls int   `json:"flow_control_stalls,omitempty"`
+
 	// TimelineEvents and TimelineSpans count the observability bus's
 	// recorded events and request spans; both are zero when the run
 	// executed without core.WithTimeline.
@@ -141,6 +153,8 @@ var csvHeader = []string{
 	"errors", "retried",
 	"timeouts", "requests_recovered", "requests_failed",
 	"wasted_bytes", "recovery_seconds", "fallbacks", "faults_injected",
+	"streams_opened", "push_promised", "push_used",
+	"push_wasted_bytes", "header_bytes_saved", "flow_control_stalls",
 	"timeline_events", "timeline_spans",
 	"sim_events",
 	"cache_hits", "cache_misses", "cache_revalidations",
@@ -164,6 +178,8 @@ func (m Metrics) csvRow() []string {
 		strconv.Itoa(m.Errors), strconv.Itoa(m.Retried),
 		strconv.Itoa(m.Timeouts), strconv.Itoa(m.RequestsRecovered), strconv.Itoa(m.RequestsFailed),
 		strconv.FormatInt(m.WastedBytes, 10), f(m.RecoverySeconds), strconv.Itoa(m.Fallbacks), strconv.Itoa(m.FaultsInjected),
+		strconv.Itoa(m.StreamsOpened), strconv.Itoa(m.PushPromised), strconv.Itoa(m.PushUsed),
+		strconv.FormatInt(m.PushWastedBytes, 10), strconv.FormatInt(m.HeaderBytesSaved, 10), strconv.Itoa(m.FlowControlStalls),
 		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
 		strconv.FormatUint(m.SimEvents, 10),
 		strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMisses), strconv.Itoa(m.CacheRevalidations),

@@ -38,6 +38,8 @@ func TestCSVHeaderPinned(t *testing.T) {
 		"errors,retried," +
 		"timeouts,requests_recovered,requests_failed," +
 		"wasted_bytes,recovery_seconds,fallbacks,faults_injected," +
+		"streams_opened,push_promised,push_used," +
+		"push_wasted_bytes,header_bytes_saved,flow_control_stalls," +
 		"timeline_events,timeline_spans," +
 		"sim_events," +
 		"cache_hits,cache_misses,cache_revalidations," +

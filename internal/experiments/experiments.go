@@ -200,6 +200,14 @@ func init() {
 		},
 	})
 	exp.Register(exp.Experiment{
+		Name: "mux", Title: "Multiplexed protocol modes: mux, server push, burst vs the paper's four",
+		Generate: func(s *exp.Session) (any, error) { return sweepFor(s, "mux").MuxTable(s.Site) },
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Mux(w, d.(*core.MuxData))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
 		Name: "sweep", Title: "Per-run structured metrics sweep (protocol modes × environments)",
 		Skip: true,
 		Generate: func(s *exp.Session) (any, error) {

@@ -44,6 +44,18 @@ const (
 	// ModeMSIE: Internet Explorer 4.0b1 profile — HTTP/1.1, 4 parallel
 	// persistent connections, no pipelining, verbose headers.
 	ModeMSIE
+	// ModeMux: HTTP/2-style framed multiplexing over one connection —
+	// concurrent streams, header compression, flow control (the
+	// internal/mux layer).
+	ModeMux
+	// ModeMuxPush: ModeMux plus server push: the server promises and
+	// pushes the page's inline objects unasked; the client cancels
+	// promises it can satisfy from cache, and pushed-but-unused bytes
+	// are accounted as waste.
+	ModeMuxPush
+	// ModeBurst: Http-Burst-style aggregation — one GET, one response
+	// carrying the page and every inline object as records.
+	ModeBurst
 )
 
 // String names the mode as in the paper's tables.
@@ -61,6 +73,12 @@ func (m Mode) String() string {
 		return "Netscape Navigator"
 	case ModeMSIE:
 		return "Internet Explorer"
+	case ModeMux:
+		return "HTTP/2 Mux"
+	case ModeMuxPush:
+		return "HTTP/2 Mux + Push"
+	case ModeBurst:
+		return "HTTP/1.1 Burst"
 	}
 	return "unknown"
 }
@@ -96,6 +114,14 @@ type Config struct {
 	// AcceptDeflate advertises and decodes deflate content coding.
 	AcceptDeflate bool
 	Style         Style
+
+	// Mux fetches over one framed multiplexed connection (internal/mux)
+	// instead of HTTP/1.x; MuxPush additionally advertises
+	// SETTINGS_ENABLE_PUSH so the server pushes inline objects. Burst
+	// asks the server for a single aggregated response (Accept-Burst).
+	Mux     bool
+	MuxPush bool
+	Burst   bool
 
 	// BufferSize is the pipelining output buffer (paper: 1024).
 	BufferSize int
@@ -195,6 +221,21 @@ func (m Mode) Config() Config {
 		c.MaxConns = 4
 		c.KeepAlive = true
 		c.Style = StyleMSIE
+	case ModeMux, ModeMuxPush:
+		c.Proto = "HTTP/1.1" // synthesized responses carry this proto
+		c.MaxConns = 1
+		c.KeepAlive = true
+		c.NoDelay = true
+		c.Style = StyleRobot11
+		c.Mux = true
+		c.MuxPush = m == ModeMuxPush
+	case ModeBurst:
+		c.Proto = "HTTP/1.1"
+		c.MaxConns = 1
+		c.KeepAlive = true
+		c.NoDelay = true
+		c.Style = StyleRobot11
+		c.Burst = true
 	}
 	return c
 }
@@ -256,4 +297,23 @@ type Result struct {
 	DeflateResponses int
 	// InflatedBytes is the decoded size of those bodies.
 	InflatedBytes int64
+
+	// Multiplexed-mode accounting (zero outside Mux/MuxPush/Burst).
+	// StreamsOpened counts client-initiated streams; PushPromised the
+	// promises the server made; PushUsed the promises this fetch
+	// claimed in place of its own request.
+	StreamsOpened int
+	PushPromised  int
+	PushUsed      int
+	// PushWastedBytes counts pushed body bytes the client never wanted:
+	// DATA arriving on cancelled promises plus completed pushes that
+	// were never claimed (Meireles et al.'s wasted-push measure).
+	PushWastedBytes int64
+	// HeaderBytesSaved is the client-observed HPACK-style compression
+	// win: Σ (plain HTTP/1.x header size − encoded block size) over
+	// both directions of the mux connection.
+	HeaderBytesSaved int64
+	// FlowControlStalls counts this side's transitions into an
+	// exhausted stream or connection flow-control window.
+	FlowControlStalls int
 }

@@ -1,0 +1,362 @@
+package httpclient
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/htmlparse"
+	"repro/internal/httpmsg"
+	"repro/internal/mux"
+	"repro/internal/obs"
+	"repro/internal/tcpsim"
+)
+
+// muxStream is the client-side state of one mux stream: either a
+// request the robot opened itself, or a server push.
+type muxStream struct {
+	it        workItem // valid once claimed
+	claimed   bool     // a work item owns this stream
+	pushed    bool     // server-initiated (PUSH_PROMISE)
+	cancelled bool     // we RST_STREAMed a push we didn't want
+	delivered bool     // response handed to handleResponse
+	done      bool     // endStream seen
+
+	status int
+	header httpmsg.Header
+	body   []byte
+	span   obs.SpanID // pushed-span timeline row (0 when not pushed)
+	path   string     // :path of a push, before any item claims it
+}
+
+// muxConn is the robot's single framed multiplexed connection
+// (ModeMux / ModeMuxPush). Unlike clientConn there is no pipelining
+// buffer, no flush timer, and no per-request watchdog: the session's
+// scheduler owns interleaving, and recovery re-dials the whole session.
+type muxConn struct {
+	r        *Robot
+	conn     *tcpsim.Conn
+	sess     *mux.Session
+	dead     bool
+	closing  bool // we finished and sent FIN; peer close is expected
+	promised map[string]*mux.Stream
+}
+
+// dialMux opens the mux connection and performs the session handshake
+// (connection preface + SETTINGS, advertising push when configured).
+func (r *Robot) dialMux() *muxConn {
+	mc := &muxConn{r: r, promised: make(map[string]*mux.Stream)}
+	r.mux = mc
+	opts := r.cfg.TCP
+	opts.NoDelay = true // the frame scheduler owns batching
+	mc.conn = r.host.Dial(r.serverHost, r.serverPort, opts, &tcpsim.Callbacks{
+		Data:      mc.onData,
+		PeerClose: mc.onPeerClose,
+		Error:     mc.onError,
+		Close:     mc.onClose,
+	})
+	r.result.SocketsUsed++
+	if live := 1; live > r.result.MaxSimultaneousConns {
+		r.result.MaxSimultaneousConns = live
+	}
+	sess := mux.NewClient(func(b []byte) { mc.conn.Write(b) })
+	sess.EnablePush = r.cfg.MuxPush
+	sess.OnHeaders = mc.onHeaders
+	sess.OnData = mc.onStreamData
+	sess.OnPushPromise = mc.onPushPromise
+	sess.OnError = mc.onSessionError
+	if b := r.cfg.Obs; b != nil {
+		id := mc.conn.ObsID()
+		sess.OnFrameSent = func(t mux.FrameType, stream uint32, n int) {
+			b.MuxFrame(id, t.String(), stream, n)
+		}
+		sess.OnStall = func(st *mux.Stream, conn bool) {
+			var sid uint32
+			if st != nil {
+				sid = st.ID
+			}
+			b.FlowStall(id, sid, conn)
+		}
+	}
+	mc.sess = sess
+	sess.Start()
+	return mc
+}
+
+// muxDispatch drains the robot's queue onto the mux connection: one
+// stream per work item, except items a server push already answered.
+func (r *Robot) muxDispatch() {
+	mc := r.mux
+	if mc == nil || mc.dead {
+		if mc != nil && mc.dead {
+			return // a redial is pending via muxFail → dispatch
+		}
+		mc = r.dialMux()
+	}
+	for len(r.queue) > 0 {
+		it := r.queue[0]
+		r.queue = r.queue[1:]
+		mc.request(it)
+	}
+}
+
+// request issues one work item: claim a matching outstanding push
+// promise, or open a stream of our own.
+func (mc *muxConn) request(it workItem) {
+	r := mc.r
+	if st, ok := mc.promised[it.path]; ok && it.method == "GET" && !it.conditional {
+		// The server already volunteered this object: adopt the pushed
+		// stream instead of asking again.
+		delete(mc.promised, it.path)
+		ms := st.UserData.(*muxStream)
+		ms.claimed = true
+		ms.it = it
+		r.issued++
+		r.result.PushUsed++
+		if ms.done {
+			mc.complete(ms)
+		}
+		return
+	}
+	req := r.buildItemRequest(it)
+	st := mc.sess.OpenStream(muxFields(req, r.serverHost), true, 0)
+	st.UserData = &muxStream{it: it, claimed: true}
+	r.issued++
+	r.cfg.Obs.SpanWritten(it.span, mc.conn.ObsID())
+}
+
+// muxFields lowers an HTTP/1.x request to a mux header block:
+// pseudo-headers first, then the style's fields minus the
+// connection-level ones the framing layer owns.
+func muxFields(req *httpmsg.Request, authority string) []mux.Field {
+	fields := []mux.Field{
+		{Name: ":method", Value: req.Method},
+		{Name: ":path", Value: req.Target},
+		{Name: ":authority", Value: authority},
+	}
+	for _, f := range req.Header.Fields() {
+		name := strings.ToLower(f.Name)
+		if name == "host" || name == "connection" {
+			continue
+		}
+		fields = append(fields, mux.Field{Name: name, Value: f.Value})
+	}
+	return fields
+}
+
+func (mc *muxConn) onData(c *tcpsim.Conn, data []byte) {
+	mc.r.lastData = mc.r.sim.Now()
+	mc.sess.Feed(data)
+}
+
+func (mc *muxConn) onHeaders(st *mux.Stream, fields []mux.Field, end bool) {
+	ms, ok := st.UserData.(*muxStream)
+	if !ok {
+		return
+	}
+	for _, f := range fields {
+		switch {
+		case f.Name == ":status":
+			ms.status, _ = strconv.Atoi(f.Value)
+		case !strings.HasPrefix(f.Name, ":"):
+			ms.header.Add(f.Name, f.Value)
+		}
+	}
+	if ms.pushed {
+		mc.r.cfg.Obs.SpanFirstByte(ms.span)
+	} else {
+		mc.r.cfg.Obs.SpanFirstByte(ms.it.span)
+	}
+	if end {
+		ms.done = true
+		if ms.claimed {
+			mc.complete(ms)
+		}
+	}
+}
+
+func (mc *muxConn) onStreamData(st *mux.Stream, p []byte, end bool) {
+	r := mc.r
+	ms, ok := st.UserData.(*muxStream)
+	if !ok {
+		return
+	}
+	if ms.cancelled {
+		// DATA that raced our RST_STREAM: delivered, never wanted.
+		r.result.PushWastedBytes += int64(len(p))
+		return
+	}
+	ms.body = append(ms.body, p...)
+	if ms.claimed && ms.it.isHTML && ms.status == 200 {
+		// Parse the page as it streams so inline objects start
+		// (or claim their pushes) before the document completes.
+		r.discoverLinks(p)
+	}
+	if end {
+		ms.done = true
+		if ms.claimed {
+			mc.complete(ms)
+		}
+	}
+}
+
+// complete hands a finished stream's response to the shared
+// HTTP/1.x response handler after the per-response CPU charge.
+func (mc *muxConn) complete(ms *muxStream) {
+	r := mc.r
+	ms.delivered = true
+	resp := &httpmsg.Response{
+		Proto:      httpmsg.Proto11,
+		StatusCode: ms.status,
+		Reason:     httpmsg.StatusText(ms.status),
+		Header:     ms.header,
+		Body:       ms.body,
+	}
+	it := ms.it
+	r.cfg.Obs.SpanDone(it.span, ms.status, int64(len(ms.body)))
+	if ms.pushed {
+		r.cfg.Obs.SpanDone(ms.span, ms.status, int64(len(ms.body)))
+	}
+	r.cpu.Run(r.cfg.PerRequestCPU, func() {
+		r.handleResponse(nil, it, resp)
+	})
+}
+
+// onPushPromise accepts or cancels a server push. A promise the cache
+// can already satisfy is refused immediately (the client would rather
+// revalidate); anything pushed after the refusal is waste.
+func (mc *muxConn) onPushPromise(parent, promised *mux.Stream, fields []mux.Field) {
+	r := mc.r
+	path := ""
+	for _, f := range fields {
+		if f.Name == ":path" {
+			path = f.Value
+		}
+	}
+	ms := &muxStream{pushed: true, path: path}
+	promised.UserData = ms
+	ms.span = r.cfg.Obs.SpanPushed("GET", path, mc.conn.ObsID())
+	if _, ok := r.cache.Get(path); ok {
+		ms.cancelled = true
+		mc.sess.RstStream(promised)
+		return
+	}
+	mc.promised[path] = promised
+}
+
+func (mc *muxConn) onSessionError(err error) {
+	if !mc.dead {
+		mc.conn.Abort()
+		mc.r.muxFail(mc)
+	}
+}
+
+func (mc *muxConn) onPeerClose(c *tcpsim.Conn) {
+	if mc.closing || mc.r.finished {
+		return // our FIN went first; this is the server's half closing
+	}
+	err := mc.sess.CloseCheck()
+	if !mc.dead {
+		mc.conn.CloseWrite()
+	}
+	mc.r.muxFailErr(mc, err != nil)
+}
+
+func (mc *muxConn) onError(c *tcpsim.Conn, err error) {
+	mc.r.muxFail(mc)
+}
+
+func (mc *muxConn) onClose(c *tcpsim.Conn) {
+	if !mc.closing {
+		mc.r.muxFail(mc)
+	}
+}
+
+// finish is the graceful end of the fetch: account pushes that were
+// never claimed, fold the session's counters into the result, and
+// half-close.
+func (mc *muxConn) finish() {
+	if mc.closing || mc.dead {
+		return
+	}
+	mc.closing = true
+	for _, st := range mc.sess.Streams() {
+		ms, ok := st.UserData.(*muxStream)
+		if !ok {
+			continue
+		}
+		if ms.pushed && !ms.claimed && !ms.cancelled {
+			// Promised, delivered (fully or partly), never wanted.
+			mc.r.result.PushWastedBytes += int64(len(ms.body))
+		}
+	}
+	mc.fillStats()
+	mc.conn.CloseWrite()
+}
+
+// fillStats folds the session counters into the fetch result. Called
+// exactly once per session (graceful finish or failure); a redialled
+// session accumulates on top.
+func (mc *muxConn) fillStats() {
+	st := mc.sess.Stats
+	mc.r.result.StreamsOpened += st.StreamsOpened
+	mc.r.result.PushPromised += st.PushPromised
+	mc.r.result.HeaderBytesSaved += st.HeaderBytesSaved
+	mc.r.result.FlowControlStalls += st.FlowControlStalls
+}
+
+// muxFail retires a failed mux connection: undelivered claimed items
+// are re-queued (a fresh session will re-issue them), partial bodies
+// and orphaned pushes become waste, and dispatch redials.
+func (r *Robot) muxFail(mc *muxConn) { r.muxFailErr(mc, true) }
+
+func (r *Robot) muxFailErr(mc *muxConn, isError bool) {
+	if mc.dead || mc.closing {
+		return
+	}
+	mc.dead = true
+	if r.mux == mc {
+		r.mux = nil
+	}
+	p := r.cfg.Recovery
+	if isError {
+		r.result.Errors++
+		if p != nil {
+			r.consecFails++
+			if b := p.Backoff(r.consecFails); b > 0 {
+				r.backoffUntil = r.sim.Now().Add(b)
+				r.cfg.Obs.RetryBackoff(b, r.consecFails)
+			}
+		}
+	}
+	mc.fillStats()
+	for _, st := range mc.sess.Streams() {
+		ms, ok := st.UserData.(*muxStream)
+		if !ok || !ms.claimed || ms.delivered {
+			continue
+		}
+		r.result.WastedBytes += int64(len(ms.body))
+		if p != nil && !r.recovering {
+			r.recovering = true
+			r.recoverFrom = r.sim.Now()
+		}
+		it := ms.it
+		if p != nil && (!idempotent(it.method) || !p.Allow(r.result.Retried)) {
+			r.issued--
+			r.result.RequestsFailed++
+			r.result.Aborted = true
+			if it.isHTML {
+				r.htmlPending = false
+			}
+			continue
+		}
+		it.retried = true
+		r.result.Retried++
+		r.issued--
+		it.span = r.cfg.Obs.SpanQueued(it.method, it.path, true)
+		r.queue = append(r.queue, it)
+		if it.isHTML {
+			r.extractor = htmlparse.LinkExtractor{}
+		}
+	}
+	r.dispatch()
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/flatez"
 	"repro/internal/htmlparse"
 	"repro/internal/httpmsg"
+	"repro/internal/mux"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -46,6 +47,7 @@ type Robot struct {
 	workload  Workload
 	queue     []workItem
 	conns     []*clientConn
+	mux       *muxConn
 	extractor htmlparse.LinkExtractor
 	enqueued  map[string]bool
 	imageURLs []string
@@ -165,6 +167,11 @@ func (r *Robot) dispatch() {
 		return
 	}
 	if r.holdForBackoff() {
+		return
+	}
+	if r.cfg.Mux {
+		r.muxDispatch()
+		r.checkDone()
 		return
 	}
 	if r.cfg.Pipelining && !r.cautious {
@@ -332,6 +339,9 @@ func (r *Robot) buildItemRequest(it workItem) *httpmsg.Request {
 	if it.isHTML && r.cfg.AcceptDeflate {
 		req.Header.Add("Accept-Encoding", "deflate")
 	}
+	if it.isHTML && r.cfg.Burst {
+		req.Header.Add(mux.BurstRequestHeader, mux.BurstRequestValue)
+	}
 	return req
 }
 
@@ -351,6 +361,10 @@ func (r *Robot) handleResponse(cc *clientConn, it workItem, resp *httpmsg.Respon
 				r.result.RecoverySeconds += r.sim.Now().Sub(r.recoverFrom).Seconds()
 			}
 		}
+	}
+	if r.cfg.Burst && it.isHTML {
+		r.handleBurstResponse(it, resp)
+		return
 	}
 	body := resp.Body
 	switch resp.StatusCode {
@@ -471,6 +485,9 @@ func (r *Robot) checkDone() {
 			c.flush()
 			c.conn.CloseWrite()
 		}
+	}
+	if r.mux != nil {
+		r.mux.finish()
 	}
 	if r.onDone != nil {
 		r.onDone(r)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/flatez"
 	"repro/internal/httpmsg"
+	"repro/internal/mux"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -124,6 +125,11 @@ type Stats struct {
 	BytesOut       int64
 	EarlyCloses    int
 	ProtocolErrors int
+	// Mux-mode counters: streams the server pushed unasked, and
+	// transitions into an exhausted send window (stream or connection)
+	// while pumping response DATA.
+	PushedStreams     int
+	FlowControlStalls int
 	// FaultsInjected counts scripted faults that actually fired:
 	// one-shot response faults (truncation, abort, stall) and closes
 	// forced by a scripted CloseAfterResponses limit.
@@ -197,6 +203,14 @@ type serverConn struct {
 	// further bytes are ever sent and no close is initiated.
 	stalled bool
 
+	// Mux sniffing: a connection whose first bytes are the mux
+	// connection preface is handed to a framed session instead of the
+	// HTTP/1.x parser. preBuf holds bytes while the preface is still
+	// ambiguous (it can arrive split).
+	mux        *muxServerConn
+	muxDecided bool
+	preBuf     []byte
+
 	outBuf []byte
 }
 
@@ -219,6 +233,15 @@ func (sc *serverConn) onData(c *tcpsim.Conn, data []byte) {
 	if sc.closing || sc.stalled {
 		return
 	}
+	if sc.mux != nil {
+		sc.mux.sess.Feed(data)
+		return
+	}
+	if !sc.muxDecided {
+		if data = sc.sniffPreface(data); data == nil {
+			return
+		}
+	}
 	reqs, err := sc.parser.Feed(data)
 	if err != nil {
 		sc.srv.stats.ProtocolErrors++
@@ -236,9 +259,41 @@ func (sc *serverConn) onData(c *tcpsim.Conn, data []byte) {
 	sc.processNext()
 }
 
+// sniffPreface decides whether the connection speaks mux framing. It
+// returns the bytes the HTTP/1.x parser should consume (nil while
+// undecided or once the mux session has taken over).
+func (sc *serverConn) sniffPreface(data []byte) []byte {
+	if len(sc.preBuf) == 0 && (len(data) == 0 || data[0] != 'P') {
+		sc.muxDecided = true // no HTTP method starts with 'P' here
+		return data
+	}
+	sc.preBuf = append(sc.preBuf, data...)
+	pre := []byte(mux.Preface)
+	n := min(len(sc.preBuf), len(pre))
+	if !bytes.Equal(sc.preBuf[:n], pre[:n]) {
+		// Not the preface after all: replay everything through HTTP.
+		sc.muxDecided = true
+		data = sc.preBuf
+		sc.preBuf = nil
+		return data
+	}
+	if len(sc.preBuf) >= len(pre) {
+		sc.muxDecided = true
+		buf := sc.preBuf
+		sc.preBuf = nil
+		sc.startMux()
+		sc.mux.sess.Feed(buf) // the session strips the preface itself
+	}
+	return nil
+}
+
 func (sc *serverConn) onPeerClose(c *tcpsim.Conn) {
 	if sc.stalled {
 		return // the stall fault never answers, never closes
+	}
+	if sc.mux != nil {
+		sc.mux.onPeerClose()
+		return
 	}
 	// Client finished sending. Once all pending work drains, close our
 	// half too.
@@ -399,6 +454,21 @@ func (s *Server) respond(req *httpmsg.Request) *httpmsg.Response {
 		if !httpmsg.ModifiedSince(obj.LastModified, ims) {
 			resp := httpmsg.NewResponse(proto, 304)
 			s.stats.NotModified++
+			return s.finishHeaders(resp)
+		}
+	}
+
+	// Burst aggregation: a page request carrying Accept-Burst gets one
+	// 200 whose body packs the page and every inline object as records.
+	// It validates like the page itself (the conditional-GET paths above
+	// already answered 304 when the page was fresh).
+	if httpmsg.TokenListContains(req.Header.Get(mux.BurstRequestHeader), mux.BurstRequestValue) {
+		if recs := s.burstRecords(req.Target); recs != nil {
+			resp := httpmsg.NewResponse(proto, 200)
+			resp.Header.Add("Content-Type", mux.BurstContentType)
+			resp.Body = mux.EncodeBurst(recs)
+			resp.Header.Add("ETag", obj.ETag)
+			resp.Header.Add("Last-Modified", obj.LastModified)
 			return s.finishHeaders(resp)
 		}
 	}

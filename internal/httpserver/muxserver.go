@@ -1,0 +1,222 @@
+package httpserver
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/httpmsg"
+	"repro/internal/mux"
+	"repro/internal/tcpsim"
+)
+
+// muxJob is one response the mux session owes: a client request's, or
+// a push the server volunteered. Both are charged PerRequestCPU
+// through the host's single CPU, one at a time, like the HTTP/1.x
+// path.
+type muxJob struct {
+	st     *mux.Stream
+	req    *httpmsg.Request
+	pushed bool
+}
+
+// muxServerConn runs one framed multiplexed connection: requests
+// arrive as HEADERS, responses leave as HEADERS+DATA interleaved by
+// the session's priority scheduler, and — when the client advertised
+// push — the page's inline objects are promised and pushed ahead of
+// the client asking.
+type muxServerConn struct {
+	sc   *serverConn
+	sess *mux.Session
+
+	pending    []muxJob
+	processing bool
+}
+
+// startMux hands the connection to a mux session. Response bytes are
+// counted in the Send hook (the session owns all marshalling), so the
+// legacy BytesOut accounting in serve() is never double-applied.
+func (sc *serverConn) startMux() {
+	srv := sc.srv
+	msc := &muxServerConn{sc: sc}
+	sess := mux.NewServer(func(b []byte) {
+		srv.stats.BytesOut += int64(len(b))
+		sc.conn.Write(b)
+	})
+	sess.OnHeaders = msc.onHeaders
+	sess.OnError = func(err error) {
+		srv.stats.ProtocolErrors++
+		sc.close()
+	}
+	sess.OnStall = func(st *mux.Stream, conn bool) {
+		srv.stats.FlowControlStalls++
+		if b := srv.cfg.Obs; b != nil {
+			var sid uint32
+			if st != nil {
+				sid = st.ID
+			}
+			b.FlowStall(sc.conn.ObsID(), sid, conn)
+		}
+	}
+	if b := srv.cfg.Obs; b != nil {
+		id := sc.conn.ObsID()
+		sess.OnFrameSent = func(t mux.FrameType, stream uint32, n int) {
+			b.MuxFrame(id, t.String(), stream, n)
+		}
+	}
+	sc.mux = msc
+	msc.sess = sess
+	sess.Start()
+}
+
+// onHeaders lifts a request header block back into an httpmsg.Request
+// so the HTTP/1.x response logic (conditional GET, ranges, deflate,
+// burst) applies unchanged.
+func (msc *muxServerConn) onHeaders(st *mux.Stream, fields []mux.Field, end bool) {
+	req := &httpmsg.Request{Proto: httpmsg.Proto11}
+	for _, f := range fields {
+		switch f.Name {
+		case ":method":
+			req.Method = f.Value
+		case ":path":
+			req.Target = f.Value
+		case ":authority":
+			req.Header.Add("Host", f.Value)
+		default:
+			req.Header.Add(f.Name, f.Value)
+		}
+	}
+	if b := msc.sc.srv.cfg.Obs; b != nil {
+		b.ServerRecv(msc.sc.conn.ObsID(), req.Target)
+	}
+	msc.pending = append(msc.pending, muxJob{st: st, req: req})
+	msc.processNext()
+}
+
+// processNext serves queued jobs one at a time through the host CPU,
+// mirroring serverConn.processNext.
+func (msc *muxServerConn) processNext() {
+	if msc.processing || msc.sc.closing || len(msc.pending) == 0 {
+		return
+	}
+	job := msc.pending[0]
+	msc.pending = msc.pending[1:]
+	msc.processing = true
+	srv := msc.sc.srv
+	if !job.pushed {
+		srv.stats.Requests++
+	}
+	srv.cpu.Run(srv.cfg.PerRequestCPU, func() {
+		msc.processing = false
+		if msc.sc.conn.State() == tcpsim.StateClosed {
+			return
+		}
+		msc.serve(job)
+		msc.processNext()
+		msc.maybeClose()
+	})
+}
+
+func (msc *muxServerConn) serve(job muxJob) {
+	srv := msc.sc.srv
+	resp := srv.respond(job.req)
+	srv.stats.Responses++
+	if b := srv.cfg.Obs; b != nil {
+		b.ServerSend(msc.sc.conn.ObsID(), job.req.Target, resp.StatusCode, len(resp.Body))
+	}
+	// Server push: promise every inline object of a just-requested page
+	// before its response, so the promises reach the client ahead of
+	// the HTML parse (and ahead of its own requests). A 304 pushes too:
+	// the client may hold the page but not its contents.
+	if !job.pushed && msc.sess.EnablePush && job.req.Method == "GET" &&
+		(resp.StatusCode == 200 || resp.StatusCode == 304) {
+		for _, path := range srv.site.InlineLinks(job.req.Target) {
+			msc.push(job.st, path)
+		}
+	}
+	msc.writeResponse(job.st, job.req.Method, resp)
+}
+
+// push promises one inline object on the parent stream and queues its
+// response at image priority (the page's own DATA goes first).
+func (msc *muxServerConn) push(parent *mux.Stream, path string) {
+	st := msc.sess.PushPromise(parent, []mux.Field{
+		{Name: ":method", Value: "GET"},
+		{Name: ":path", Value: path},
+	})
+	if st == nil {
+		return
+	}
+	st.Priority = 1
+	msc.sc.srv.stats.PushedStreams++
+	msc.pending = append(msc.pending, muxJob{
+		st:     st,
+		req:    &httpmsg.Request{Method: "GET", Target: path, Proto: httpmsg.Proto11},
+		pushed: true,
+	})
+}
+
+// writeResponse lowers an HTTP/1.x response onto the stream.
+func (msc *muxServerConn) writeResponse(st *mux.Stream, method string, resp *httpmsg.Response) {
+	body := resp.Body
+	if method == "HEAD" {
+		body = nil
+	}
+	fields := make([]mux.Field, 0, 8)
+	fields = append(fields, mux.Field{Name: ":status", Value: strconv.Itoa(resp.StatusCode)})
+	for _, f := range resp.Header.Fields() {
+		name := strings.ToLower(f.Name)
+		if name == "connection" {
+			continue // the framing layer owns connection management
+		}
+		fields = append(fields, mux.Field{Name: name, Value: f.Value})
+	}
+	if len(body) > 0 {
+		fields = append(fields, mux.Field{Name: "content-length", Value: strconv.Itoa(len(body))})
+	}
+	if len(body) == 0 {
+		msc.sess.WriteHeaders(st, fields, true)
+		return
+	}
+	msc.sess.WriteHeaders(st, fields, false)
+	msc.sess.WriteData(st, body, true)
+}
+
+// onPeerClose drains outstanding jobs, then half-closes, mirroring the
+// HTTP/1.x connection's graceful shutdown.
+func (msc *muxServerConn) onPeerClose() {
+	msc.maybeClose()
+}
+
+func (msc *muxServerConn) maybeClose() {
+	if msc.processing || len(msc.pending) > 0 {
+		return
+	}
+	if msc.sc.conn.State() == tcpsim.StateCloseWait {
+		msc.sc.close()
+	}
+}
+
+// burstRecords packs a page and its inline objects for the burst
+// (aggregated single-response) mode; nil when the target is not an
+// HTML page.
+func (s *Server) burstRecords(target string) []mux.BurstRecord {
+	obj, ok := s.site.Object(target)
+	if !ok || !strings.Contains(obj.ContentType, "text/html") {
+		return nil
+	}
+	recs := []mux.BurstRecord{{
+		Path: target, ContentType: obj.ContentType,
+		ETag: obj.ETag, LastModified: obj.LastModified, Body: obj.Body,
+	}}
+	for _, path := range s.site.InlineLinks(target) {
+		o, ok := s.site.Object(path)
+		if !ok {
+			continue
+		}
+		recs = append(recs, mux.BurstRecord{
+			Path: path, ContentType: o.ContentType,
+			ETag: o.ETag, LastModified: o.LastModified, Body: o.Body,
+		})
+	}
+	return recs
+}

@@ -1,0 +1,106 @@
+package mux
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameParser throws arbitrary byte streams at the frame reader
+// and header decoder: the first byte picks a chunking pattern so the
+// fuzzer explores truncated frames and header blocks split across
+// Feed calls, and every HEADERS/PUSH_PROMISE payload is fed to the
+// HPACK decoder. Nothing here may panic or over-read; a parse error
+// is a valid outcome.
+func FuzzFrameParser(f *testing.F) {
+	// Seed corpus: a well-formed dialogue, truncations of it, an
+	// oversized length field, a reserved-bit frame, and header
+	// blocks of each opcode.
+	var dialogue []byte
+	dialogue = append(dialogue, Preface...)
+	dialogue = AppendFrame(dialogue, FrameSettings, 0, 0,
+		appendSetting(appendSetting(nil, SettingEnablePush, 1), SettingMaxFrameSize, 1024))
+	var enc Encoder
+	block := enc.Encode(nil, []Field{{":method", "GET"}, {":path", "/x"}, {"user-agent", "robot"}})
+	dialogue = AppendFrame(dialogue, FrameHeaders, FlagEndHeaders|FlagEndStream, 1, block)
+	dialogue = AppendFrame(dialogue, FrameData, FlagEndStream, 1, bytes.Repeat([]byte{0xaa}, 100))
+	dialogue = AppendFrame(dialogue, FrameWindowUpdate, 0, 0, []byte{0, 0, 0, 100})
+	dialogue = AppendFrame(dialogue, FramePushPromise, FlagEndHeaders, 1,
+		append([]byte{0, 0, 0, 2}, enc.Encode(nil, []Field{{":path", "/images/i.png"}})...))
+	dialogue = AppendFrame(dialogue, FrameRstStream, 0, 2, []byte{0, 0, 0, 8})
+
+	f.Add(byte(0), dialogue)
+	f.Add(byte(1), dialogue[:len(dialogue)-3])            // truncated mid-frame
+	f.Add(byte(3), dialogue[len(Preface):])               // no preface
+	f.Add(byte(0), []byte{0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 1}) // oversized length
+	f.Add(byte(0), []byte{0, 0, 0, 0, 0, 0x80, 0, 0, 1})       // reserved bit
+	f.Add(byte(2), AppendFrame(nil, FrameHeaders, FlagEndHeaders, 3,
+		[]byte{0x00, 0x02, 'a', 'b', 0x01, 'v', 0x40, 0x01, 0x01, 'z', 0x81}))
+	f.Add(byte(7), AppendFrame(nil, FrameSettings, 0, 0, []byte{0, 2, 0, 0, 0}))
+
+	f.Fuzz(func(t *testing.T, chunk byte, data []byte) {
+		var r FrameReader
+		var frames []Frame
+		// Chunk size 0 means feed everything at once; otherwise the
+		// stream arrives in (chunk mod 17)+1-byte slices.
+		step := int(chunk%17) + 1
+		if chunk == 0 {
+			step = len(data) + 1
+		}
+		for off := 0; off < len(data); off += step {
+			end := min(off+step, len(data))
+			fs, err := r.Feed(data[off:end])
+			for _, fr := range fs {
+				// Payloads alias the reader's buffer only until the
+				// next Feed; copy to retain.
+				fr.Payload = bytes.Clone(fr.Payload)
+				frames = append(frames, fr)
+			}
+			if err != nil {
+				return
+			}
+		}
+		_ = r.CloseCheck()
+		var dec Decoder
+		for _, fr := range frames {
+			switch fr.Type {
+			case FrameHeaders:
+				_, _ = dec.Decode(fr.Payload)
+			case FramePushPromise:
+				if len(fr.Payload) >= 4 {
+					_, _ = dec.Decode(fr.Payload[4:])
+				}
+			case FrameSettings:
+				_, _ = parseSettings(fr.Payload)
+			}
+		}
+	})
+}
+
+// FuzzBurstDecode checks the aggregated-response parser never panics
+// or over-reads, and that whatever it accepts survives an
+// encode/decode round trip.
+func FuzzBurstDecode(f *testing.F) {
+	f.Add(EncodeBurst([]BurstRecord{
+		{Path: "/", ContentType: "text/html", ETag: `"e"`, LastModified: "Mon, 01 Jan 1996 00:00:00 GMT", Body: []byte("<html>")},
+	}))
+	f.Add([]byte("/a b 3 c d\nxyz/e f 0 g h\n"))
+	f.Add([]byte("/a b 99 c d\nshort"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeBurst(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeBurst(EncodeBurst(recs))
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if again[i].Path != recs[i].Path || !bytes.Equal(again[i].Body, recs[i].Body) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,525 @@
+package mux
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Defaults mirror RFC 7540: a 65,535-octet initial flow-control
+// window. The default max frame size is deliberately small — 1 KiB
+// rather than HTTP/2's 16 KiB floor — so that DATA from concurrent
+// streams actually interleaves on the paper's slow links instead of
+// serializing into page-sized bursts.
+const (
+	DefaultInitialWindow = 65535
+	DefaultMaxFrameSize  = 1024
+)
+
+// Stats counts what the session did; the client and server surface
+// these as run metrics.
+type Stats struct {
+	StreamsOpened     int   // streams this side opened (incl. pushes)
+	PushPromised      int   // PUSH_PROMISE frames sent or received
+	HeaderBytesSaved  int64 // Σ (plain header size − encoded block size), both directions
+	FlowControlStalls int   // transitions into a window-exhausted state
+	FramesSent        int
+	FramesReceived    int
+}
+
+// Stream is one multiplexed request/response exchange.
+type Stream struct {
+	ID       uint32
+	Priority int // lower is more urgent; set by the sending side only
+	UserData any // caller's per-stream state; the session never touches it
+
+	ResetSent bool // we sent RST_STREAM (e.g. cancelling a push)
+	ResetRecv bool // peer reset the stream
+
+	sendWindow int
+	sendBuf    []byte
+	endPending bool // FlagEndStream owed once sendBuf drains
+	endSent    bool
+	recvEnded  bool
+	stalled    bool // currently blocked on flow control (for edge-counting)
+}
+
+// done reports whether the stream has nothing left to send.
+func (st *Stream) done() bool {
+	return len(st.sendBuf) == 0 && !st.endPending
+}
+
+// Session is one end of a multiplexed connection. It is purely
+// computational: bytes in via Feed, bytes out via the Send callback,
+// no timers and no I/O, which is what keeps it deterministic under
+// any event-engine or parallelism setting.
+type Session struct {
+	// Send transmits marshalled frames. Each public call flushes at
+	// most once, with every frame it generated batched into a single
+	// byte slice.
+	Send func([]byte)
+
+	// MaxFrameSize caps outgoing DATA payloads (the interleaving
+	// quantum). Lowered further if the peer advertises a smaller
+	// SETTINGS_MAX_FRAME_SIZE.
+	MaxFrameSize int
+
+	// InitialWindow is the per-stream receive window this side
+	// advertises; the peer's streams start with it as their send
+	// window.
+	InitialWindow int
+
+	// EnablePush: on a client, advertised in the initial SETTINGS;
+	// on a server, learned from the client's SETTINGS.
+	EnablePush bool
+
+	// Callbacks. All optional; fired synchronously from Feed.
+	OnHeaders     func(st *Stream, fields []Field, endStream bool)
+	OnData        func(st *Stream, p []byte, endStream bool)
+	OnPushPromise func(parent, promised *Stream, fields []Field)
+	OnRstStream   func(st *Stream)
+	OnSettings    func(id uint16, val uint32)
+	OnError       func(err error)
+	// OnStall fires on each transition into a flow-control stall;
+	// conn reports whether the connection window (vs st's stream
+	// window) is the exhausted one.
+	OnStall func(st *Stream, conn bool)
+	// OnFrameSent fires for every frame marshalled for sending —
+	// observability taps (Perfetto frame instants) hang here.
+	OnFrameSent func(t FrameType, streamID uint32, payloadLen int)
+
+	Stats Stats
+
+	server      bool
+	nextID      uint32 // next locally-initiated stream ID (odd client / even server)
+	prefaceLeft int    // server: preface bytes still owed by the client
+
+	streams map[uint32]*Stream
+	order   []*Stream // creation order; scheduling iterates this, never the map
+
+	enc Encoder
+	dec Decoder
+	fr  FrameReader
+
+	connSendWindow int
+	peerWindow     int // peer's advertised initial stream window
+	connRecvAcc    int // bytes consumed since the last conn WINDOW_UPDATE
+	recvAcc        map[uint32]int
+	connStalled    bool
+
+	out []byte // frames accumulated by the current public call
+}
+
+func newSession(send func([]byte)) *Session {
+	return &Session{
+		Send:           send,
+		MaxFrameSize:   DefaultMaxFrameSize,
+		InitialWindow:  DefaultInitialWindow,
+		streams:        make(map[uint32]*Stream),
+		recvAcc:        make(map[uint32]int),
+		connSendWindow: DefaultInitialWindow,
+		peerWindow:     DefaultInitialWindow,
+	}
+}
+
+// NewClient returns the client end of a session. Call Start before
+// opening streams.
+func NewClient(send func([]byte)) *Session {
+	s := newSession(send)
+	s.nextID = 1
+	return s
+}
+
+// NewServer returns the server end. Its Feed expects the client
+// preface as the first bytes on the connection.
+func NewServer(send func([]byte)) *Session {
+	s := newSession(send)
+	s.server = true
+	s.nextID = 2
+	s.prefaceLeft = len(Preface)
+	return s
+}
+
+// Start emits the connection preamble: the preface (client only) and
+// this side's SETTINGS.
+func (s *Session) Start() {
+	if !s.server {
+		s.out = append(s.out, Preface...)
+	}
+	var p []byte
+	push := uint32(0)
+	if s.EnablePush && !s.server {
+		push = 1
+	}
+	p = appendSetting(p, SettingEnablePush, push)
+	p = appendSetting(p, SettingInitialWindowSize, uint32(s.InitialWindow))
+	p = appendSetting(p, SettingMaxFrameSize, uint32(s.MaxFrameSize))
+	s.emit(FrameSettings, 0, 0, p)
+	s.flush()
+}
+
+// OpenStream opens a locally-initiated stream carrying a request (or
+// response) header block. endStream marks a bodiless exchange.
+func (s *Session) OpenStream(fields []Field, endStream bool, priority int) *Stream {
+	st := s.newStream(s.nextID)
+	s.nextID += 2
+	st.Priority = priority
+	s.Stats.StreamsOpened++
+	s.writeHeaderBlock(FrameHeaders, st, st.ID, fields, endStream)
+	s.flush()
+	return st
+}
+
+// PushPromise reserves an even server-initiated stream announcing a
+// push of the request described by fields, promised on parent.
+func (s *Session) PushPromise(parent *Stream, fields []Field) *Stream {
+	st := s.newStream(s.nextID)
+	s.nextID += 2
+	s.Stats.StreamsOpened++
+	s.Stats.PushPromised++
+	block := s.enc.Encode(nil, fields)
+	s.Stats.HeaderBytesSaved += int64(PlainSize(fields) - len(block))
+	p := make([]byte, 0, 4+len(block))
+	p = append(p, byte(st.ID>>24), byte(st.ID>>16), byte(st.ID>>8), byte(st.ID))
+	p = append(p, block...)
+	s.emit(FramePushPromise, FlagEndHeaders, parent.ID, p)
+	s.flush()
+	return st
+}
+
+// WriteHeaders sends a header block (typically a response) on st.
+func (s *Session) WriteHeaders(st *Stream, fields []Field, endStream bool) {
+	s.writeHeaderBlock(FrameHeaders, st, st.ID, fields, endStream)
+	s.flush()
+}
+
+func (s *Session) writeHeaderBlock(t FrameType, st *Stream, onID uint32, fields []Field, endStream bool) {
+	block := s.enc.Encode(nil, fields)
+	s.Stats.HeaderBytesSaved += int64(PlainSize(fields) - len(block))
+	flags := FlagEndHeaders
+	if endStream {
+		flags |= FlagEndStream
+		st.endSent = true
+	}
+	s.emit(t, flags, onID, block)
+}
+
+// WriteData queues body bytes on st; the scheduler interleaves and
+// flow-controls the actual DATA frames. endStream marks the final
+// write.
+func (s *Session) WriteData(st *Stream, p []byte, endStream bool) {
+	if st.ResetRecv || st.ResetSent {
+		return // peer gave up on this stream; drop the body
+	}
+	st.sendBuf = append(st.sendBuf, p...)
+	if endStream {
+		st.endPending = true
+	}
+	s.pump()
+	s.flush()
+}
+
+// RstStream abandons st (e.g. a client cancelling an unwanted push).
+func (s *Session) RstStream(st *Stream) {
+	if st.ResetSent {
+		return
+	}
+	st.ResetSent = true
+	st.sendBuf = nil
+	st.endPending = false
+	s.emit(FrameRstStream, 0, st.ID, []byte{0, 0, 0, 8}) // CANCEL
+	s.flush()
+}
+
+// Feed processes bytes arriving from the transport, firing callbacks
+// for each decoded frame and emitting any frames they provoke
+// (window updates, scheduled DATA) as one batched Send.
+func (s *Session) Feed(data []byte) {
+	if s.prefaceLeft > 0 {
+		n := min(s.prefaceLeft, len(data))
+		want := Preface[len(Preface)-s.prefaceLeft:][:n]
+		if string(data[:n]) != want {
+			s.fail(fmt.Errorf("mux: bad connection preface"))
+			return
+		}
+		s.prefaceLeft -= n
+		data = data[n:]
+		if len(data) == 0 {
+			return
+		}
+	}
+	frames, err := s.fr.Feed(data)
+	for _, f := range frames {
+		s.Stats.FramesReceived++
+		s.dispatch(f)
+	}
+	if err != nil {
+		s.fail(err)
+	}
+	s.ackWindows()
+	s.pump()
+	s.flush()
+}
+
+// CloseCheck reports whether the peer's byte stream ended on a frame
+// boundary; call it on peer half-close.
+func (s *Session) CloseCheck() error {
+	if s.prefaceLeft > 0 {
+		return fmt.Errorf("mux: connection closed inside preface")
+	}
+	return s.fr.CloseCheck()
+}
+
+// Streams returns all streams in creation order.
+func (s *Session) Streams() []*Stream {
+	return s.order
+}
+
+func (s *Session) newStream(id uint32) *Stream {
+	st := &Stream{ID: id, sendWindow: s.peerWindow}
+	s.streams[id] = st
+	s.order = append(s.order, st)
+	return st
+}
+
+func (s *Session) dispatch(f Frame) {
+	switch f.Type {
+	case FrameSettings:
+		pairs, err := parseSettings(f.Payload)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		for _, kv := range pairs {
+			id, val := uint16(kv[0]), kv[1]
+			switch id {
+			case SettingEnablePush:
+				if s.server {
+					s.EnablePush = val == 1
+				}
+			case SettingInitialWindowSize:
+				s.peerWindow = int(val)
+			case SettingMaxFrameSize:
+				if int(val) < s.MaxFrameSize {
+					s.MaxFrameSize = int(val)
+				}
+			}
+			if s.OnSettings != nil {
+				s.OnSettings(id, val)
+			}
+		}
+
+	case FrameHeaders:
+		st := s.streams[f.StreamID]
+		if st == nil {
+			st = s.newStream(f.StreamID)
+		}
+		fields, err := s.dec.Decode(f.Payload)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.Stats.HeaderBytesSaved += int64(PlainSize(fields) - len(f.Payload))
+		end := f.Flags&FlagEndStream != 0
+		if end {
+			st.recvEnded = true
+		}
+		if s.OnHeaders != nil {
+			s.OnHeaders(st, fields, end)
+		}
+
+	case FramePushPromise:
+		if len(f.Payload) < 4 {
+			s.fail(fmt.Errorf("mux: short PUSH_PROMISE payload"))
+			return
+		}
+		pid := uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 |
+			uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+		fields, err := s.dec.Decode(f.Payload[4:])
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.Stats.HeaderBytesSaved += int64(PlainSize(fields) - (len(f.Payload) - 4))
+		s.Stats.PushPromised++
+		parent := s.streams[f.StreamID]
+		promised := s.newStream(pid)
+		if s.OnPushPromise != nil {
+			s.OnPushPromise(parent, promised, fields)
+		}
+
+	case FrameData:
+		n := len(f.Payload)
+		s.connRecvAcc += n
+		st := s.streams[f.StreamID]
+		if st == nil {
+			return // late DATA on an unknown stream; window-ack only
+		}
+		if !st.ResetSent {
+			s.recvAcc[f.StreamID] += n
+		}
+		end := f.Flags&FlagEndStream != 0
+		if end {
+			st.recvEnded = true
+		}
+		if s.OnData != nil {
+			s.OnData(st, f.Payload, end)
+		}
+
+	case FrameWindowUpdate:
+		if len(f.Payload) != 4 {
+			s.fail(fmt.Errorf("mux: bad WINDOW_UPDATE payload length %d", len(f.Payload)))
+			return
+		}
+		inc := int(uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 |
+			uint32(f.Payload[2])<<8 | uint32(f.Payload[3]))
+		if inc == 0 {
+			s.fail(fmt.Errorf("mux: zero-increment WINDOW_UPDATE"))
+			return
+		}
+		if f.StreamID == 0 {
+			s.connSendWindow += inc
+			s.connStalled = false
+		} else if st := s.streams[f.StreamID]; st != nil {
+			st.sendWindow += inc
+			st.stalled = false
+		}
+
+	case FrameRstStream:
+		st := s.streams[f.StreamID]
+		if st == nil {
+			return
+		}
+		st.ResetRecv = true
+		st.sendBuf = nil
+		st.endPending = false
+		if s.OnRstStream != nil {
+			s.OnRstStream(st)
+		}
+	}
+}
+
+// ackWindows flushes the consumed-byte accumulators as WINDOW_UPDATE
+// frames: one for the connection, one per stream still expecting
+// data, all batched into the same Send as anything else this Feed
+// produced. Streams are acked in ID order for determinism.
+func (s *Session) ackWindows() {
+	if s.connRecvAcc > 0 {
+		s.emitWindowUpdate(0, s.connRecvAcc)
+		s.connRecvAcc = 0
+	}
+	if len(s.recvAcc) == 0 {
+		return
+	}
+	ids := make([]uint32, 0, len(s.recvAcc))
+	for id := range s.recvAcc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.streams[id]
+		if st != nil && !st.recvEnded && !st.ResetSent {
+			s.emitWindowUpdate(id, s.recvAcc[id])
+		}
+		delete(s.recvAcc, id)
+	}
+}
+
+func (s *Session) emitWindowUpdate(id uint32, inc int) {
+	s.emit(FrameWindowUpdate, 0, id,
+		[]byte{byte(inc >> 24), byte(inc >> 16), byte(inc >> 8), byte(inc)})
+}
+
+// pump runs the deterministic DATA scheduler: repeatedly pick the
+// most urgent priority band with queued data, give each of its
+// streams (in ID order) one MaxFrameSize chunk, and stop when queues
+// or windows run dry. Window exhaustion is edge-counted as a
+// flow-control stall.
+func (s *Session) pump() {
+	for {
+		band, any := 0, false
+		for _, st := range s.order {
+			if st.done() {
+				continue
+			}
+			if !any || st.Priority < band {
+				band, any = st.Priority, true
+			}
+		}
+		if !any {
+			return
+		}
+		progress := false
+		for _, st := range s.order {
+			if st.done() || st.Priority != band {
+				continue
+			}
+			if len(st.sendBuf) == 0 {
+				// Only the end-of-stream flag is owed.
+				s.emit(FrameData, FlagEndStream, st.ID, nil)
+				st.endPending, st.endSent = false, true
+				progress = true
+				continue
+			}
+			n := min(len(st.sendBuf), s.MaxFrameSize)
+			if s.connSendWindow <= 0 {
+				if !s.connStalled {
+					s.connStalled = true
+					s.Stats.FlowControlStalls++
+					if s.OnStall != nil {
+						s.OnStall(st, true)
+					}
+				}
+				return
+			}
+			if st.sendWindow <= 0 {
+				if !st.stalled {
+					st.stalled = true
+					s.Stats.FlowControlStalls++
+					if s.OnStall != nil {
+						s.OnStall(st, false)
+					}
+				}
+				continue
+			}
+			n = min(n, s.connSendWindow, st.sendWindow)
+			var flags uint8
+			if n == len(st.sendBuf) && st.endPending {
+				flags = FlagEndStream
+				st.endPending, st.endSent = false, true
+			}
+			s.emit(FrameData, flags, st.ID, st.sendBuf[:n])
+			st.sendBuf = st.sendBuf[n:]
+			st.sendWindow -= n
+			s.connSendWindow -= n
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (s *Session) emit(t FrameType, flags uint8, id uint32, payload []byte) {
+	s.Stats.FramesSent++
+	if s.OnFrameSent != nil {
+		s.OnFrameSent(t, id, len(payload))
+	}
+	s.out = AppendFrame(s.out, t, flags, id, payload)
+}
+
+func (s *Session) flush() {
+	if len(s.out) == 0 {
+		return
+	}
+	b := s.out
+	s.out = nil
+	if s.Send != nil {
+		s.Send(b)
+	}
+}
+
+func (s *Session) fail(err error) {
+	if s.OnError != nil {
+		s.OnError(err)
+	}
+}

@@ -98,6 +98,17 @@ const (
 	// repeated connection failures: A=new fallback level, Note=the
 	// level's name.
 	KindFallback
+	// KindPushPromise opens a server-pushed request span on the client:
+	// the server promised to push the object without being asked.
+	// Note=path.
+	KindPushPromise
+	// KindMuxFrame records a multiplexed frame being sent: A=stream ID,
+	// B=payload bytes, Note=frame-type name.
+	KindMuxFrame
+	// KindFlowStall records a mux sender exhausting a flow-control
+	// window: A=the blocked stream's ID, Note="conn" or "stream" for
+	// which window ran dry.
+	KindFlowStall
 )
 
 var kindNames = [...]string{
@@ -106,6 +117,7 @@ var kindNames = [...]string{
 	"span-written", "span-first-byte", "span-done", "server-recv",
 	"server-send", "cache-hit", "cache-miss", "cache-reval",
 	"fault", "client-timeout", "retry-backoff", "fallback",
+	"push-promise", "mux-frame", "flow-stall",
 }
 
 // String names the kind.
@@ -158,6 +170,10 @@ type SpanInfo struct {
 	// as their own spans with Via set, so a waterfall shows the proxy hop
 	// separately from the client-side request it serves.
 	Via string
+	// Pushed marks a span the server initiated via PUSH_PROMISE rather
+	// than the client requesting it. A pushed span that is never Done
+	// was promised but unused — wasted push bytes.
+	Pushed bool
 	// Queued, Written, FirstByte, and Done are the lifecycle instants;
 	// NoTime where the event never happened (e.g. a span abandoned by a
 	// connection reset is never Done).
@@ -496,4 +512,46 @@ func (b *Bus) Fallback(level int, name string) {
 		return
 	}
 	b.add(Event{Kind: KindFallback, A: int64(level), Note: name})
+}
+
+// --- multiplexing publishers ---
+
+// SpanPushed opens a server-initiated (pushed) request span at the
+// current instant: the promise arrived, the client did not ask. The
+// span is Written at the same instant — the "request" is the promise
+// itself.
+func (b *Bus) SpanPushed(method, path string, conn ConnID) SpanID {
+	if b == nil {
+		return 0
+	}
+	id := SpanID(len(b.spans) + 1)
+	now := b.sim.Now()
+	b.spans = append(b.spans, SpanInfo{
+		ID: id, Method: method, Path: path, Pushed: true, Conn: conn,
+		Queued: now, Written: now, FirstByte: NoTime, Done: NoTime,
+	})
+	b.add(Event{Kind: KindPushPromise, Span: id, Conn: conn, Note: path})
+	return id
+}
+
+// MuxFrame records a multiplexed frame sent on conn. frameType is the
+// frame-type name (callers pass the FrameType's constant String).
+func (b *Bus) MuxFrame(conn ConnID, frameType string, stream uint32, payloadLen int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindMuxFrame, Conn: conn, A: int64(stream), B: int64(payloadLen), Note: frameType})
+}
+
+// FlowStall records a mux sender on conn exhausting a flow-control
+// window; connLevel selects the connection window over stream's.
+func (b *Bus) FlowStall(conn ConnID, stream uint32, connLevel bool) {
+	if b == nil {
+		return
+	}
+	note := "stream"
+	if connLevel {
+		note = "conn"
+	}
+	b.add(Event{Kind: KindFlowStall, Conn: conn, A: int64(stream), Note: note})
 }

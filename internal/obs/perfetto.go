@@ -191,6 +191,12 @@ func WritePerfettoEvents(w io.Writer, events []Event, conns []ConnInfo, spans []
 			instant(ev, "retry backoff", map[string]any{"backoff_us": ev.A / 1e3, "failures": ev.B})
 		case KindFallback:
 			instant(ev, "fallback "+ev.Note, map[string]any{"level": ev.A})
+		case KindPushPromise:
+			instant(ev, "push promise "+ev.Note, nil)
+		case KindMuxFrame:
+			instant(ev, "frame "+ev.Note, map[string]any{"stream": ev.A, "payload_bytes": ev.B})
+		case KindFlowStall:
+			instant(ev, "flow stall "+ev.Note, map[string]any{"stream": ev.A})
 		}
 	}
 	for id := range open {
@@ -218,6 +224,9 @@ func WritePerfettoEvents(w io.Writer, events []Event, conns []ConnInfo, spans []
 		}
 		if sp.Retried {
 			args["retried"] = true
+		}
+		if sp.Pushed {
+			args["pushed"] = true
 		}
 		if sp.Via != "" {
 			args["via"] = sp.Via

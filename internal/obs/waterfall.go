@@ -22,6 +22,9 @@ type WaterfallRow struct {
 	// Via names the intermediary that issued the request ("" for the
 	// client's own requests); a proxy hop appears as its own row.
 	Via string
+	// Pushed marks a server-initiated (PUSH_PROMISE) span; one that is
+	// also abandoned was promised but never used.
+	Pushed bool
 
 	Queued, Written, FirstByte, Done sim.Time
 
@@ -57,7 +60,7 @@ func (b *Bus) Waterfall() []WaterfallRow {
 	for _, sp := range b.spans {
 		row := WaterfallRow{
 			Span: sp.ID, Method: sp.Method, Path: sp.Path, Conn: sp.Conn,
-			Retried: sp.Retried, Via: sp.Via,
+			Retried: sp.Retried, Via: sp.Via, Pushed: sp.Pushed,
 			Queued: sp.Queued, Written: sp.Written,
 			FirstByte: sp.FirstByte, Done: sp.Done,
 			Status: sp.Status, Bytes: sp.Bytes,

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// muxGridSpec is the mode-comparison grid: every protocol mode's
+// whole-fetch quantities, both workloads side by side, as in the
+// paper's main tables.
+var muxGridSpec = Spec[core.MuxRow]{
+	Title: "Multiplexed protocol modes (Apache; paper modes vs mux / mux+push / burst)",
+	Width: 92,
+	PreHeader: []string{
+		"First Time Retrieval                 Cache Validation",
+	},
+	Cols: []Col[core.MuxRow]{
+		{Head: "env", Format: "%-4s", Value: func(r core.MuxRow) any { return r.Env }},
+		{Format: "%-33s", Value: func(r core.MuxRow) any { return r.Mode }},
+		{Head: "Pa", Format: "%7.1f", Value: func(r core.MuxRow) any { return r.First.Packets }},
+		{Head: "KB", Format: "%7.1f", Value: func(r core.MuxRow) any { return r.First.KBytes }},
+		{Head: "Sec", Format: "%8.2f", Value: func(r core.MuxRow) any { return r.First.Seconds }},
+		{Format: "|", Value: nil},
+		{Head: "Pa", Format: "%7.1f", Value: func(r core.MuxRow) any { return r.Reval.Packets }},
+		{Head: "KB", Format: "%7.1f", Value: func(r core.MuxRow) any { return r.Reval.KBytes }},
+		{Head: "Sec", Format: "%8.2f", Value: func(r core.MuxRow) any { return r.Reval.Seconds }},
+	},
+}
+
+// muxAcctRow flattens one workload's multiplexing accounting for the
+// per-stream table.
+type muxAcctRow struct {
+	Env, Mode, Workload string
+	Cell                core.MuxCell
+}
+
+// muxAcctSpec details what the framing layer did: streams, push
+// economics (promises, claims, wasted bytes), header-compression
+// savings, and flow-control stalls.
+var muxAcctSpec = Spec[muxAcctRow]{
+	Title: "Multiplexing accounting (framed modes)",
+	Width: 92,
+	PreHeader: []string{
+		"Strm = client-opened streams | Prom/Used = push promises made / claimed",
+		"PushWaste = pushed KB never wanted | HdrSaved = header-compression KB | Stall = window exhaustions",
+	},
+	Cols: []Col[muxAcctRow]{
+		{Head: "env", Format: "%-4s", Value: func(r muxAcctRow) any { return r.Env }},
+		{Format: "%-20s", Value: func(r muxAcctRow) any { return r.Mode }},
+		{Head: "workload", Format: "%-17s", Value: func(r muxAcctRow) any { return r.Workload }},
+		{Head: "Strm", Format: "%5.0f", Value: func(r muxAcctRow) any { return r.Cell.Streams }},
+		{Head: "Prom", Format: "%5.0f", Value: func(r muxAcctRow) any { return r.Cell.Promised }},
+		{Head: "Used", Format: "%5.0f", Value: func(r muxAcctRow) any { return r.Cell.Used }},
+		{Head: "PushWaste", Format: "%10.1f", Value: func(r muxAcctRow) any { return r.Cell.PushWasteKB }},
+		{Head: "HdrSaved", Format: "%9.2f", Value: func(r muxAcctRow) any { return r.Cell.HdrSavedKB }},
+		{Head: "Stall", Format: "%6.1f", Value: func(r muxAcctRow) any { return r.Cell.Stalls }},
+	},
+}
+
+// Mux renders the multiplexed-protocol experiment: the full mode grid,
+// the framing layer's own accounting, and the new modes' fault-recovery
+// and seed-variance sections.
+func Mux(w io.Writer, d *core.MuxData) {
+	muxGridSpec.Render(w, d.Grid)
+	io.WriteString(w, "\n")
+	var acct []muxAcctRow
+	for _, r := range d.Grid {
+		if r.First.Streams == 0 && r.Reval.Streams == 0 && r.First.Promised == 0 {
+			continue // an HTTP/1.x mode: nothing multiplexed to account
+		}
+		acct = append(acct,
+			muxAcctRow{Env: r.Env, Mode: r.Mode, Workload: "First Time", Cell: r.First},
+			muxAcctRow{Env: r.Env, Mode: r.Mode, Workload: "Cache Validation", Cell: r.Reval},
+		)
+	}
+	muxAcctSpec.Render(w, acct)
+	io.WriteString(w, "\n")
+	Faults(w, d.Faults)
+	io.WriteString(w, "\n")
+	Variance(w, d.Variance)
+}

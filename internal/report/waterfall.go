@@ -42,10 +42,11 @@ func wfVia(r obs.WaterfallRow) string {
 	return r.Via
 }
 
-// wfFlags marks connection reuse (+), retried requests (!), and spans
+// wfFlags marks connection reuse (+), retried requests (!), spans
 // abandoned to a connection failure or fault (x) — an x row's request
 // was lost and, when the retry budget allowed, re-issued as a later
-// row marked !.
+// row marked ! — and server-pushed spans (p); a row flagged both p
+// and x was pushed but never used, i.e. wasted push bytes.
 func wfFlags(r obs.WaterfallRow) string {
 	s := ""
 	if r.Reused {
@@ -53,6 +54,9 @@ func wfFlags(r obs.WaterfallRow) string {
 	}
 	if r.Retried {
 		s += "!"
+	}
+	if r.Pushed {
+		s += "p"
 	}
 	if r.Done == obs.NoTime {
 		s += "x"
@@ -64,7 +68,7 @@ func wfFlags(r obs.WaterfallRow) string {
 // / send / first-byte / done instants (seconds of simulated time),
 // TTFB and transfer durations (milliseconds), status, and size.
 var waterfallSpec = Spec[obs.WaterfallRow]{
-	Title: "Request waterfall (times in s, TTFB/xfer in ms; + reused conn, ! retried, x abandoned)",
+	Title: "Request waterfall (times in s, TTFB/xfer in ms; + reused conn, ! retried, p pushed, x abandoned)",
 	Width: 108,
 	Cols: []Col[obs.WaterfallRow]{
 		{Head: "#", Format: "%3d", Value: func(r obs.WaterfallRow) any { return int(r.Span) }},

@@ -93,6 +93,16 @@ func (s *Site) Object(path string) (*Object, bool) {
 // Paths lists all resource paths, page first.
 func (s *Site) Paths() []string { return s.paths }
 
+// InlineLinks returns the inline object paths the page at path
+// references, in document order, or nil when path is not the page.
+// It is the link structure server push and burst aggregation follow.
+func (s *Site) InlineLinks(path string) []string {
+	if s.HTML == nil || path != s.HTML.Path {
+		return nil
+	}
+	return s.paths[1:]
+}
+
 // ObjectCount returns the number of resources (1 page + images).
 func (s *Site) ObjectCount() int { return len(s.paths) }
 
