@@ -23,6 +23,7 @@
 //	httpperf -table faults   # fault injection and recovery matrix
 //	httpperf -faults         # shortcut for -table faults
 //	httpperf -table mux      # multiplexed modes: mux, server push, burst
+//	httpperf -table mux-faults  # framed-protocol fault injection and recovery
 //	httpperf -table sweep    # per-run structured metrics sweep
 //	httpperf -list           # registered experiments + scenario vocabulary
 //	httpperf -list-envs      # Table 1
@@ -98,7 +99,7 @@ func main() {
 // realMain carries the whole invocation so deferred telemetry and
 // profile finalizers run before the process exits.
 func realMain() int {
-	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, variance, mux, sweep, all)")
+	table := flag.String("table", "all", "which table to regenerate (3..11, modem, tagcase, css, png, nagle, reset, flush, range, headers, cwnd, proxy, faults, variance, mux, mux-faults, sweep, all)")
 	experiment := flag.String("experiment", "", "alias for -table")
 	faultsOnly := flag.Bool("faults", false, "shortcut for -table faults")
 	runs := flag.Int("runs", core.DefaultRuns, "averaging runs per cell")

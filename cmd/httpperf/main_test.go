@@ -10,21 +10,21 @@ import (
 	"repro/internal/exp"
 )
 
-var updateGolden = flag.Bool("update", false, "rewrite the committed fault-matrix golden")
+var updateGolden = flag.Bool("update", false, "rewrite the committed smoke-job goldens")
 
-// TestFaultMatrixGolden pins the exact bytes the CI fault-matrix smoke
-// job diffs: `httpperf -faults -runs 1 -seeds 1 -parallel 4`. If the
-// fault table legitimately changes, regenerate with `go test ./cmd/httpperf
-// -run TestFaultMatrixGolden -update`.
-func TestFaultMatrixGolden(t *testing.T) {
+// goldenTable renders one registered experiment exactly the way the CI
+// smoke jobs invoke it (`httpperf -table NAME -runs 1 -seeds 1
+// -parallel 4`) and diffs the bytes against the committed golden.
+func goldenTable(t *testing.T, name, path string) {
+	t.Helper()
 	site, err := core.DefaultSite()
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := &exp.Session{Runs: 1, Seeds: 1, Parallel: 4, Site: site}
-	e, ok := exp.Lookup("faults")
+	e, ok := exp.Lookup(name)
 	if !ok {
-		t.Fatal("faults experiment not registered")
+		t.Fatalf("%s experiment not registered", name)
 	}
 	data, err := e.Generate(s)
 	if err != nil {
@@ -36,7 +36,6 @@ func TestFaultMatrixGolden(t *testing.T) {
 	}
 	buf.WriteByte('\n') // run() prints a blank line after each table
 
-	const path = "testdata/faults_golden.txt"
 	if *updateGolden {
 		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
@@ -48,8 +47,16 @@ func TestFaultMatrixGolden(t *testing.T) {
 		t.Fatalf("%v (run with -update to regenerate)", err)
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("fault matrix drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+		t.Errorf("%s table drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", name, buf.Bytes(), want)
 	}
+}
+
+// TestFaultMatrixGolden pins the exact bytes the CI fault-matrix smoke
+// job diffs: `httpperf -faults -runs 1 -seeds 1 -parallel 4`. If the
+// fault table legitimately changes, regenerate with `go test ./cmd/httpperf
+// -run TestFaultMatrixGolden -update`.
+func TestFaultMatrixGolden(t *testing.T) {
+	goldenTable(t, "faults", "testdata/faults_golden.txt")
 }
 
 // TestMuxGolden pins the exact bytes the CI mux smoke job diffs:
@@ -57,37 +64,13 @@ func TestFaultMatrixGolden(t *testing.T) {
 // `go test ./cmd/httpperf -run TestMuxGolden -update` after legitimate
 // changes to the multiplexed-protocol experiment.
 func TestMuxGolden(t *testing.T) {
-	site, err := core.DefaultSite()
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := &exp.Session{Runs: 1, Seeds: 1, Parallel: 4, Site: site}
-	e, ok := exp.Lookup("mux")
-	if !ok {
-		t.Fatal("mux experiment not registered")
-	}
-	data, err := e.Generate(s)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := e.Render(&buf, s, data); err != nil {
-		t.Fatal(err)
-	}
-	buf.WriteByte('\n') // run() prints a blank line after each table
+	goldenTable(t, "mux", "testdata/mux_golden.txt")
+}
 
-	const path = "testdata/mux_golden.txt"
-	if *updateGolden {
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("mux table drifted from committed golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
-	}
+// TestMuxFaultsGolden pins the exact bytes the CI fault-matrix smoke
+// job diffs for the framed-protocol recovery sweep: `httpperf -table
+// mux-faults -runs 1 -seeds 1 -parallel 4`. Regenerate with `go test
+// ./cmd/httpperf -run TestMuxFaultsGolden -update`.
+func TestMuxFaultsGolden(t *testing.T) {
+	goldenTable(t, "mux-faults", "testdata/muxfaults_golden.txt")
 }

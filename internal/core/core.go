@@ -59,8 +59,10 @@ type Scenario struct {
 	ModemCompression bool
 
 	// Fault selects a deterministic fault-injection profile (seeded from
-	// Seed): server misbehaviour (early close, truncation, abort, stall)
-	// and/or link loss (burst loss, flaps, blackholes). On a direct run
+	// Seed): server misbehaviour (early close, truncation, abort, stall),
+	// framed-protocol misbehaviour (mid-stream resets, frame truncation,
+	// garbage frames, aborted pushes, settings stalls), and/or link loss
+	// (burst loss, flaps, blackholes). On a direct run
 	// the link faults apply to the client↔server path; with a proxy they
 	// apply to the proxy↔origin link and the server faults to the origin,
 	// so the proxy's own retry policy is exercised. A non-None fault also
@@ -153,37 +155,23 @@ type RunResult struct {
 // ErrDidNotFinish reports a run whose client never completed the page.
 var ErrDidNotFinish = errors.New("core: client did not finish the fetch")
 
-// ErrFaultMode reports a fault profile combined with a protocol mode
-// that cannot express it: the server-scripted faults (early-close,
-// truncation, abort, stall) are HTTP/1.x response-stream behaviours the
-// framed mux path never takes, and the mux client has no per-request
-// watchdog to clear a blackhole. Link-loss profiles (burst-loss, flap)
-// remain valid for every mode.
-var ErrFaultMode = errors.New("core: fault profile does not apply to this client mode")
-
 // ErrMuxTopology reports a mux-family scenario behind the HTTP/1.x
-// caching proxy, which cannot forward framed connections.
+// caching proxy, which cannot forward framed connections. It is the
+// only remaining mode restriction: every fault profile now applies to
+// every client mode — the server maps the HTTP/1.x scripted faults
+// onto framed connections (GOAWAY for early-close, a stalled stream
+// for stall, …) and the mux client carries the full recovery ladder,
+// per-stream watchdogs included.
 var ErrMuxTopology = errors.New("core: mux-family client modes do not speak through the HTTP/1.x proxy")
 
-// validateMode rejects scenario combinations the new protocol modes
-// cannot express, with named errors so callers (and the CLI) can
-// distinguish a bad spec from a failed run.
+// validateMode rejects scenario combinations the protocol modes cannot
+// express, with a named error so callers (and the CLI) can distinguish
+// a bad spec from a failed run. Like ParseTopology's, the message
+// enumerates what would have been accepted.
 func validateMode(sc Scenario) error {
 	mux := sc.Client == httpclient.ModeMux || sc.Client == httpclient.ModeMuxPush
-	burst := sc.Client == httpclient.ModeBurst
-	if !mux && !burst {
-		return nil
-	}
-	if sc.Proxy != nil && mux {
-		return fmt.Errorf("%w: %s", ErrMuxTopology, sc)
-	}
-	switch sc.Fault {
-	case faults.EarlyClose, faults.Truncate, faults.Abort, faults.Stall:
-		return fmt.Errorf("%w: %s (server-scripted faults need an HTTP/1.x response stream)", ErrFaultMode, sc)
-	case faults.Blackhole:
-		if mux {
-			return fmt.Errorf("%w: %s (the mux client has no per-request watchdog to clear a blackhole)", ErrFaultMode, sc)
-		}
+	if mux && sc.Proxy != nil {
+		return fmt.Errorf("%w: %s (want direct, or proxy:ENV[:warm|:stale] with an HTTP/1.x or burst client mode, e.g. proxy:WAN:warm)", ErrMuxTopology, sc)
 	}
 	return nil
 }
@@ -364,6 +352,7 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	clientCfg.Obs = bus
 	if sc.Fault != faults.None {
 		serverCfg.Faults = script.Server
+		serverCfg.MuxFaults = script.Mux
 		if clientCfg.Recovery == nil {
 			pol := faults.Default()
 			clientCfg.Recovery = &pol
@@ -574,6 +563,9 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		m.PushWastedBytes = res.Client.PushWastedBytes
 		m.HeaderBytesSaved = res.Client.HeaderBytesSaved
 		m.FlowControlStalls = res.Client.FlowControlStalls + res.Server.FlowControlStalls
+		m.StreamsReset = res.Client.StreamsReset
+		m.Goaways = res.Client.Goaways
+		m.DeadlocksDetected = res.Client.DeadlocksDetected
 		m.SimEvents = s.Stats().Fired
 		if secs := wall.Seconds(); secs > 0 {
 			m.SimEventsPerSec = float64(m.SimEvents) / secs

@@ -168,14 +168,16 @@ func TestMuxDeterministicRepeat(t *testing.T) {
 	}
 }
 
-// TestMuxFaultModeValidation: inapplicable mode/fault/topology combos
-// are rejected up front with named errors.
+// TestMuxFaultModeValidation: every fault profile now runs (and
+// finishes) on every client mode — the framed modes map HTTP/1.x
+// server misbehaviour onto their own framing and recover — so the only
+// up-front rejection left is a topology the simulator cannot build.
 func TestMuxFaultModeValidation(t *testing.T) {
 	site, err := DefaultSite()
 	if err != nil {
 		t.Fatal(err)
 	}
-	reject := []struct {
+	combos := []struct {
 		mode  httpclient.Mode
 		fault faults.Profile
 	}{
@@ -183,13 +185,20 @@ func TestMuxFaultModeValidation(t *testing.T) {
 		{httpclient.ModeMux, faults.EarlyClose},
 		{httpclient.ModeMuxPush, faults.Truncate},
 		{httpclient.ModeMux, faults.Abort},
-		{httpclient.ModeMuxPush, faults.Blackhole},
+		{httpclient.ModeMux, faults.MuxRst},
+		{httpclient.ModeMuxPush, faults.MuxPushAbort},
+		{httpclient.ModeMux, faults.MuxStall},
 	}
-	for _, tc := range reject {
+	for _, tc := range combos {
 		sc := muxScenario(tc.mode, httpclient.FirstTime)
 		sc.Fault = tc.fault
-		if _, err := Run(sc, site); !errors.Is(err, ErrFaultMode) {
-			t.Errorf("%v + %v: err = %v, want ErrFaultMode", tc.mode, tc.fault, err)
+		res, err := Run(sc, site)
+		if err != nil {
+			t.Errorf("%v + %v: err = %v, want success", tc.mode, tc.fault, err)
+			continue
+		}
+		if !res.Client.Done {
+			t.Errorf("%v + %v: page did not finish: %+v", tc.mode, tc.fault, res.Client)
 		}
 	}
 	// Link-level faults remain valid for the new modes.
@@ -210,5 +219,41 @@ func TestMuxFaultModeValidation(t *testing.T) {
 	sc.Proxy = &ProxyScenario{Env: netem.WAN}
 	if _, err := Run(sc, site); err != nil {
 		t.Errorf("proxy + burst: %v, want success", err)
+	}
+}
+
+// TestMuxPerStreamWatchdog: a server that stalls one framed response
+// mid-stream (headers, then silence) must not hang the page. On a link
+// slow enough that the other streams are still flowing when the silent
+// stream's deadline passes, the per-stream watchdog tears it down with
+// RST_STREAM — no session abort — the request is retried, and every
+// object still arrives.
+func TestMuxPerStreamWatchdog(t *testing.T) {
+	site, err := DefaultSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := muxScenario(httpclient.ModeMux, httpclient.FirstTime)
+	sc.Env = netem.PPP
+	sc.Fault = faults.Stall
+	res, err := Run(sc, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Client
+	if !c.Done {
+		t.Fatalf("page did not finish: %+v", c)
+	}
+	if c.StreamsReset == 0 {
+		t.Errorf("StreamsReset = 0, want > 0 (watchdog must reset the silent stream)")
+	}
+	if c.RequestsFailed != 0 {
+		t.Errorf("RequestsFailed = %d, want 0 (the reset request is retried)", c.RequestsFailed)
+	}
+	if objects := len(site.Paths()); c.Responses200 != objects {
+		t.Errorf("Responses200 = %d, want %d", c.Responses200, objects)
+	}
+	if c.Retried == 0 {
+		t.Errorf("Retried = 0, want > 0")
 	}
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// MuxFaultRow is one cell of the mux fault-recovery experiment: one
+// client mode under one framed-protocol fault profile in one
+// environment, with the mux recovery counters alongside the shared
+// recovery accounting.
+type MuxFaultRow struct {
+	Env   string
+	Fault string
+	Mode  string
+
+	Packets float64
+	Seconds float64
+
+	// Shared recovery accounting, averaged over the sweep population.
+	Errors      float64
+	Retried     float64
+	Timeouts    float64
+	Recovered   float64
+	Failed      float64
+	WastedKB    float64
+	RecoverySec float64
+	Fallbacks   float64
+
+	// Framed-protocol recovery accounting: streams torn down by
+	// RST_STREAM for error recovery, GOAWAY announcements on the
+	// session, and watchdog expiries proven to be flow-control
+	// deadlocks (usually zero — recovery clears wedged windows before
+	// they become terminal).
+	StreamsReset float64
+	Goaways      float64
+	Deadlocks    float64
+}
+
+// muxFaultProfiles are the injected profiles the experiment sweeps, in
+// table order: the undisturbed baseline, then every framed-protocol
+// fault.
+var muxFaultProfiles = []faults.Profile{
+	faults.None,
+	faults.MuxRst,
+	faults.MuxTruncate,
+	faults.MuxGarbage,
+	faults.MuxPushAbort,
+	faults.MuxStall,
+}
+
+// muxFaultModes are the client configurations the experiment compares.
+// Pipelined HTTP/1.1 is the baseline: the framed faults are inert on
+// it (their injection hook lives in the server's mux path), so its
+// rows show what the disruption costs relative to an untouched
+// transfer. Burst likewise runs over HTTP/1.x and rides along as the
+// aggregated-transfer control.
+var muxFaultModes = []httpclient.Mode{
+	httpclient.ModeHTTP11Pipelined,
+	httpclient.ModeMux,
+	httpclient.ModeMuxPush,
+	httpclient.ModeBurst,
+}
+
+// MuxFaultsTable runs the mux fault-recovery experiment: the framed
+// client modes (against the pipelined and burst baselines) fetching
+// the site first-time over PPP and WAN while a scripted framed-
+// protocol fault — a mid-stream RST_STREAM, a truncated DATA frame, a
+// garbage frame, an aborted push, or a SETTINGS stall — disrupts the
+// session. Every faulted client runs the default recovery policy, so
+// the table answers the robustness question the mux grid defers: when
+// a multiplexed session misbehaves, what does detection (strict
+// validation, per-stream watchdogs, deadlock detectors) and recovery
+// (stream resets, session redial with replay, the fallback ladder)
+// cost in packets, time, and wasted bytes.
+func (sw Sweep) MuxFaultsTable(site *webgen.Site) ([]MuxFaultRow, error) {
+	envs := []netem.Environment{netem.PPP, netem.WAN}
+	var rows []MuxFaultRow
+	for ei, env := range envs {
+		for fi, prof := range muxFaultProfiles {
+			for mi, mode := range muxFaultModes {
+				sc := Scenario{
+					Server:   httpserver.ProfileApache,
+					Client:   mode,
+					Env:      env,
+					Workload: httpclient.FirstTime,
+					Seed:     21000 + uint64(ei)*1000 + uint64(fi)*100 + uint64(mi),
+					Fault:    prof,
+				}
+				results, err := sw.series(sc, site, 31)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sc, err)
+				}
+				row := MuxFaultRow{Env: env.String(), Fault: prof.String(), Mode: mode.String()}
+				n := float64(len(results))
+				for _, res := range results {
+					c := res.Client
+					row.Packets += float64(res.Stats.Packets) / n
+					row.Seconds += res.Elapsed.Seconds() / n
+					row.Errors += float64(c.Errors) / n
+					row.Retried += float64(c.Retried) / n
+					row.Timeouts += float64(c.Timeouts) / n
+					row.Recovered += float64(c.RequestsRecovered) / n
+					row.Failed += float64(c.RequestsFailed) / n
+					row.WastedKB += float64(c.WastedBytes) / 1024 / n
+					row.RecoverySec += c.RecoverySeconds / n
+					row.Fallbacks += float64(c.Fallbacks) / n
+					row.StreamsReset += float64(c.StreamsReset) / n
+					row.Goaways += float64(c.Goaways) / n
+					row.Deadlocks += float64(c.DeadlocksDetected) / n
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}

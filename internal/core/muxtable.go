@@ -71,9 +71,10 @@ type MuxData struct {
 	Variance []VarianceRow
 }
 
-// muxFaults are the fault profiles valid for the new modes: link-level
-// disruptions only (the server-scripted faults are HTTP/1.x response
-// behaviours core rejects for framed and aggregated transfers).
+// muxFaults are the fault profiles this table's fault section sweeps:
+// link-level disruptions, which stress the transports identically. The
+// framed-protocol faults (mid-stream resets, garbage frames, …) have
+// their own dedicated experiment, MuxFaultsTable.
 var muxFaults = []faults.Profile{faults.None, faults.BurstLoss, faults.Flap}
 
 // MuxTable runs the multiplexed-protocol experiment against the Apache

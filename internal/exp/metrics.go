@@ -103,6 +103,14 @@ type Metrics struct {
 	HeaderBytesSaved  int64 `json:"header_bytes_saved,omitempty"`
 	FlowControlStalls int   `json:"flow_control_stalls,omitempty"`
 
+	// Mux fault-recovery accounting (all zero outside faulted framed
+	// runs): streams torn down by RST_STREAM for error recovery, GOAWAY
+	// session-close announcements on the connection, and watchdog
+	// expiries proven to be flow-control deadlocks.
+	StreamsReset      int `json:"streams_reset,omitempty"`
+	Goaways           int `json:"goaways,omitempty"`
+	DeadlocksDetected int `json:"deadlocks_detected,omitempty"`
+
 	// TimelineEvents and TimelineSpans count the observability bus's
 	// recorded events and request spans; both are zero when the run
 	// executed without core.WithTimeline.
@@ -155,6 +163,7 @@ var csvHeader = []string{
 	"wasted_bytes", "recovery_seconds", "fallbacks", "faults_injected",
 	"streams_opened", "push_promised", "push_used",
 	"push_wasted_bytes", "header_bytes_saved", "flow_control_stalls",
+	"streams_reset", "goaways", "deadlocks_detected",
 	"timeline_events", "timeline_spans",
 	"sim_events",
 	"cache_hits", "cache_misses", "cache_revalidations",
@@ -180,6 +189,7 @@ func (m Metrics) csvRow() []string {
 		strconv.FormatInt(m.WastedBytes, 10), f(m.RecoverySeconds), strconv.Itoa(m.Fallbacks), strconv.Itoa(m.FaultsInjected),
 		strconv.Itoa(m.StreamsOpened), strconv.Itoa(m.PushPromised), strconv.Itoa(m.PushUsed),
 		strconv.FormatInt(m.PushWastedBytes, 10), strconv.FormatInt(m.HeaderBytesSaved, 10), strconv.Itoa(m.FlowControlStalls),
+		strconv.Itoa(m.StreamsReset), strconv.Itoa(m.Goaways), strconv.Itoa(m.DeadlocksDetected),
 		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
 		strconv.FormatUint(m.SimEvents, 10),
 		strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMisses), strconv.Itoa(m.CacheRevalidations),

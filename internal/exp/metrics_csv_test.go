@@ -40,6 +40,7 @@ func TestCSVHeaderPinned(t *testing.T) {
 		"wasted_bytes,recovery_seconds,fallbacks,faults_injected," +
 		"streams_opened,push_promised,push_used," +
 		"push_wasted_bytes,header_bytes_saved,flow_control_stalls," +
+		"streams_reset,goaways,deadlocks_detected," +
 		"timeline_events,timeline_spans," +
 		"sim_events," +
 		"cache_hits,cache_misses,cache_revalidations," +

@@ -208,6 +208,16 @@ func init() {
 		},
 	})
 	exp.Register(exp.Experiment{
+		Name: "mux-faults", Title: "Framed-protocol fault injection: mux error handling and stream recovery",
+		Generate: func(s *exp.Session) (any, error) {
+			return sweepFor(s, "mux-faults").MuxFaultsTable(s.Site)
+		},
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.MuxFaults(w, d.([]core.MuxFaultRow))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
 		Name: "sweep", Title: "Per-run structured metrics sweep (protocol modes × environments)",
 		Skip: true,
 		Generate: func(s *exp.Session) (any, error) {

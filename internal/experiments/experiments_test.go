@@ -40,7 +40,8 @@ func render(t *testing.T, s *exp.Session, name string) []byte {
 func TestRegisteredNames(t *testing.T) {
 	want := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11",
 		"modem", "tagcase", "css", "png", "nagle", "reset", "flush",
-		"range", "headers", "cwnd", "proxy", "faults", "variance", "mux"}
+		"range", "headers", "cwnd", "proxy", "faults", "variance", "mux",
+		"mux-faults"}
 	got := exp.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -59,7 +60,7 @@ func TestRegisteredNames(t *testing.T) {
 // scenario-driven experiment — and its collected metrics CSV — to be
 // byte-identical between a serial and a wide worker pool.
 func TestRenderedBytesDeterministic(t *testing.T) {
-	for _, name := range []string{"3", "nagle", "faults", "variance", "mux"} {
+	for _, name := range []string{"3", "nagle", "faults", "variance", "mux", "mux-faults"} {
 		s1 := session(t, 1)
 		s8 := session(t, 8)
 		out1 := render(t, s1, name)

@@ -54,6 +54,26 @@ const (
 	// Blackhole drops a window of packets in the server→client
 	// direction only.
 	Blackhole
+	// MuxRst makes the server reset one response stream mid-body with
+	// RST_STREAM(INTERNAL_ERROR) on framed connections (injected once).
+	MuxRst
+	// MuxTruncate cuts a framed connection mid-DATA-frame: the N-th
+	// response's body stops partway through a frame and the connection
+	// fully closes, so the client's frame reader sees a truncated
+	// stream (injected once).
+	MuxTruncate
+	// MuxGarbage injects a corrupt frame — an unknown type on an
+	// absurd stream id — ahead of one response, tripping the client's
+	// strict frame validator (injected once).
+	MuxGarbage
+	// MuxPushAbort promises and begins one server push, then resets
+	// the pushed stream mid-body, forcing the client to invalidate its
+	// push cache and re-fetch (injected once).
+	MuxPushAbort
+	// MuxStall wedges the framed connection right after emitting a
+	// SETTINGS frame at the N-th response: no further frames, forever;
+	// only the client's stream watchdog clears it (injected once).
+	MuxStall
 )
 
 // profileNames maps names (as used in scenario specs and flags) to
@@ -70,6 +90,11 @@ var profileNames = []struct {
 	{"burst-loss", BurstLoss},
 	{"flap", Flap},
 	{"blackhole", Blackhole},
+	{"mux-rst", MuxRst},
+	{"mux-truncate", MuxTruncate},
+	{"mux-garbage", MuxGarbage},
+	{"mux-push-abort", MuxPushAbort},
+	{"mux-stall", MuxStall},
 }
 
 // Names lists the valid profile names in display order.
@@ -126,12 +151,45 @@ type ServerFaults struct {
 // Any reports whether the set scripts at least one fault.
 func (f ServerFaults) Any() bool { return f != (ServerFaults{}) }
 
+// MuxFaults scripts deterministic failures specific to framed (mux)
+// connections; the zero value injects nothing. Like ServerFaults,
+// ordinals are 1-based and counted server-wide so one-shot faults do
+// not re-trigger on a recovery redial. On an HTTP/1.x connection the
+// set is inert: the injection hook lives entirely in the server's mux
+// path, which is what keeps the HTTP/1.x golden tables untouched.
+type MuxFaults struct {
+	// RstStream resets the N-th framed response stream mid-body with
+	// RST_STREAM(INTERNAL_ERROR) after RstStreamBytes body bytes (once).
+	RstStream      int
+	RstStreamBytes int
+	// TruncateFrame cuts the N-th framed response mid-DATA-frame —
+	// TruncateBytes into the body, off any frame boundary — and fully
+	// closes the connection (once).
+	TruncateFrame int
+	TruncateBytes int
+	// GarbageFrame writes a malformed frame (unknown type, reserved
+	// stream-id bit) ahead of the N-th framed response (once).
+	GarbageFrame int
+	// AbortPush resets the N-th promised push stream after
+	// AbortPushBytes of its body (once).
+	AbortPush      int
+	AbortPushBytes int
+	// StallSettings emits a SETTINGS frame instead of the N-th framed
+	// response and wedges the connection: nothing further is ever sent
+	// or processed on it (once).
+	StallSettings int
+}
+
+// Any reports whether the set scripts at least one fault.
+func (f MuxFaults) Any() bool { return f != (MuxFaults{}) }
+
 // Script is one run's instantiated fault plan: the server-side fault
 // set plus per-direction link loss models, all derived from the run
 // seed. Zero-value fields inject nothing.
 type Script struct {
 	Profile Profile
 	Server  ServerFaults
+	Mux     MuxFaults
 	// LossC2S and LossS2C apply to the faulted link's client→server and
 	// server→client directions (on a proxy topology: the proxy↔origin
 	// link). Each is a fresh instance — stateful models are never
@@ -167,6 +225,16 @@ func (p Profile) Script(seed uint64) Script {
 		sc.LossS2C = netem.OutageWindows(60, 300, 12)
 	case Blackhole:
 		sc.LossS2C = netem.Blackhole(40, 52)
+	case MuxRst:
+		sc.Mux = MuxFaults{RstStream: 3, RstStreamBytes: 600}
+	case MuxTruncate:
+		sc.Mux = MuxFaults{TruncateFrame: 3, TruncateBytes: 700}
+	case MuxGarbage:
+		sc.Mux = MuxFaults{GarbageFrame: 2}
+	case MuxPushAbort:
+		sc.Mux = MuxFaults{AbortPush: 1, AbortPushBytes: 300}
+	case MuxStall:
+		sc.Mux = MuxFaults{StallSettings: 3}
 	}
 	return sc
 }

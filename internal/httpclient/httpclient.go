@@ -161,7 +161,12 @@ type Config struct {
 	// requests outstanding aborts the connection), capped exponential
 	// backoff before re-dialing after consecutive failures, a retry
 	// budget, idempotency-aware re-issue (only GET/HEAD are requeued),
-	// and graceful protocol degradation (pipelined → serial → HTTP/1.0).
+	// and graceful protocol degradation (mux → pipelined → serial →
+	// HTTP/1.0). On a mux session the watchdog additionally runs
+	// per-stream: an individually silent stream is torn down with
+	// RST_STREAM and re-issued on the same session, and total silence
+	// is classified (flow-control deadlock vs generic stall) before the
+	// session is aborted.
 	// Nil preserves the legacy behaviour exactly: no extra timers fire
 	// and no RNG draws occur, so fault-free runs are byte-identical.
 	Recovery *faults.Policy
@@ -316,4 +321,19 @@ type Result struct {
 	// FlowControlStalls counts this side's transitions into an
 	// exhausted stream or connection flow-control window.
 	FlowControlStalls int
+	// StreamsReset counts mux streams torn down by RST_STREAM for
+	// error recovery: peer resets of request or push streams plus
+	// watchdog-initiated per-stream teardowns. Cache-refusal push
+	// cancellations (normal behaviour) are not counted.
+	StreamsReset int
+	// Goaways counts GOAWAY session-close announcements on the mux
+	// connection, received from the server or sent by this client's
+	// strict frame validator.
+	Goaways int
+	// DeadlocksDetected counts watchdog expiries the session's flow
+	// detectors classified as a provable flow-control deadlock — an
+	// exhausted window that would never refill — rather than a generic
+	// stall. With recovery armed this is usually zero: resets and
+	// redials clear wedged windows before they become terminal.
+	DeadlocksDetected int
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/httpmsg"
 	"repro/internal/mux"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/tcpsim"
 )
 
@@ -26,12 +27,28 @@ type muxStream struct {
 	body   []byte
 	span   obs.SpanID // pushed-span timeline row (0 when not pushed)
 	path   string     // :path of a push, before any item claims it
+
+	// lastData is the last time this stream itself made progress
+	// (headers or body), and rxMark the connection's received-byte
+	// count at that moment. The per-stream watchdog combines them to
+	// find individually wedged streams on an otherwise healthy
+	// session: silence alone is normal on a slow shared link (a fair
+	// round-robin scheduler can take many seconds per cycle), but a
+	// whole window of traffic reaching OTHER streams while this one
+	// got nothing means the server has abandoned it.
+	lastData sim.Time
+	rxMark   int64
 }
 
 // muxConn is the robot's single framed multiplexed connection
 // (ModeMux / ModeMuxPush). Unlike clientConn there is no pipelining
-// buffer, no flush timer, and no per-request watchdog: the session's
-// scheduler owns interleaving, and recovery re-dials the whole session.
+// buffer and no flush timer: the session's scheduler owns
+// interleaving. Recovery (when armed) runs at two granularities: a
+// per-stream watchdog tears down individually silent streams with
+// RST_STREAM and re-issues them on the same session, and a
+// whole-session failure — abort, GOAWAY, or total silence — re-dials
+// the connection and replays incomplete streams, degrading to
+// HTTP/1.1 pipelining after repeated failures.
 type muxConn struct {
 	r        *Robot
 	conn     *tcpsim.Conn
@@ -39,6 +56,8 @@ type muxConn struct {
 	dead     bool
 	closing  bool // we finished and sent FIN; peer close is expected
 	promised map[string]*mux.Stream
+	watchdog sim.TimerHandle
+	rxTotal  int64 // transport bytes received, for per-stream progress marks
 }
 
 // dialMux opens the mux connection and performs the session handshake
@@ -63,6 +82,8 @@ func (r *Robot) dialMux() *muxConn {
 	sess.OnHeaders = mc.onHeaders
 	sess.OnData = mc.onStreamData
 	sess.OnPushPromise = mc.onPushPromise
+	sess.OnRstStream = mc.onRstStream
+	sess.OnGoaway = mc.onGoaway
 	sess.OnError = mc.onSessionError
 	if b := r.cfg.Obs; b != nil {
 		id := mc.conn.ObsID()
@@ -119,9 +140,10 @@ func (mc *muxConn) request(it workItem) {
 	}
 	req := r.buildItemRequest(it)
 	st := mc.sess.OpenStream(muxFields(req, r.serverHost), true, 0)
-	st.UserData = &muxStream{it: it, claimed: true}
+	st.UserData = &muxStream{it: it, claimed: true, lastData: r.sim.Now(), rxMark: mc.rxTotal}
 	r.issued++
 	r.cfg.Obs.SpanWritten(it.span, mc.conn.ObsID())
+	mc.armWatchdog()
 }
 
 // muxFields lowers an HTTP/1.x request to a mux header block:
@@ -145,7 +167,9 @@ func muxFields(req *httpmsg.Request, authority string) []mux.Field {
 
 func (mc *muxConn) onData(c *tcpsim.Conn, data []byte) {
 	mc.r.lastData = mc.r.sim.Now()
+	mc.rxTotal += int64(len(data))
 	mc.sess.Feed(data)
+	mc.armWatchdog()
 }
 
 func (mc *muxConn) onHeaders(st *mux.Stream, fields []mux.Field, end bool) {
@@ -153,6 +177,8 @@ func (mc *muxConn) onHeaders(st *mux.Stream, fields []mux.Field, end bool) {
 	if !ok {
 		return
 	}
+	ms.lastData = mc.r.sim.Now()
+	ms.rxMark = mc.rxTotal
 	for _, f := range fields {
 		switch {
 		case f.Name == ":status":
@@ -180,9 +206,17 @@ func (mc *muxConn) onStreamData(st *mux.Stream, p []byte, end bool) {
 	if !ok {
 		return
 	}
+	ms.lastData = r.sim.Now()
+	ms.rxMark = mc.rxTotal
 	if ms.cancelled {
-		// DATA that raced our RST_STREAM: delivered, never wanted.
-		r.result.PushWastedBytes += int64(len(p))
+		// DATA that raced our RST_STREAM: delivered, never wanted. A
+		// cancelled push is push waste; a request stream the watchdog
+		// tore down is plain retry waste.
+		if ms.pushed {
+			r.result.PushWastedBytes += int64(len(p))
+		} else {
+			r.result.WastedBytes += int64(len(p))
+		}
 		return
 	}
 	ms.body = append(ms.body, p...)
@@ -243,6 +277,189 @@ func (mc *muxConn) onPushPromise(parent, promised *mux.Stream, fields []mux.Fiel
 	mc.promised[path] = promised
 }
 
+// onRstStream handles a peer RST_STREAM. A pushed promise is
+// invalidated — the promise entry is dropped and whatever body it
+// delivered is waste, so a later request for the object goes to the
+// server — and a claimed request stream is re-issued on this same
+// session, budget and idempotency permitting.
+func (mc *muxConn) onRstStream(st *mux.Stream) {
+	r := mc.r
+	ms, ok := st.UserData.(*muxStream)
+	if !ok || ms.cancelled || ms.delivered {
+		return // a reset racing our own teardown needs no second answer
+	}
+	if ms.pushed && !ms.claimed {
+		r.result.StreamsReset++
+		r.cfg.Obs.StreamReset(mc.conn.ObsID(), st.ID, st.ResetCode.String())
+		r.result.PushWastedBytes += int64(len(ms.body))
+		ms.cancelled = true
+		delete(mc.promised, ms.path)
+		return
+	}
+	if ms.claimed {
+		r.result.StreamsReset++
+		r.cfg.Obs.StreamReset(mc.conn.ObsID(), st.ID, st.ResetCode.String())
+		mc.requeueStream(ms, true)
+		r.dispatch()
+	}
+}
+
+// onGoaway records the peer's session-close announcement. The close
+// itself arrives as a transport event (the server tears the
+// connection down right after), so stream replay happens on that
+// path; a GOAWAY the peer never follows up on is cleared by the
+// watchdog.
+func (mc *muxConn) onGoaway(last uint32, code mux.ErrCode) {
+	mc.r.result.Goaways++
+	mc.r.cfg.Obs.Goaway(mc.conn.ObsID(), last, code.String())
+}
+
+// requeueStream releases a torn-down stream's work item back onto the
+// robot's queue. chargeBudget distinguishes per-stream teardowns (a
+// peer RST_STREAM, a watchdog reset — individual retries, counted
+// against the policy's RetryBudget) from a whole-session failure,
+// which is ONE fault event no matter how many streams it takes down:
+// charging a 40-stream session failure 40 budget units would exhaust
+// the budget before the backoff/fallback ladder — which already
+// bounds session redials — ever engaged. Non-idempotent requests are
+// never replayed on either path. The caller dispatches.
+func (mc *muxConn) requeueStream(ms *muxStream, chargeBudget bool) {
+	r := mc.r
+	p := r.cfg.Recovery
+	r.result.WastedBytes += int64(len(ms.body))
+	if p != nil && !r.recovering {
+		r.recovering = true
+		r.recoverFrom = r.sim.Now()
+	}
+	it := ms.it
+	ms.claimed = false
+	ms.cancelled = true // late DATA racing the reset is waste
+	if p != nil && (!idempotent(it.method) || (chargeBudget && !p.Allow(r.retryCharge))) {
+		r.issued--
+		r.result.RequestsFailed++
+		r.result.Aborted = true
+		if it.isHTML {
+			r.htmlPending = false
+		}
+		return
+	}
+	it.retried = true
+	r.result.Retried++
+	if chargeBudget {
+		r.retryCharge++
+	}
+	r.issued--
+	it.span = r.cfg.Obs.SpanQueued(it.method, it.path, true)
+	r.queue = append(r.queue, it)
+	if it.isHTML {
+		// The page will be re-received from the start; discard the
+		// half-parsed tokenizer state. Already-discovered links stay
+		// deduplicated by r.enqueued.
+		r.extractor = htmlparse.LinkExtractor{}
+	}
+}
+
+// outstanding reports whether any claimed stream still awaits its
+// response.
+func (mc *muxConn) outstanding() bool {
+	for _, st := range mc.sess.Streams() {
+		ms, ok := st.UserData.(*muxStream)
+		if ok && ms.claimed && !ms.delivered && !st.ResetSent && !st.ResetRecv {
+			return true
+		}
+	}
+	return false
+}
+
+// armWatchdog keeps the session watchdog ticking. Unlike the HTTP/1.x
+// connection's (which restarts its clock on every arrival and so only
+// fires on total silence), the mux watchdog is a periodic sampler: it
+// must catch a single stream starving while the rest of the session
+// streams along, so it fires every RequestTimeout regardless of
+// session-wide progress and onWatchdog compares each stream's own
+// silence against the deadline. It runs on every data arrival, so the
+// already-armed path must not allocate, and it consumes sim sequence
+// numbers only when a Recovery policy is armed — fault-free runs stay
+// byte-identical.
+func (mc *muxConn) armWatchdog() {
+	p := mc.r.cfg.Recovery
+	if p == nil || p.RequestTimeout <= 0 {
+		return
+	}
+	if mc.dead || mc.closing || !mc.outstanding() {
+		mc.watchdog.Stop()
+		return
+	}
+	if !mc.watchdog.Active() {
+		mc.watchdog = mc.r.sim.ScheduleArg(p.RequestTimeout, muxWatchdogFire, mc)
+	}
+}
+
+func muxWatchdogFire(a any) { a.(*muxConn).onWatchdog() }
+
+// onWatchdog classifies RequestTimeout of silence. If the session as
+// a whole made recent progress, only streams that are individually
+// silent (a per-stream stall fault) are torn down with RST_STREAM and
+// re-issued on this same session. A fully silent session is first
+// tested for a provable flow-control deadlock — either sender wedged
+// on an exhausted window that will never refill, named stream and all
+// — and then aborted so recovery can redial.
+func (mc *muxConn) onWatchdog() {
+	r := mc.r
+	p := r.cfg.Recovery
+	if mc.dead || mc.closing {
+		return
+	}
+	now := r.sim.Now()
+	if since := now.Sub(r.lastData); since < p.RequestTimeout {
+		requeued := false
+		for _, st := range mc.sess.Streams() {
+			ms, ok := st.UserData.(*muxStream)
+			if !ok || !ms.claimed || ms.delivered || st.ResetSent || st.ResetRecv {
+				continue
+			}
+			if now.Sub(ms.lastData) < p.RequestTimeout {
+				continue
+			}
+			// Silence alone is not a stall: on a slow link a fair
+			// round-robin cycle over many streams can exceed the
+			// deadline. Only tear the stream down once a full
+			// flow-control window of traffic reached other streams
+			// while this one got nothing — a working server would have
+			// scheduled it inside that much data.
+			if mc.rxTotal-ms.rxMark < int64(mux.DefaultInitialWindow) {
+				continue
+			}
+			r.result.StreamsReset++
+			r.cfg.Obs.StreamReset(mc.conn.ObsID(), st.ID, "watchdog")
+			mc.sess.RstStreamCode(st, mux.ErrCodeCancel)
+			mc.requeueStream(ms, true)
+			requeued = true
+		}
+		if requeued {
+			r.dispatch()
+		}
+		mc.armWatchdog()
+		return
+	}
+	if st, ok := mc.sess.PeerDeadlock(); ok {
+		r.result.DeadlocksDetected++
+		r.cfg.Obs.Deadlock(mc.conn.ObsID(), st.ID, "peer-starved")
+	} else if st, conn, ok := mc.sess.FlowDeadlock(); ok {
+		r.result.DeadlocksDetected++
+		which := "stream-window"
+		if conn {
+			which = "conn-window"
+		}
+		r.cfg.Obs.Deadlock(mc.conn.ObsID(), st.ID, which)
+	} else {
+		r.result.Timeouts++
+		r.cfg.Obs.ClientTimeout(mc.conn.ObsID(), p.RequestTimeout)
+	}
+	mc.conn.Abort()
+	r.muxFail(mc)
+}
+
 func (mc *muxConn) onSessionError(err error) {
 	if !mc.dead {
 		mc.conn.Abort()
@@ -279,6 +496,7 @@ func (mc *muxConn) finish() {
 		return
 	}
 	mc.closing = true
+	mc.watchdog.Stop()
 	for _, st := range mc.sess.Streams() {
 		ms, ok := st.UserData.(*muxStream)
 		if !ok {
@@ -295,18 +513,24 @@ func (mc *muxConn) finish() {
 
 // fillStats folds the session counters into the fetch result. Called
 // exactly once per session (graceful finish or failure); a redialled
-// session accumulates on top.
+// session accumulates on top. GOAWAYs this side sent (strict-validator
+// rejections of server garbage) add to the peer-announced ones counted
+// in onGoaway.
 func (mc *muxConn) fillStats() {
 	st := mc.sess.Stats
 	mc.r.result.StreamsOpened += st.StreamsOpened
 	mc.r.result.PushPromised += st.PushPromised
 	mc.r.result.HeaderBytesSaved += st.HeaderBytesSaved
 	mc.r.result.FlowControlStalls += st.FlowControlStalls
+	mc.r.result.Goaways += st.GoawaysSent
 }
 
 // muxFail retires a failed mux connection: undelivered claimed items
 // are re-queued (a fresh session will re-issue them), partial bodies
-// and orphaned pushes become waste, and dispatch redials.
+// and orphaned pushes become waste, and dispatch redials — or, after
+// FallbackAfter consecutive session failures, continues the fetch over
+// HTTP/1.1 pipelining (from which the existing ladder can degrade
+// further to serial and HTTP/1.0).
 func (r *Robot) muxFail(mc *muxConn) { r.muxFailErr(mc, true) }
 
 func (r *Robot) muxFailErr(mc *muxConn, isError bool) {
@@ -314,6 +538,7 @@ func (r *Robot) muxFailErr(mc *muxConn, isError bool) {
 		return
 	}
 	mc.dead = true
+	mc.watchdog.Stop()
 	if r.mux == mc {
 		r.mux = nil
 	}
@@ -326,6 +551,9 @@ func (r *Robot) muxFailErr(mc *muxConn, isError bool) {
 				r.backoffUntil = r.sim.Now().Add(b)
 				r.cfg.Obs.RetryBackoff(b, r.consecFails)
 			}
+			if p.FallbackAfter > 0 && r.consecFails >= p.FallbackAfter {
+				r.fallbackMuxDegrade()
+			}
 		}
 	}
 	mc.fillStats()
@@ -334,29 +562,7 @@ func (r *Robot) muxFailErr(mc *muxConn, isError bool) {
 		if !ok || !ms.claimed || ms.delivered {
 			continue
 		}
-		r.result.WastedBytes += int64(len(ms.body))
-		if p != nil && !r.recovering {
-			r.recovering = true
-			r.recoverFrom = r.sim.Now()
-		}
-		it := ms.it
-		if p != nil && (!idempotent(it.method) || !p.Allow(r.result.Retried)) {
-			r.issued--
-			r.result.RequestsFailed++
-			r.result.Aborted = true
-			if it.isHTML {
-				r.htmlPending = false
-			}
-			continue
-		}
-		it.retried = true
-		r.result.Retried++
-		r.issued--
-		it.span = r.cfg.Obs.SpanQueued(it.method, it.path, true)
-		r.queue = append(r.queue, it)
-		if it.isHTML {
-			r.extractor = htmlparse.LinkExtractor{}
-		}
+		mc.requeueStream(ms, false)
 	}
 	r.dispatch()
 }

@@ -63,6 +63,7 @@ type Robot struct {
 	// Recovery state, all inert while cfg.Recovery is nil.
 	consecFails  int
 	fallbackLvl  int
+	retryCharge  int // retries counted against Policy.RetryBudget
 	backoffUntil sim.Time
 	backoffTimer sim.TimerHandle
 	recoverFrom  sim.Time
@@ -235,6 +236,23 @@ func (r *Robot) fallbackDegrade() {
 	r.consecFails = 0
 	r.result.Fallbacks++
 	r.cfg.Obs.Fallback(2, "http10")
+}
+
+// fallbackMuxDegrade abandons framed multiplexing after FallbackAfter
+// consecutive session failures: the fetch continues over HTTP/1.1
+// pipelining — the top of the HTTP/1.x ladder, so later failures can
+// still step down to serial and HTTP/1.0 via failConn.
+func (r *Robot) fallbackMuxDegrade() {
+	if !r.cfg.Mux {
+		return
+	}
+	r.cfg.Mux = false
+	r.cfg.MuxPush = false
+	r.cfg.Pipelining = true
+	r.cfg.ExplicitFirstFlush = true
+	r.consecFails = 0
+	r.result.Fallbacks++
+	r.cfg.Obs.Fallback(1, "pipelined")
 }
 
 // liveConn returns the open connection, if any.
@@ -550,7 +568,7 @@ func (r *Robot) failConn(cc *clientConn, isError bool) {
 			r.recoverFrom = r.sim.Now()
 		}
 		for _, it := range cc.inflight {
-			if p != nil && (!idempotent(it.method) || !p.Allow(r.result.Retried)) {
+			if p != nil && (!idempotent(it.method) || !p.Allow(r.retryCharge)) {
 				// Budget exhausted (or unsafe to replay): drop the request
 				// permanently rather than retry forever. Its span stays
 				// open-ended, which the waterfall marks abandoned.
@@ -564,6 +582,7 @@ func (r *Robot) failConn(cc *clientConn, isError bool) {
 			}
 			it.retried = true
 			r.result.Retried++
+			r.retryCharge++
 			r.issued-- // it will be re-issued
 			// The original span stays open-ended; the retry is its own span.
 			it.span = r.cfg.Obs.SpanQueued(it.method, it.path, true)

@@ -81,8 +81,17 @@ type Config struct {
 	Obs *obs.Bus
 	// Faults scripts deterministic server-side failures (early close,
 	// truncation, abort, stall). The zero value injects nothing and
-	// leaves every serving path untouched.
+	// leaves every serving path untouched. On a framed (mux)
+	// connection the same scripts map onto framing-level misbehaviour:
+	// early close becomes GOAWAY+close, truncation ends a stream early
+	// and closes, abort resets the transport, and stall wedges one
+	// stream (headers sent, body never) while the rest of the session
+	// keeps serving.
 	Faults faults.ServerFaults
+	// MuxFaults scripts failures specific to framed connections
+	// (mid-stream RST, mid-frame truncation, garbage frames,
+	// push-then-abort, settings stall). Inert on HTTP/1.x connections.
+	MuxFaults faults.MuxFaults
 }
 
 func (c Config) applyProfile() Config {
@@ -152,6 +161,12 @@ type Server struct {
 	// faultSeq numbers responses server-wide (1-based) so one-shot
 	// scripted faults fire exactly once even across retried connections.
 	faultSeq int
+	// muxSeq and pushSeq are the framed-path equivalents: muxSeq
+	// numbers client-requested framed responses, pushSeq numbers
+	// promised pushes. Kept separate from faultSeq so the two serving
+	// paths cannot perturb each other's one-shot ordinals.
+	muxSeq  int
+	pushSeq int
 }
 
 // New creates a server and begins listening on host:port.

@@ -30,6 +30,7 @@ type muxServerConn struct {
 
 	pending    []muxJob
 	processing bool
+	served     int // client-requested responses completed on this connection
 }
 
 // startMux hands the connection to a mux session. Response bytes are
@@ -123,6 +124,9 @@ func (msc *muxServerConn) serve(job muxJob) {
 	if b := srv.cfg.Obs; b != nil {
 		b.ServerSend(msc.sc.conn.ObsID(), job.req.Target, resp.StatusCode, len(resp.Body))
 	}
+	if (srv.cfg.Faults.Any() || srv.cfg.MuxFaults.Any()) && msc.injectFault(job, resp) {
+		return
+	}
 	// Server push: promise every inline object of a just-requested page
 	// before its response, so the promises reach the client ahead of
 	// the HTML parse (and ahead of its own requests). A 304 pushes too:
@@ -134,6 +138,150 @@ func (msc *muxServerConn) serve(job muxJob) {
 		}
 	}
 	msc.writeResponse(job.st, job.req.Method, resp)
+	msc.afterResponse(job)
+}
+
+// afterResponse applies the scripted early-close limit on framed
+// connections: after the Nth client-requested response, announce the
+// close with GOAWAY and tear the connection down in the scripted
+// style, pushes and pipelined streams be damned — the framed
+// equivalent of the HTTP/1.x early-close fault.
+func (msc *muxServerConn) afterResponse(job muxJob) {
+	srv := msc.sc.srv
+	limit := srv.cfg.Faults.CloseAfterResponses
+	if limit <= 0 || job.pushed || msc.sc.closing {
+		return
+	}
+	msc.served++
+	if msc.served < limit {
+		return
+	}
+	srv.stats.EarlyCloses++
+	srv.stats.FaultsInjected++
+	if b := srv.cfg.Obs; b != nil {
+		b.Fault(msc.sc.conn.ObsID(), "early-close", int64(msc.served))
+	}
+	msc.sess.Goaway(mux.ErrCodeNo)
+	msc.sc.close()
+}
+
+// injectFault fires the scripted one-shot faults against a framed
+// response, both the HTTP/1.x server scripts mapped onto framing
+// semantics and the mux-specific scripts. It reports whether the
+// fault consumed the response. Ordinals are counted server-wide
+// (muxSeq for client-requested responses, pushSeq for pushes) so each
+// one-shot fault fires exactly once per run even across redials.
+func (msc *muxServerConn) injectFault(job muxJob, resp *httpmsg.Response) bool {
+	srv := msc.sc.srv
+	sf, mf := srv.cfg.Faults, srv.cfg.MuxFaults
+	fire := func(kind string, seq int) {
+		srv.stats.FaultsInjected++
+		if b := srv.cfg.Obs; b != nil {
+			b.Fault(msc.sc.conn.ObsID(), kind, int64(seq))
+		}
+	}
+	body := resp.Body
+	if job.req.Method == "HEAD" {
+		body = nil
+	}
+
+	if job.pushed {
+		if mf.AbortPush <= 0 {
+			return false
+		}
+		srv.pushSeq++
+		if srv.pushSeq != mf.AbortPush {
+			return false
+		}
+		// Push-then-abort: the promise went out, the body starts, and
+		// then the server thinks better of it and resets its own push.
+		msc.writePartial(job.st, resp, body[:min(mf.AbortPushBytes, len(body))])
+		msc.sess.RstStreamCode(job.st, mux.ErrCodeInternal)
+		fire("mux-push-abort", srv.pushSeq)
+		return true
+	}
+
+	srv.muxSeq++
+	seq := srv.muxSeq
+	switch {
+	case mf.StallSettings > 0 && seq == mf.StallSettings:
+		// Emit a SETTINGS frame where the response should be, then
+		// wedge the whole connection: nothing further is sent and
+		// incoming frames (acks included) are never processed again.
+		p := []byte{
+			0, byte(mux.SettingInitialWindowSize),
+			0, 0, byte(mux.DefaultInitialWindow >> 8), byte(mux.DefaultInitialWindow & 0xff)}
+		msc.writeRaw(mux.AppendFrame(nil, mux.FrameSettings, 0, 0, p))
+		fire("mux-stall", seq)
+		msc.sc.stalled = true
+		return true
+	case sf.StallResponse > 0 && seq == sf.StallResponse:
+		// Framed mapping of the HTTP/1.x stall: this one stream gets
+		// headers and then silence forever, while every other stream
+		// on the session keeps being served. Only the client's
+		// per-stream watchdog clears it.
+		msc.writePartial(job.st, resp, nil)
+		fire("stall", seq)
+		return true
+	case mf.GarbageFrame > 0 && seq == mf.GarbageFrame:
+		// A frame of unknown type on a stream nobody opened, ahead of
+		// the real response: the client's strict validator must
+		// reject it and close the session with GOAWAY.
+		msc.writeRaw(mux.AppendFrame(nil, mux.FrameType(0xb), 0, 0xdead, []byte{0xba, 0xad}))
+		fire("mux-garbage", seq)
+		return false // the response itself is still served
+	case mf.RstStream > 0 && seq == mf.RstStream:
+		// Mid-stream RST: partial body, then RST_STREAM(INTERNAL_ERROR).
+		msc.writePartial(job.st, resp, body[:min(mf.RstStreamBytes, len(body))])
+		msc.sess.RstStreamCode(job.st, mux.ErrCodeInternal)
+		fire("mux-rst", seq)
+		return true
+	case mf.TruncateFrame > 0 && seq == mf.TruncateFrame:
+		// Mid-frame truncation: headers go out through the session,
+		// then a hand-marshalled DATA frame is cut short of its own
+		// length field and the connection fully closes — the client's
+		// frame reader must flag the trailing bytes.
+		msc.writeHeaders(job.st, resp, len(body))
+		frame := mux.AppendFrame(nil, mux.FrameData, 0, job.st.ID, body[:min(mf.TruncateBytes, len(body))])
+		msc.writeRaw(frame[:len(frame)-3])
+		fire("mux-truncate", seq)
+		msc.sc.closing = true
+		msc.sc.conn.Close()
+		return true
+	case sf.TruncateResponse > 0 && seq == sf.TruncateResponse:
+		// Stream-level truncation (the HTTP/1.x script on framing):
+		// clean frames, but the stream never ends and the connection
+		// fully closes under it.
+		msc.writePartial(job.st, resp, body[:min(sf.TruncateBodyBytes, len(body))])
+		fire("truncate", seq)
+		msc.sc.closing = true
+		msc.sc.conn.Close()
+		return true
+	case sf.AbortResponse > 0 && seq == sf.AbortResponse:
+		fire("abort", seq)
+		msc.sc.closing = true
+		msc.sc.conn.Abort()
+		return true
+	}
+	return false
+}
+
+// writeRaw puts hand-marshalled (deliberately broken) frame bytes on
+// the wire behind the session's back, with the same BytesOut
+// accounting as the session's Send hook.
+func (msc *muxServerConn) writeRaw(b []byte) {
+	msc.sc.srv.stats.BytesOut += int64(len(b))
+	msc.sc.conn.Write(b)
+}
+
+// writePartial serves headers and a body prefix without ever ending
+// the stream — the shared shape of the truncation, stall, and
+// mid-stream-reset faults.
+func (msc *muxServerConn) writePartial(st *mux.Stream, resp *httpmsg.Response, prefix []byte) {
+	msc.writeHeaders(st, resp, len(resp.Body))
+	if len(prefix) > 0 {
+		msc.sess.WriteData(st, prefix, false)
+	}
 }
 
 // push promises one inline object on the parent stream and queues its
@@ -161,6 +309,24 @@ func (msc *muxServerConn) writeResponse(st *mux.Stream, method string, resp *htt
 	if method == "HEAD" {
 		body = nil
 	}
+	if len(body) == 0 {
+		msc.sess.WriteHeaders(st, responseFields(resp, 0), true)
+		return
+	}
+	msc.sess.WriteHeaders(st, responseFields(resp, len(body)), false)
+	msc.sess.WriteData(st, body, true)
+}
+
+// writeHeaders sends only the response's header block, stream left
+// open — the fault paths use it to start responses they never finish.
+func (msc *muxServerConn) writeHeaders(st *mux.Stream, resp *httpmsg.Response, bodyLen int) {
+	msc.sess.WriteHeaders(st, responseFields(resp, bodyLen), false)
+}
+
+// responseFields lowers response headers into mux header fields;
+// bodyLen > 0 advertises a content-length (possibly more than will
+// ever be sent, under the truncation faults).
+func responseFields(resp *httpmsg.Response, bodyLen int) []mux.Field {
 	fields := make([]mux.Field, 0, 8)
 	fields = append(fields, mux.Field{Name: ":status", Value: strconv.Itoa(resp.StatusCode)})
 	for _, f := range resp.Header.Fields() {
@@ -170,15 +336,10 @@ func (msc *muxServerConn) writeResponse(st *mux.Stream, method string, resp *htt
 		}
 		fields = append(fields, mux.Field{Name: name, Value: f.Value})
 	}
-	if len(body) > 0 {
-		fields = append(fields, mux.Field{Name: "content-length", Value: strconv.Itoa(len(body))})
+	if bodyLen > 0 {
+		fields = append(fields, mux.Field{Name: "content-length", Value: strconv.Itoa(bodyLen)})
 	}
-	if len(body) == 0 {
-		msc.sess.WriteHeaders(st, fields, true)
-		return
-	}
-	msc.sess.WriteHeaders(st, fields, false)
-	msc.sess.WriteData(st, body, true)
+	return fields
 }
 
 // onPeerClose drains outstanding jobs, then half-closes, mirroring the

@@ -34,6 +34,7 @@ const (
 	FrameRstStream    FrameType = 0x3
 	FrameSettings     FrameType = 0x4
 	FramePushPromise  FrameType = 0x5
+	FrameGoaway       FrameType = 0x7
 	FrameWindowUpdate FrameType = 0x8
 )
 
@@ -50,10 +51,43 @@ func (t FrameType) String() string {
 		return "SETTINGS"
 	case FramePushPromise:
 		return "PUSH_PROMISE"
+	case FrameGoaway:
+		return "GOAWAY"
 	case FrameWindowUpdate:
 		return "WINDOW_UPDATE"
 	}
 	return fmt.Sprintf("FRAME_0x%x", uint8(t))
+}
+
+// ErrCode is an RST_STREAM / GOAWAY error code (RFC 7540 §7 subset).
+type ErrCode uint32
+
+const (
+	ErrCodeNo          ErrCode = 0x0 // graceful shutdown
+	ErrCodeProtocol    ErrCode = 0x1 // protocol violation
+	ErrCodeFlowControl ErrCode = 0x3 // flow-control violation
+	ErrCodeStreamLimit ErrCode = 0x7 // REFUSED_STREAM
+	ErrCodeCancel      ErrCode = 0x8 // stream no longer needed
+	ErrCodeInternal    ErrCode = 0x2 // internal error
+)
+
+// String returns the RFC 7540 error-code name.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrCodeNo:
+		return "NO_ERROR"
+	case ErrCodeProtocol:
+		return "PROTOCOL_ERROR"
+	case ErrCodeInternal:
+		return "INTERNAL_ERROR"
+	case ErrCodeFlowControl:
+		return "FLOW_CONTROL_ERROR"
+	case ErrCodeStreamLimit:
+		return "REFUSED_STREAM"
+	case ErrCodeCancel:
+		return "CANCEL"
+	}
+	return fmt.Sprintf("ERR_0x%x", uint32(c))
 }
 
 // Frame flags.

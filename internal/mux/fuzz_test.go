@@ -76,6 +76,66 @@ func FuzzFrameParser(f *testing.F) {
 	})
 }
 
+// FuzzHeaderCoder drives the HPACK-style header coder from both
+// directions: the raw input is decoded as a hostile header block
+// (must never panic or over-read), and is also deterministically
+// carved into header fields that are encoded and decoded across
+// several blocks on one table pair — the round trip must reproduce
+// the fields exactly, including dynamic-table insertions and
+// evictions.
+func FuzzHeaderCoder(f *testing.F) {
+	var enc Encoder
+	f.Add(enc.Encode(nil, []Field{{":method", "GET"}, {":path", "/"}, {"etag", `"x1"`}}))
+	f.Add([]byte{0x81, 0x40, 0x02, 0x01, 'v', 0x00, 0x01, 'n', 0x01, 'w'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})           // varint overflow
+	f.Add([]byte{0x00, 0x7f, 'a'})                        // string length past block
+	f.Add(bytes.Repeat([]byte{0x00, 0x01, 'n', 0x01, 'v'}, dynTableCap+4)) // force evictions
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Hostile pass: arbitrary bytes through a fresh decoder.
+		var hostile Decoder
+		_, _ = hostile.Decode(data)
+
+		// Round-trip pass: carve the input into fields, three blocks'
+		// worth, sharing one encoder/decoder pair so the dynamic
+		// tables must stay synchronized across blocks.
+		var blocks [][]Field
+		fields := make([]Field, 0, 8)
+		for i := 0; i+2 <= len(data); i += 2 {
+			name := string(data[i : i+1])
+			val := string(data[i+1 : i+2])
+			if len(staticTable) > 0 && data[i]%3 == 0 {
+				name = staticTable[int(data[i])%len(staticTable)].Name
+			}
+			fields = append(fields, Field{Name: name, Value: val})
+			if len(fields) == 4 {
+				blocks = append(blocks, fields)
+				fields = make([]Field, 0, 8)
+			}
+		}
+		if len(fields) > 0 {
+			blocks = append(blocks, fields)
+		}
+		var e Encoder
+		var d Decoder
+		for bi, want := range blocks {
+			block := e.Encode(nil, want)
+			got, err := d.Decode(block)
+			if err != nil {
+				t.Fatalf("block %d: decode of encoder output failed: %v", bi, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("block %d: round trip changed field count %d -> %d", bi, len(want), len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("block %d field %d: %q=%q round-tripped to %q=%q",
+						bi, i, want[i].Name, want[i].Value, got[i].Name, got[i].Value)
+				}
+			}
+		}
+	})
+}
+
 // FuzzBurstDecode checks the aggregated-response parser never panics
 // or over-reads, and that whatever it accepts survives an
 // encode/decode round trip.

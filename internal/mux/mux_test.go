@@ -419,3 +419,86 @@ func TestSessionDeterministicWire(t *testing.T) {
 		t.Fatal("session wire traffic is not deterministic")
 	}
 }
+
+// TestFlowDeadlockDetector: a sender wedged on exhausted flow-control
+// windows is reported by FlowDeadlock with the stalled stream named;
+// once the withheld WINDOW_UPDATEs are delivered the wedge clears and
+// the transfer completes.
+func TestFlowDeadlockDetector(t *testing.T) {
+	p := newPair()
+	const bodySize = 3 * DefaultInitialWindow
+	var rcvd int
+	ended := false
+	p.server.OnHeaders = func(st *Stream, _ []Field, _ bool) {
+		p.server.WriteHeaders(st, []Field{{":status", "200"}}, false)
+		p.server.WriteData(st, make([]byte, bodySize), true)
+	}
+	p.client.OnData = func(_ *Stream, b []byte, end bool) {
+		rcvd += len(b)
+		ended = ended || end
+	}
+	p.client.Start()
+	p.server.Start()
+	want := p.client.OpenStream([]Field{{":method", "GET"}, {":path", "/big"}}, true, 0)
+	if _, _, ok := p.server.FlowDeadlock(); ok {
+		t.Fatal("deadlock reported before the server even stalled")
+	}
+	// Deliver the request, then the first window of response DATA to
+	// the client — but hold every client->server byte (the acks) back.
+	for len(p.toServer) > 0 {
+		b := p.toServer[0]
+		p.toServer = p.toServer[1:]
+		p.server.Feed(b)
+	}
+	for len(p.toClient) > 0 {
+		b := p.toClient[0]
+		p.toClient = p.toClient[1:]
+		p.client.Feed(b)
+	}
+	st, _, ok := p.server.FlowDeadlock()
+	if !ok {
+		t.Fatal("server has an over-window body queued and zero credit; FlowDeadlock saw nothing")
+	}
+	if st.ID != want.ID {
+		t.Fatalf("FlowDeadlock named stream %d, want %d", st.ID, want.ID)
+	}
+	p.run() // release the held acks
+	if _, _, ok := p.server.FlowDeadlock(); ok {
+		t.Fatal("deadlock still reported after the windows were replenished")
+	}
+	if rcvd != bodySize || !ended {
+		t.Fatalf("received %d/%d bytes, ended=%v", rcvd, bodySize, ended)
+	}
+}
+
+// TestPeerDeadlockDetector: a misbehaving peer that keeps pumping DATA
+// into a stream we reset eventually exhausts the stream credit we are
+// deliberately withholding; PeerDeadlock names the starved stream.
+func TestPeerDeadlockDetector(t *testing.T) {
+	c := NewClient(func([]byte) {})
+	var sessionErr error
+	c.OnError = func(err error) { sessionErr = err }
+	c.Start()
+	st := c.OpenStream([]Field{{":method", "GET"}, {":path", "/push"}}, true, 0)
+	c.RstStream(st)
+	if _, ok := c.PeerDeadlock(); ok {
+		t.Fatal("deadlock reported before any DATA arrived")
+	}
+	// The peer ignores the RST (DATA racing a reset is legal) and pumps
+	// a full window plus one more chunk; the client tolerates the race
+	// but never replenishes a reset stream's credit.
+	chunk := make([]byte, DefaultMaxFrameSize)
+	for sent := 0; sent < DefaultInitialWindow+len(chunk); sent += len(chunk) {
+		c.Feed(AppendFrame(nil, FrameData, 0, st.ID, chunk))
+	}
+	if sessionErr != nil {
+		t.Fatalf("tolerated overrun raised a session error: %v", sessionErr)
+	}
+	got, ok := c.PeerDeadlock()
+	if !ok {
+		t.Fatal("peer pumped past the withheld window; PeerDeadlock saw nothing")
+	}
+	if got != st {
+		t.Fatalf("PeerDeadlock named stream %d, want %d", got.ID, st.ID)
+	}
+}

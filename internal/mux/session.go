@@ -15,6 +15,11 @@ const (
 	DefaultMaxFrameSize  = 1024
 )
 
+// MaxWindow is the largest legal flow-control window (RFC 7540 §6.9.1:
+// 2^31-1). A WINDOW_UPDATE or SETTINGS value that would push a window
+// past it is a flow-control protocol violation.
+const MaxWindow = 1<<31 - 1
+
 // Stats counts what the session did; the client and server surface
 // these as run metrics.
 type Stats struct {
@@ -24,6 +29,8 @@ type Stats struct {
 	FlowControlStalls int   // transitions into a window-exhausted state
 	FramesSent        int
 	FramesReceived    int
+	GoawaysSent       int // GOAWAY frames this side emitted
+	ProtocolErrors    int // strict-validator rejections of peer frames
 }
 
 // Stream is one multiplexed request/response exchange.
@@ -32,10 +39,12 @@ type Stream struct {
 	Priority int // lower is more urgent; set by the sending side only
 	UserData any // caller's per-stream state; the session never touches it
 
-	ResetSent bool // we sent RST_STREAM (e.g. cancelling a push)
-	ResetRecv bool // peer reset the stream
+	ResetSent bool    // we sent RST_STREAM (e.g. cancelling a push)
+	ResetRecv bool    // peer reset the stream
+	ResetCode ErrCode // error code carried on the RST_STREAM, either direction
 
 	sendWindow int
+	recvWindow int // credit we have granted the peer for this stream
 	sendBuf    []byte
 	endPending bool // FlagEndStream owed once sendBuf drains
 	endSent    bool
@@ -79,6 +88,10 @@ type Session struct {
 	OnRstStream   func(st *Stream)
 	OnSettings    func(id uint16, val uint32)
 	OnError       func(err error)
+	// OnGoaway fires when the peer announces a session close.
+	// lastStreamID is the highest peer-initiated stream the sender may
+	// still process; anything above it was never acted on.
+	OnGoaway func(lastStreamID uint32, code ErrCode)
 	// OnStall fires on each transition into a flow-control stall;
 	// conn reports whether the connection window (vs st's stream
 	// window) is the exhausted one.
@@ -91,6 +104,7 @@ type Session struct {
 
 	server      bool
 	nextID      uint32 // next locally-initiated stream ID (odd client / even server)
+	lastPeerID  uint32 // highest peer-initiated stream ID accepted so far
 	prefaceLeft int    // server: preface bytes still owed by the client
 
 	streams map[uint32]*Stream
@@ -101,10 +115,14 @@ type Session struct {
 	fr  FrameReader
 
 	connSendWindow int
+	connRecvWindow int // credit we have granted the peer for the connection
 	peerWindow     int // peer's advertised initial stream window
 	connRecvAcc    int // bytes consumed since the last conn WINDOW_UPDATE
 	recvAcc        map[uint32]int
 	connStalled    bool
+	goawaySent     bool
+	goawayRecv     bool
+	failed         bool
 
 	out []byte // frames accumulated by the current public call
 }
@@ -117,6 +135,7 @@ func newSession(send func([]byte)) *Session {
 		streams:        make(map[uint32]*Stream),
 		recvAcc:        make(map[uint32]int),
 		connSendWindow: DefaultInitialWindow,
+		connRecvWindow: DefaultInitialWindow,
 		peerWindow:     DefaultInitialWindow,
 	}
 }
@@ -220,15 +239,47 @@ func (s *Session) WriteData(st *Stream, p []byte, endStream bool) {
 
 // RstStream abandons st (e.g. a client cancelling an unwanted push).
 func (s *Session) RstStream(st *Stream) {
+	s.RstStreamCode(st, ErrCodeCancel)
+}
+
+// RstStreamCode tears st down with an explicit error code: CANCEL for
+// "no longer wanted", anything else for per-stream error teardown
+// (e.g. a watchdog expiring one wedged stream while the rest of the
+// session keeps going).
+func (s *Session) RstStreamCode(st *Stream, code ErrCode) {
 	if st.ResetSent {
 		return
 	}
 	st.ResetSent = true
+	st.ResetCode = code
 	st.sendBuf = nil
 	st.endPending = false
-	s.emit(FrameRstStream, 0, st.ID, []byte{0, 0, 0, 8}) // CANCEL
+	s.emit(FrameRstStream, 0, st.ID,
+		[]byte{byte(code >> 24), byte(code >> 16), byte(code >> 8), byte(code)})
 	s.flush()
 }
+
+// Goaway announces a session close with the given error code; the
+// payload carries the highest peer-initiated stream ID this side acted
+// on. Emitted at most once per session.
+func (s *Session) Goaway(code ErrCode) {
+	if s.goawaySent {
+		return
+	}
+	s.goawaySent = true
+	s.Stats.GoawaysSent++
+	last := s.lastPeerID
+	s.emit(FrameGoaway, 0, 0, []byte{
+		byte(last >> 24), byte(last >> 16), byte(last >> 8), byte(last),
+		byte(code >> 24), byte(code >> 16), byte(code >> 8), byte(code)})
+	s.flush()
+}
+
+// SentGoaway reports whether this side has emitted a GOAWAY.
+func (s *Session) SentGoaway() bool { return s.goawaySent }
+
+// RecvGoaway reports whether the peer announced a session close.
+func (s *Session) RecvGoaway() bool { return s.goawayRecv }
 
 // Feed processes bytes arriving from the transport, firing callbacks
 // for each decoded frame and emitting any frames they provoke
@@ -238,7 +289,7 @@ func (s *Session) Feed(data []byte) {
 		n := min(s.prefaceLeft, len(data))
 		want := Preface[len(Preface)-s.prefaceLeft:][:n]
 		if string(data[:n]) != want {
-			s.fail(fmt.Errorf("mux: bad connection preface"))
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: bad connection preface"))
 			return
 		}
 		s.prefaceLeft -= n
@@ -253,7 +304,7 @@ func (s *Session) Feed(data []byte) {
 		s.dispatch(f)
 	}
 	if err != nil {
-		s.fail(err)
+		s.protoErr(ErrCodeProtocol, err)
 	}
 	s.ackWindows()
 	s.pump()
@@ -274,8 +325,48 @@ func (s *Session) Streams() []*Stream {
 	return s.order
 }
 
+// FlowDeadlock reports whether this side's sender is wedged on flow
+// control: it has queued bytes (or an owed END_STREAM) it cannot emit
+// because a window is exhausted. It names the first such stream in
+// creation order and whether the connection window (vs the stream's
+// own) is the exhausted one. Pure inspection — safe to call at any
+// quiescent point (the watchdog, end of run) without perturbing the
+// session.
+func (s *Session) FlowDeadlock() (st *Stream, conn bool, ok bool) {
+	for _, c := range s.order {
+		if c.done() || c.ResetSent || c.ResetRecv {
+			continue
+		}
+		if s.connStalled && s.connSendWindow <= 0 {
+			return c, true, true
+		}
+		if c.stalled && c.sendWindow <= 0 {
+			return c, false, true
+		}
+	}
+	return nil, false, false
+}
+
+// PeerDeadlock reports whether the peer's sender is provably wedged
+// by credit this side withheld: a stream the peer has not finished
+// whose granted window (or the connection's) is exhausted and will
+// never be replenished because we stopped acking it. This is the
+// classic flow-control deadlock — e.g. a server that keeps pumping a
+// push the client reset — and it names the starved stream.
+func (s *Session) PeerDeadlock() (st *Stream, ok bool) {
+	for _, c := range s.order {
+		if c.recvEnded || c.ResetRecv {
+			continue
+		}
+		if s.connRecvWindow <= 0 || c.recvWindow <= 0 {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
 func (s *Session) newStream(id uint32) *Stream {
-	st := &Stream{ID: id, sendWindow: s.peerWindow}
+	st := &Stream{ID: id, sendWindow: s.peerWindow, recvWindow: s.InitialWindow}
 	s.streams[id] = st
 	s.order = append(s.order, st)
 	return st
@@ -284,9 +375,13 @@ func (s *Session) newStream(id uint32) *Stream {
 func (s *Session) dispatch(f Frame) {
 	switch f.Type {
 	case FrameSettings:
+		if f.StreamID != 0 {
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: SETTINGS on stream %d", f.StreamID))
+			return
+		}
 		pairs, err := parseSettings(f.Payload)
 		if err != nil {
-			s.fail(err)
+			s.protoErr(ErrCodeProtocol, err)
 			return
 		}
 		for _, kv := range pairs {
@@ -297,8 +392,18 @@ func (s *Session) dispatch(f Frame) {
 					s.EnablePush = val == 1
 				}
 			case SettingInitialWindowSize:
+				if val > MaxWindow {
+					s.protoErr(ErrCodeFlowControl,
+						fmt.Errorf("mux: SETTINGS initial window %d exceeds 2^31-1", val))
+					return
+				}
 				s.peerWindow = int(val)
 			case SettingMaxFrameSize:
+				if val == 0 || val > MaxFrameLen {
+					s.protoErr(ErrCodeProtocol,
+						fmt.Errorf("mux: SETTINGS max frame size %d out of range", val))
+					return
+				}
 				if int(val) < s.MaxFrameSize {
 					s.MaxFrameSize = int(val)
 				}
@@ -309,13 +414,14 @@ func (s *Session) dispatch(f Frame) {
 		}
 
 	case FrameHeaders:
-		st := s.streams[f.StreamID]
-		if st == nil {
-			st = s.newStream(f.StreamID)
+		st, err := s.recvStream(f.StreamID)
+		if err != nil {
+			s.protoErr(ErrCodeProtocol, err)
+			return
 		}
 		fields, err := s.dec.Decode(f.Payload)
 		if err != nil {
-			s.fail(err)
+			s.protoErr(ErrCodeProtocol, err)
 			return
 		}
 		s.Stats.HeaderBytesSaved += int64(PlainSize(fields) - len(f.Payload))
@@ -328,20 +434,35 @@ func (s *Session) dispatch(f Frame) {
 		}
 
 	case FramePushPromise:
+		if s.server {
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: PUSH_PROMISE from the client"))
+			return
+		}
 		if len(f.Payload) < 4 {
-			s.fail(fmt.Errorf("mux: short PUSH_PROMISE payload"))
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: short PUSH_PROMISE payload"))
 			return
 		}
 		pid := uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 |
 			uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+		parent := s.streams[f.StreamID]
+		if f.StreamID == 0 || parent == nil {
+			s.protoErr(ErrCodeProtocol,
+				fmt.Errorf("mux: PUSH_PROMISE on unknown stream %d", f.StreamID))
+			return
+		}
+		if pid == 0 || pid%2 != 0 || pid <= s.lastPeerID || s.streams[pid] != nil {
+			s.protoErr(ErrCodeProtocol,
+				fmt.Errorf("mux: PUSH_PROMISE with invalid promised stream %d", pid))
+			return
+		}
 		fields, err := s.dec.Decode(f.Payload[4:])
 		if err != nil {
-			s.fail(err)
+			s.protoErr(ErrCodeProtocol, err)
 			return
 		}
 		s.Stats.HeaderBytesSaved += int64(PlainSize(fields) - (len(f.Payload) - 4))
 		s.Stats.PushPromised++
-		parent := s.streams[f.StreamID]
+		s.lastPeerID = pid
 		promised := s.newStream(pid)
 		if s.OnPushPromise != nil {
 			s.OnPushPromise(parent, promised, fields)
@@ -349,11 +470,25 @@ func (s *Session) dispatch(f Frame) {
 
 	case FrameData:
 		n := len(f.Payload)
-		s.connRecvAcc += n
 		st := s.streams[f.StreamID]
-		if st == nil {
-			return // late DATA on an unknown stream; window-ack only
+		if f.StreamID == 0 || st == nil {
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: DATA on unknown stream %d", f.StreamID))
+			return
 		}
+		if s.connRecvWindow -= n; s.connRecvWindow < 0 {
+			s.protoErr(ErrCodeFlowControl,
+				fmt.Errorf("mux: peer overran the connection window by %d bytes", -s.connRecvWindow))
+			return
+		}
+		st.recvWindow -= n
+		if st.recvWindow < 0 && !st.ResetSent {
+			// Tolerate overruns on streams we reset (DATA racing the
+			// RST is legal); anywhere else it is a violation.
+			s.protoErr(ErrCodeFlowControl,
+				fmt.Errorf("mux: peer overran stream %d window by %d bytes", st.ID, -st.recvWindow))
+			return
+		}
+		s.connRecvAcc += n
 		if !st.ResetSent {
 			s.recvAcc[f.StreamID] += n
 		}
@@ -367,35 +502,104 @@ func (s *Session) dispatch(f Frame) {
 
 	case FrameWindowUpdate:
 		if len(f.Payload) != 4 {
-			s.fail(fmt.Errorf("mux: bad WINDOW_UPDATE payload length %d", len(f.Payload)))
+			s.protoErr(ErrCodeProtocol,
+				fmt.Errorf("mux: bad WINDOW_UPDATE payload length %d", len(f.Payload)))
 			return
 		}
 		inc := int(uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 |
 			uint32(f.Payload[2])<<8 | uint32(f.Payload[3]))
 		if inc == 0 {
-			s.fail(fmt.Errorf("mux: zero-increment WINDOW_UPDATE"))
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: zero-increment WINDOW_UPDATE"))
 			return
 		}
 		if f.StreamID == 0 {
+			if s.connSendWindow+inc > MaxWindow {
+				s.protoErr(ErrCodeFlowControl,
+					fmt.Errorf("mux: connection window overflow (%d + %d)", s.connSendWindow, inc))
+				return
+			}
 			s.connSendWindow += inc
 			s.connStalled = false
 		} else if st := s.streams[f.StreamID]; st != nil {
+			if st.sendWindow+inc > MaxWindow {
+				// Per RFC 7540 §6.9.1 a stream window overflow is a
+				// stream error: tear down just that stream.
+				s.Stats.ProtocolErrors++
+				s.RstStreamCode(st, ErrCodeFlowControl)
+				return
+			}
 			st.sendWindow += inc
 			st.stalled = false
 		}
 
 	case FrameRstStream:
-		st := s.streams[f.StreamID]
-		if st == nil {
+		if len(f.Payload) != 4 || f.StreamID == 0 {
+			s.protoErr(ErrCodeProtocol,
+				fmt.Errorf("mux: malformed RST_STREAM (stream %d, %d payload bytes)",
+					f.StreamID, len(f.Payload)))
 			return
 		}
+		st := s.streams[f.StreamID]
+		if st == nil {
+			return // RST racing our own teardown of a finished stream
+		}
 		st.ResetRecv = true
+		st.ResetCode = ErrCode(uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 |
+			uint32(f.Payload[2])<<8 | uint32(f.Payload[3]))
 		st.sendBuf = nil
 		st.endPending = false
 		if s.OnRstStream != nil {
 			s.OnRstStream(st)
 		}
+
+	case FrameGoaway:
+		if len(f.Payload) < 8 || f.StreamID != 0 {
+			s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: malformed GOAWAY"))
+			return
+		}
+		last := uint32(f.Payload[0])<<24 | uint32(f.Payload[1])<<16 |
+			uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+		code := ErrCode(uint32(f.Payload[4])<<24 | uint32(f.Payload[5])<<16 |
+			uint32(f.Payload[6])<<8 | uint32(f.Payload[7]))
+		s.goawayRecv = true
+		if s.OnGoaway != nil {
+			s.OnGoaway(last, code)
+		}
+
+	default:
+		// Unknown frame types are a violation under the strict
+		// validator: the simulator defines every type it ever sends,
+		// so anything else is injected garbage.
+		s.protoErr(ErrCodeProtocol, fmt.Errorf("mux: unknown frame type %s", f.Type))
 	}
+}
+
+// recvStream resolves the stream a peer HEADERS frame targets,
+// creating it when the ID validly opens a new peer-initiated stream.
+// A server accepts new odd (client-initiated) IDs in increasing
+// order; a client only ever receives HEADERS on streams it already
+// knows (its own requests, or pushes announced by PUSH_PROMISE).
+func (s *Session) recvStream(id uint32) (*Stream, error) {
+	if id == 0 {
+		return nil, fmt.Errorf("mux: HEADERS on stream 0")
+	}
+	if st := s.streams[id]; st != nil {
+		return st, nil
+	}
+	if s.server && id%2 == 1 && id > s.lastPeerID {
+		s.lastPeerID = id
+		return s.newStream(id), nil
+	}
+	return nil, fmt.Errorf("mux: HEADERS on unknown stream %d", id)
+}
+
+// protoErr handles a connection-level protocol violation: announce
+// the close with a GOAWAY carrying code, then surface err to the
+// session owner.
+func (s *Session) protoErr(code ErrCode, err error) {
+	s.Stats.ProtocolErrors++
+	s.Goaway(code)
+	s.fail(err)
 }
 
 // ackWindows flushes the consumed-byte accumulators as WINDOW_UPDATE
@@ -403,7 +607,17 @@ func (s *Session) dispatch(f Frame) {
 // data, all batched into the same Send as anything else this Feed
 // produced. Streams are acked in ID order for determinism.
 func (s *Session) ackWindows() {
+	if s.failed || s.goawaySent {
+		// A dying session must not grant credit: a WINDOW_UPDATE sent
+		// alongside (or after) an error GOAWAY uncorks the peer's
+		// flow-stalled streams into a connection that is about to be
+		// torn down, saturating the link with bytes nobody will read.
+		s.connRecvAcc = 0
+		clear(s.recvAcc)
+		return
+	}
 	if s.connRecvAcc > 0 {
+		s.connRecvWindow += s.connRecvAcc
 		s.emitWindowUpdate(0, s.connRecvAcc)
 		s.connRecvAcc = 0
 	}
@@ -418,6 +632,7 @@ func (s *Session) ackWindows() {
 	for _, id := range ids {
 		st := s.streams[id]
 		if st != nil && !st.recvEnded && !st.ResetSent {
+			st.recvWindow += s.recvAcc[id]
 			s.emitWindowUpdate(id, s.recvAcc[id])
 		}
 		delete(s.recvAcc, id)
@@ -519,6 +734,7 @@ func (s *Session) flush() {
 }
 
 func (s *Session) fail(err error) {
+	s.failed = true
 	if s.OnError != nil {
 		s.OnError(err)
 	}

@@ -109,6 +109,20 @@ const (
 	// window: A=the blocked stream's ID, Note="conn" or "stream" for
 	// which window ran dry.
 	KindFlowStall
+	// KindStreamReset records a mux stream torn down by RST_STREAM for
+	// error recovery (peer reset, or the client watchdog expiring one
+	// wedged stream): A=stream ID, Note=the error code's name or
+	// "watchdog".
+	KindStreamReset
+	// KindGoaway records a GOAWAY session-close announcement on a mux
+	// connection, sent or received: A=last processed peer stream ID,
+	// Note=the error code's name.
+	KindGoaway
+	// KindDeadlock records the client watchdog proving a flow-control
+	// deadlock on a silent mux session: A=the starved stream's ID,
+	// Note=which window wedged ("peer-starved", "conn-window",
+	// "stream-window").
+	KindDeadlock
 )
 
 var kindNames = [...]string{
@@ -117,7 +131,8 @@ var kindNames = [...]string{
 	"span-written", "span-first-byte", "span-done", "server-recv",
 	"server-send", "cache-hit", "cache-miss", "cache-reval",
 	"fault", "client-timeout", "retry-backoff", "fallback",
-	"push-promise", "mux-frame", "flow-stall",
+	"push-promise", "mux-frame", "flow-stall", "stream-reset",
+	"goaway", "deadlock",
 }
 
 // String names the kind.
@@ -554,4 +569,34 @@ func (b *Bus) FlowStall(conn ConnID, stream uint32, connLevel bool) {
 		note = "conn"
 	}
 	b.add(Event{Kind: KindFlowStall, Conn: conn, A: int64(stream), Note: note})
+}
+
+// StreamReset records a mux stream on conn torn down by RST_STREAM
+// for error recovery. why is the error code's name, or "watchdog" for
+// a client-initiated teardown (callers pass constants or the
+// ErrCode's constant String).
+func (b *Bus) StreamReset(conn ConnID, stream uint32, why string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindStreamReset, Conn: conn, A: int64(stream), Note: why})
+}
+
+// Goaway records a GOAWAY announcement on conn. last is the highest
+// peer-initiated stream the sender acted on; code the error code's
+// name.
+func (b *Bus) Goaway(conn ConnID, last uint32, code string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindGoaway, Conn: conn, A: int64(last), Note: code})
+}
+
+// Deadlock records the watchdog proving a flow-control deadlock on
+// conn, starving stream; which names the wedged window.
+func (b *Bus) Deadlock(conn ConnID, stream uint32, which string) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindDeadlock, Conn: conn, A: int64(stream), Note: which})
 }

@@ -197,6 +197,12 @@ func WritePerfettoEvents(w io.Writer, events []Event, conns []ConnInfo, spans []
 			instant(ev, "frame "+ev.Note, map[string]any{"stream": ev.A, "payload_bytes": ev.B})
 		case KindFlowStall:
 			instant(ev, "flow stall "+ev.Note, map[string]any{"stream": ev.A})
+		case KindStreamReset:
+			instant(ev, "stream reset "+ev.Note, map[string]any{"stream": ev.A})
+		case KindGoaway:
+			instant(ev, "goaway "+ev.Note, map[string]any{"last_stream": ev.A})
+		case KindDeadlock:
+			instant(ev, "deadlock "+ev.Note, map[string]any{"stream": ev.A})
 		}
 	}
 	for id := range open {

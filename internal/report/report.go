@@ -244,6 +244,39 @@ func Faults(w io.Writer, rows []core.FaultRow) {
 	s.Render(w, rows)
 }
 
+// MuxFaults renders the framed-protocol fault-recovery experiment.
+func MuxFaults(w io.Writer, rows []core.MuxFaultRow) {
+	s := Spec[core.MuxFaultRow]{
+		Title: "Framed-protocol fault injection and recovery (Apache, first-time retrieval; default recovery policy)",
+		Width: 132,
+		PreHeader: []string{
+			"TO = watchdog timeouts | Rec/Fail = requests recovered by retry / permanently failed | RecS = seconds spent in recovery",
+			"Rst = streams torn down by RST_STREAM | GoAwy = GOAWAY announcements | Dead = confirmed flow-control deadlocks",
+		},
+		Cols: []Col[core.MuxFaultRow]{
+			{Head: "env", Format: "%-5s", Value: func(r core.MuxFaultRow) any { return r.Env }},
+			{Head: "fault", Format: "%-14s", Value: func(r core.MuxFaultRow) any { return r.Fault }},
+			{Format: "%-18s", Value: func(r core.MuxFaultRow) any { return r.Mode }},
+			{Head: "Pa", Format: "%7.1f", Value: func(r core.MuxFaultRow) any { return r.Packets }},
+			{Head: "Sec", Format: "%8.2f", Value: func(r core.MuxFaultRow) any { return r.Seconds }},
+			{Format: "|", Value: nil},
+			{Head: "Err", Format: "%5.1f", Value: func(r core.MuxFaultRow) any { return r.Errors }},
+			{Head: "Rtry", Format: "%6.1f", Value: func(r core.MuxFaultRow) any { return r.Retried }},
+			{Head: "TO", Format: "%5.1f", Value: func(r core.MuxFaultRow) any { return r.Timeouts }},
+			{Head: "Rec", Format: "%5.1f", Value: func(r core.MuxFaultRow) any { return r.Recovered }},
+			{Head: "Fail", Format: "%5.1f", Value: func(r core.MuxFaultRow) any { return r.Failed }},
+			{Head: "Waste", Format: "%7.1f", Value: func(r core.MuxFaultRow) any { return r.WastedKB }},
+			{Head: "RecS", Format: "%6.2f", Value: func(r core.MuxFaultRow) any { return r.RecoverySec }},
+			{Head: "Fallb", Format: "%6.1f", Value: func(r core.MuxFaultRow) any { return r.Fallbacks }},
+			{Format: "|", Value: nil},
+			{Head: "Rst", Format: "%5.1f", Value: func(r core.MuxFaultRow) any { return r.StreamsReset }},
+			{Head: "GoAwy", Format: "%6.1f", Value: func(r core.MuxFaultRow) any { return r.Goaways }},
+			{Head: "Dead", Format: "%5.1f", Value: func(r core.MuxFaultRow) any { return r.Deadlocks }},
+		},
+	}
+	s.Render(w, rows)
+}
+
 // Flush renders the flush-policy ablation grid.
 func Flush(w io.Writer, rows []core.FlushRow) {
 	s := Spec[core.FlushRow]{
