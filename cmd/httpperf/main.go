@@ -49,6 +49,9 @@
 //	httpperf -pcap run.pcap        # packet capture for tcpdump/Wireshark
 //	httpperf -timeline run.json    # Perfetto / Chrome trace-event JSON
 //	httpperf -waterfall            # devtools-style request waterfall table
+//	httpperf -blame                # waterfall with per-request delay attribution
+//	                               # phase columns, plus the run's totals
+//	httpperf -critical-path        # page-load gating chain and its blame
 //	httpperf -topology proxy:WAN   # interpose a shared caching proxy
 //	httpperf -fault early-close    # inject a scripted fault profile
 //
@@ -119,6 +122,8 @@ func realMain() int {
 	pcap := flag.String("pcap", "", "run -scenario once and write its packet capture to this pcap file")
 	timeline := flag.String("timeline", "", "run -scenario once and write its event timeline to this Perfetto JSON file")
 	waterfall := flag.Bool("waterfall", false, "run -scenario once and print its request waterfall table")
+	blame := flag.Bool("blame", false, "run -scenario once and print its waterfall with per-request delay attribution columns, plus the run totals")
+	criticalPath := flag.Bool("critical-path", false, "run -scenario once and print its page-load critical path (gating chain + blame)")
 	progress := flag.Bool("progress", false, "report live sweep progress (cells, runs, rate, ETA) on stderr")
 	telemetryOut := flag.String("telemetry", "", "stream live telemetry (samples, progress, flight records) to this JSON-lines file")
 	telemetryInterval := flag.Duration("telemetry-interval", 500*time.Millisecond, "sampler period for -telemetry")
@@ -222,8 +227,8 @@ func realMain() int {
 		}()
 	}
 
-	if *pcap != "" || *timeline != "" || *waterfall || *hist {
-		if err := observe(*scenario, *topology, *fault, *seed, *pcap, *timeline, *waterfall, *hist); err != nil {
+	if *pcap != "" || *timeline != "" || *waterfall || *hist || *blame || *criticalPath {
+		if err := observe(*scenario, *topology, *fault, *seed, *pcap, *timeline, *waterfall, *hist, *blame, *criticalPath); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -370,7 +375,7 @@ func printList(w io.Writer) {
 
 // observe runs one scenario with full observability and writes the
 // requested exports.
-func observe(spec, topology, fault string, seed uint64, pcap, timeline string, waterfall, hist bool) error {
+func observe(spec, topology, fault string, seed uint64, pcap, timeline string, waterfall, hist, blame, criticalPath bool) error {
 	sc, err := core.ParseScenario(spec)
 	if err != nil {
 		return err
@@ -393,6 +398,9 @@ func observe(spec, topology, fault string, seed uint64, pcap, timeline string, w
 	opts := []core.Option{core.WithCapture(), core.WithTimeline()}
 	if hist {
 		opts = append(opts, core.WithStats())
+	}
+	if blame || criticalPath {
+		opts = append(opts, core.WithBlame())
 	}
 	res, err := core.Run(sc, site, opts...)
 	if err != nil {
@@ -417,7 +425,9 @@ func observe(spec, topology, fault string, seed uint64, pcap, timeline string, w
 		if err != nil {
 			return err
 		}
-		if err := res.Timeline.WritePerfetto(f); err != nil {
+		// With an attribution run, the export carries the critical path
+		// as a highlighted track.
+		if err := res.Timeline.WritePerfettoPath(f, res.Blame.PerfettoPath()); err != nil {
 			f.Close()
 			return err
 		}
@@ -427,8 +437,17 @@ func observe(spec, topology, fault string, seed uint64, pcap, timeline string, w
 		fmt.Fprintf(os.Stderr, "httpperf: wrote %s (%d events, %d spans)\n",
 			timeline, res.Timeline.Len(), len(res.Timeline.Spans()))
 	}
-	if waterfall {
-		report.WriteWaterfall(os.Stdout, res.Timeline)
+	if waterfall || blame {
+		report.WriteWaterfall(os.Stdout, res.Timeline, res.Blame)
+	}
+	if blame {
+		report.BlameSummary(os.Stdout, res.Blame)
+	}
+	if criticalPath {
+		if blame {
+			fmt.Println()
+		}
+		report.CriticalPath(os.Stdout, res.Blame)
 	}
 	if hist {
 		fmt.Printf("%s  (%d requests)\n\n", sc, res.Latency.Count())

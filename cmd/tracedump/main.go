@@ -10,6 +10,8 @@
 //	tracedump -env PPP -pcap run.pcap                  # Wireshark-ready capture
 //	tracedump -env PPP -timeline run.json              # Perfetto trace
 //	tracedump -env PPP -waterfall                      # request waterfall table
+//	tracedump -env PPP -blame                          # waterfall with delay
+//	                                                   # attribution + critical path
 //	tracedump -client serial -env PPP -nagle -pcap n.pcap  # §4.1 Nagle stall
 package main
 
@@ -34,16 +36,17 @@ func main() {
 	pcap := flag.String("pcap", "", "write the packet capture to this file as pcap (tcpdump/Wireshark)")
 	timeline := flag.String("timeline", "", "write the full-stack event timeline to this file as Perfetto/Chrome trace JSON")
 	waterfall := flag.Bool("waterfall", false, "print the request waterfall table instead of the dump")
+	blame := flag.Bool("blame", false, "print the blame-annotated waterfall, attribution totals, and critical path instead of the dump")
 	nagle := flag.Bool("nagle", false, "re-enable Nagle on the server (the paper's untuned configuration)")
 	flag.Parse()
 
-	if err := run(*server, *client, *env, *workload, *seed, *seq, *xplot, *pcap, *timeline, *waterfall, *nagle); err != nil {
+	if err := run(*server, *client, *env, *workload, *seed, *seq, *xplot, *pcap, *timeline, *waterfall, *blame, *nagle); err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, client, env, workload string, seed uint64, seq, xplot, pcap, timeline string, waterfall, nagle bool) error {
+func run(server, client, env, workload string, seed uint64, seq, xplot, pcap, timeline string, waterfall, blame, nagle bool) error {
 	sc := core.Scenario{Seed: seed}
 	var err error
 	if sc.Server, err = core.ParseServerProfile(server); err != nil {
@@ -70,8 +73,11 @@ func run(server, client, env, workload string, seed uint64, seq, xplot, pcap, ti
 		return err
 	}
 	opts := []core.Option{core.WithCapture()}
-	if timeline != "" || waterfall {
+	if timeline != "" || waterfall || blame {
 		opts = append(opts, core.WithTimeline())
+	}
+	if blame {
+		opts = append(opts, core.WithBlame())
 	}
 	res, err := core.Run(sc, site, opts...)
 	if err != nil {
@@ -97,7 +103,7 @@ func run(server, client, env, workload string, seed uint64, seq, xplot, pcap, ti
 		if err != nil {
 			return err
 		}
-		if err := res.Timeline.WritePerfetto(f); err != nil {
+		if err := res.Timeline.WritePerfettoPath(f, res.Blame.PerfettoPath()); err != nil {
 			f.Close()
 			return err
 		}
@@ -106,8 +112,13 @@ func run(server, client, env, workload string, seed uint64, seq, xplot, pcap, ti
 		}
 		fmt.Fprintf(os.Stderr, "tracedump: wrote %s (%d events)\n", timeline, res.Timeline.Len())
 	}
-	if waterfall {
-		report.WriteWaterfall(os.Stdout, res.Timeline)
+	if waterfall || blame {
+		report.WriteWaterfall(os.Stdout, res.Timeline, res.Blame)
+		if blame {
+			report.BlameSummary(os.Stdout, res.Blame)
+			fmt.Println()
+			report.CriticalPath(os.Stdout, res.Blame)
+		}
 		return nil
 	}
 	if pcap != "" || timeline != "" {

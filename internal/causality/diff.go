@@ -1,0 +1,34 @@
+package causality
+
+import "repro/internal/sim"
+
+// DiffRow compares one category across two runs: delta = B - A, so a
+// negative delta is time run B saved.
+type DiffRow struct {
+	Cat   Category
+	A, B  sim.Duration
+	Delta sim.Duration
+}
+
+// Diff explains why one run was faster than another: the per-category
+// totals side by side, largest absolute delta first (ties in category
+// order, so equal-delta rows render deterministically).
+func Diff(a, b *Analysis) []DiffRow {
+	rows := make([]DiffRow, 0, NumCategories)
+	for c := Category(0); c < NumCategories; c++ {
+		rows = append(rows, DiffRow{Cat: c, A: a.Total[c], B: b.Total[c], Delta: b.Total[c] - a.Total[c]})
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && abs(rows[j].Delta) > abs(rows[j-1].Delta); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	return rows
+}
+
+func abs(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

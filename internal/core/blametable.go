@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/causality"
+	"repro/internal/httpclient"
+	"repro/internal/httpserver"
+	"repro/internal/netem"
+	"repro/internal/webgen"
+)
+
+// BlameRow is one averaged cell of the blame experiment: whole-fetch
+// elapsed time, the critical-path length, and the per-category delay
+// attribution summed over the page's requests (mean across the sweep
+// population, milliseconds).
+type BlameRow struct {
+	Label      string
+	Seconds    float64
+	CriticalMs float64
+	Cats       [causality.NumCategories]float64
+}
+
+// BlameData is the blame experiment's result: the paper's §4 narrative
+// as machine-checked numbers instead of hand-read packet traces.
+type BlameData struct {
+	// Nagle re-runs the Nagle ablation (WAN, first-time, server Nagle
+	// re-enabled) with attribution: the serial client's per-object
+	// stall shows up as a nonzero nagle bucket that vanishes under
+	// pipelining.
+	Nagle []BlameRow
+	// Setup compares protocol modes on the PPP first-time workload
+	// with the tuned server: connection setup dominates HTTP/1.0,
+	// which pays a handshake per object.
+	Setup []BlameRow
+	// Sched is the stream-priority ablation: the mux modes with the
+	// default (priority, id) pump vs strict FIFO scheduling, the delta
+	// reported through the critical path.
+	Sched []BlameRow
+	// Why is a two-run diff ("why is mode A faster than mode B"):
+	// per-category totals for a fixed-seed HTTP/1.0 vs pipelined run
+	// on PPP, largest delta first.
+	WhyA, WhyB string
+	Why        []causality.DiffRow
+}
+
+// blameCell sweeps one scenario with attribution and averages it.
+func (sw Sweep) blameCell(label string, sc Scenario, site *webgen.Site) (BlameRow, error) {
+	swb := sw
+	swb.Blame = true
+	results, err := swb.series(sc, site, 29)
+	if err != nil {
+		return BlameRow{}, fmt.Errorf("%s: %w", sc, err)
+	}
+	row := BlameRow{Label: label}
+	for _, res := range results {
+		row.Seconds += res.Elapsed.Seconds()
+		row.CriticalMs += float64(res.Blame.CriticalPath) / 1e6
+		for c := causality.Category(0); c < causality.NumCategories; c++ {
+			row.Cats[c] += res.Blame.Total.Ms(c)
+		}
+	}
+	n := float64(len(results))
+	row.Seconds /= n
+	row.CriticalMs /= n
+	for i := range row.Cats {
+		row.Cats[i] /= n
+	}
+	return row, nil
+}
+
+// BlameTable runs the blame experiment.
+func (sw Sweep) BlameTable(site *webgen.Site) (*BlameData, error) {
+	d := &BlameData{}
+
+	// §4's Nagle stall: server Nagle re-enabled, as in NagleTable. The
+	// serial client pays a held final segment (and the client's own
+	// Nagle) per object; pipelining coalesces responses so almost no
+	// partial segment is left waiting.
+	nagleVariants := []struct {
+		label string
+		mode  httpclient.Mode
+	}{
+		{"Serial client, server Nagle", httpclient.ModeHTTP11Serial},
+		{"Pipelined client, server Nagle", httpclient.ModeHTTP11Pipelined},
+	}
+	for i, v := range nagleVariants {
+		srv := httpserver.Config{Profile: httpserver.ProfileJigsaw, NoDelay: false}
+		row, err := sw.blameCell(v.label, Scenario{
+			Server: httpserver.ProfileJigsaw, Client: v.mode,
+			Env: netem.WAN, Workload: httpclient.FirstTime,
+			Seed:           21000 + uint64(i),
+			ServerOverride: &srv,
+		}, site)
+		if err != nil {
+			return nil, err
+		}
+		d.Nagle = append(d.Nagle, row)
+	}
+
+	// Connection setup on the modem link, tuned server: HTTP/1.0 dials
+	// per object, HTTP/1.1 once.
+	setupModes := []httpclient.Mode{
+		httpclient.ModeHTTP10, httpclient.ModeHTTP11Serial, httpclient.ModeHTTP11Pipelined,
+	}
+	for i, mode := range setupModes {
+		row, err := sw.blameCell(mode.String(), Scenario{
+			Server: httpserver.ProfileApache, Client: mode,
+			Env: netem.PPP, Workload: httpclient.FirstTime,
+			Seed: 22000 + uint64(i),
+		}, site)
+		if err != nil {
+			return nil, err
+		}
+		d.Setup = append(d.Setup, row)
+	}
+
+	// Stream-priority ablation: plain mux is insensitive (every stream
+	// shares one priority band), but with server push the pushed
+	// streams ride a lower band that FIFO ignores.
+	schedVariants := []struct {
+		label string
+		mode  httpclient.Mode
+		fifo  bool
+	}{
+		{"mux, (priority, id) pump", httpclient.ModeMux, false},
+		{"mux, FIFO pump", httpclient.ModeMux, true},
+		{"mux+push, (priority, id) pump", httpclient.ModeMuxPush, false},
+		{"mux+push, FIFO pump", httpclient.ModeMuxPush, true},
+	}
+	for i, v := range schedVariants {
+		row, err := sw.blameCell(v.label, Scenario{
+			Server: httpserver.ProfileApache, Client: v.mode,
+			Env: netem.PPP, Workload: httpclient.FirstTime,
+			Seed:    23000 + uint64(i),
+			MuxFIFO: v.fifo,
+		}, site)
+		if err != nil {
+			return nil, err
+		}
+		d.Sched = append(d.Sched, row)
+	}
+
+	// The mode-diff table from two fixed single runs (no jitter, so
+	// the explanation is exact, not averaged).
+	diffRun := func(mode httpclient.Mode, seed uint64) (*causality.Analysis, error) {
+		res, err := Run(Scenario{
+			Server: httpserver.ProfileApache, Client: mode,
+			Env: netem.PPP, Workload: httpclient.FirstTime,
+			Seed: seed,
+		}, site, WithBlame())
+		if err != nil {
+			return nil, err
+		}
+		return res.Blame, nil
+	}
+	a, err := diffRun(httpclient.ModeHTTP11Pipelined, 24000)
+	if err != nil {
+		return nil, err
+	}
+	b, err := diffRun(httpclient.ModeHTTP10, 24001)
+	if err != nil {
+		return nil, err
+	}
+	d.WhyA, d.WhyB = "pipelined/PPP", "http10/PPP"
+	d.Why = causality.Diff(a, b)
+	return d, nil
+}

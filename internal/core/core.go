@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/causality"
 	"repro/internal/exp"
 	"repro/internal/faults"
 	"repro/internal/httpclient"
@@ -75,6 +76,12 @@ type Scenario struct {
 	// revision situation behind the paper's range-request discussion.
 	ReviseFraction float64
 
+	// MuxFIFO switches the mux DATA pump (both endpoints) from the
+	// default (priority, stream-id) scheduling to strict first-come-
+	// first-served stream order — the stream-priority ablation. It only
+	// affects the framed client modes.
+	MuxFIFO bool
+
 	// ServerOverride and ClientOverride, when non-nil, replace the
 	// profile- and mode-derived configurations.
 	ServerOverride *httpserver.Config
@@ -116,6 +123,9 @@ func (p *ProxyScenario) String() string {
 // String summarizes the scenario.
 func (sc Scenario) String() string {
 	s := fmt.Sprintf("%s/%s/%s/%s", sc.Server, sc.Client, sc.Env, sc.Workload)
+	if sc.MuxFIFO {
+		s += "/fifo"
+	}
 	if sc.Proxy != nil {
 		s += "/" + sc.Proxy.String()
 	}
@@ -150,6 +160,10 @@ type RunResult struct {
 	// TTFB, total — nanosecond histograms) when Run was given WithStats;
 	// nil otherwise.
 	Latency *stats.LatencySet
+	// Blame holds the causal delay attribution — per-request category
+	// breakdown and page-load critical path — when Run was given
+	// WithBlame; nil otherwise.
+	Blame *causality.Analysis
 }
 
 // ErrDidNotFinish reports a run whose client never completed the page.
@@ -190,6 +204,7 @@ type runConfig struct {
 	capture  bool
 	timeline bool
 	stats    bool
+	blame    bool
 	seed     *uint64
 	metrics  *exp.Metrics
 }
@@ -214,6 +229,15 @@ func WithTimeline() Option { return func(c *runConfig) { c.timeline = true } }
 // not perturb the simulation: a run measures identically with or
 // without it.
 func WithStats() Option { return func(c *runConfig) { c.stats = true } }
+
+// WithBlame runs the causality analyzer over the event bus: each
+// request's elapsed time is attributed to exclusive delay categories
+// (connection setup, RTO recovery, Nagle holds, flow-control stalls,
+// congestion-window waits, server think, head-of-line queueing, wire
+// time — summing exactly to elapsed), and the page-load critical path
+// is reconstructed, into RunResult.Blame. The analyzer is a passive
+// bus subscriber, so, like the timeline, it does not perturb the run.
+func WithBlame() Option { return func(c *runConfig) { c.blame = true } }
 
 // WithSeed overrides the scenario's seed for this run.
 func WithSeed(seed uint64) Option {
@@ -258,7 +282,7 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	// never perturbs the simulation — publishers observe, they do not
 	// schedule — so a flight-armed run still measures byte-identically.
 	flight := telemetry.ActiveFlight()
-	wired := cfg.timeline || flight != nil
+	wired := cfg.timeline || cfg.blame || flight != nil
 	var bus *obs.Bus
 	if wired || cfg.stats {
 		bus = obs.New(s)
@@ -345,6 +369,10 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	if sc.ServerOverride == nil {
 		serverCfg.NoDelay = true
 	}
+	if sc.MuxFIFO {
+		clientCfg.MuxFIFO = true
+		serverCfg.MuxFIFO = true
+	}
 	serverCfg.EnableDeflate = serverCfg.EnableDeflate || clientCfg.AcceptDeflate
 	if wired {
 		serverCfg.Obs = bus
@@ -416,6 +444,16 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	s.Schedule(0, func() {
 		robot.Start("/", sc.Workload, nil)
 	})
+
+	// Causality analyzer: a passive subscriber accumulating cause
+	// intervals per connection as events flow. It only reads, so an
+	// armed run stays byte-identical to an unarmed one.
+	var blameCol *causality.Collector
+	if cfg.blame {
+		blameCol = causality.NewCollector()
+		detach := bus.Subscribe(blameCol.Observe)
+		defer detach()
+	}
 
 	// Flight recorder: retain the tail of the event stream in a bounded
 	// ring, note whether the client's recovery watchdog ever fired, and
@@ -510,6 +548,9 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 	if cfg.timeline {
 		res.Timeline = bus
 	}
+	if cfg.blame {
+		res.Blame = blameCol.Finish(bus)
+	}
 	if cfg.stats {
 		// Per-request latencies derive from the client's lifecycle spans:
 		// queue = decided-to-fetch → request handed to TCP, TTFB = request
@@ -573,6 +614,17 @@ func run(sc Scenario, site *webgen.Site, cfg runConfig) (*RunResult, error) {
 		if cfg.timeline {
 			m.TimelineEvents = bus.Len()
 			m.TimelineSpans = len(bus.Spans())
+		}
+		if a := res.Blame; a != nil {
+			m.BlameConnectMs = a.Total.Ms(causality.CatConnect)
+			m.BlameRTOMs = a.Total.Ms(causality.CatRTO)
+			m.BlameNagleMs = a.Total.Ms(causality.CatNagle)
+			m.BlameFlowMs = a.Total.Ms(causality.CatFlow)
+			m.BlameSlowStartMs = a.Total.Ms(causality.CatSlowStart)
+			m.BlameServerMs = a.Total.Ms(causality.CatServer)
+			m.BlameHOLMs = a.Total.Ms(causality.CatHOL)
+			m.BlameWireMs = a.Total.Ms(causality.CatWire)
+			m.CriticalPathMs = float64(a.CriticalPath) / 1e6
 		}
 		m.Dist = res.Latency.DistMap()
 		if res.Proxy != nil {

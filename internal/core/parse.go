@@ -106,18 +106,22 @@ func ParseTopology(s string) (*ProxyScenario, error) {
 	return p, nil
 }
 
-// ParseScenario parses a "server/client/env/workload[/topology][/fault]"
-// spec — e.g. "apache/pipelined/PPP/first",
-// "apache/pipelined/PPP/first/proxy:WAN:warm", or
+// ParseScenario parses a
+// "server/client/env/workload[/fifo][/topology][/fault]" spec — e.g.
+// "apache/pipelined/PPP/first",
+// "apache/pipelined/PPP/first/proxy:WAN:warm",
+// "apache/mux/PPP/first/fifo", or
 // "apache/pipelined/WAN/first/early-close" — into a Scenario with zero
-// seed and no jitter. The optional fifth part is either a ParseTopology
-// spec interposing a shared caching proxy or a faults.Profile name; when
-// both are given the topology comes first and the fault last.
+// seed and no jitter. The optional "fifo" part (mux modes only)
+// switches the stream scheduler to first-come-first-served; the next
+// optional part is either a ParseTopology spec interposing a shared
+// caching proxy or a faults.Profile name; when both are given the
+// topology comes first and the fault last.
 func ParseScenario(spec string) (Scenario, error) {
 	parts := strings.Split(spec, "/")
-	if len(parts) < 4 || len(parts) > 6 {
+	if len(parts) < 4 || len(parts) > 7 {
 		return Scenario{}, fmt.Errorf(
-			"scenario %q: want server/client/env/workload[/topology][/fault] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie|mux|mux-push|burst; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]; fault: %s",
+			"scenario %q: want server/client/env/workload[/fifo][/topology][/fault] — server: jigsaw|apache; client: http10|serial|pipelined|deflate|netscape|msie|mux|mux-push|burst; env: LAN|WAN|PPP; workload: first|reval; topology: direct|proxy:ENV[:warm|:stale]; fault: %s",
 			spec, strings.Join(faults.Names(), "|"))
 	}
 	var sc Scenario
@@ -134,20 +138,28 @@ func ParseScenario(spec string) (Scenario, error) {
 	if sc.Workload, err = ParseWorkload(parts[3]); err != nil {
 		return Scenario{}, err
 	}
-	if len(parts) >= 5 {
-		if f, ferr := faults.Parse(parts[4]); ferr == nil {
-			if len(parts) == 6 {
-				return Scenario{}, fmt.Errorf("scenario %q: fault profile %q must be the final part", spec, parts[4])
+	rest := parts[4:]
+	if len(rest) > 0 && strings.EqualFold(rest[0], "fifo") {
+		sc.MuxFIFO = true
+		rest = rest[1:]
+	}
+	if len(rest) > 2 {
+		return Scenario{}, fmt.Errorf("scenario %q: too many parts after the workload (want [/fifo][/topology][/fault])", spec)
+	}
+	if len(rest) >= 1 {
+		if f, ferr := faults.Parse(rest[0]); ferr == nil {
+			if len(rest) == 2 {
+				return Scenario{}, fmt.Errorf("scenario %q: fault profile %q must be the final part", spec, rest[0])
 			}
 			sc.Fault = f
-		} else if sc.Proxy, err = ParseTopology(parts[4]); err != nil {
+		} else if sc.Proxy, err = ParseTopology(rest[0]); err != nil {
 			return Scenario{}, fmt.Errorf(
 				"scenario part %q is neither a topology (direct|proxy:ENV[:warm|:stale]) nor a fault profile (%s)",
-				parts[4], strings.Join(faults.Names(), "|"))
+				rest[0], strings.Join(faults.Names(), "|"))
 		}
 	}
-	if len(parts) == 6 {
-		if sc.Fault, err = faults.Parse(parts[5]); err != nil {
+	if len(rest) == 2 {
+		if sc.Fault, err = faults.Parse(rest[1]); err != nil {
 			return Scenario{}, err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -36,6 +37,25 @@ func RecordedScenario(label string) (Scenario, bool) {
 	defer scenarioRec.mu.Unlock()
 	sc, ok := scenarioRec.m[label]
 	return sc, ok
+}
+
+// RecordedScenarios returns every remembered Scenario, sorted by
+// display string. Property tests use it to replay the full scenario
+// population a sweep executed (e.g. re-running each cell with
+// attribution and checking conservation).
+func RecordedScenarios() []Scenario {
+	scenarioRec.mu.Lock()
+	defer scenarioRec.mu.Unlock()
+	labels := make([]string, 0, len(scenarioRec.m))
+	for l := range scenarioRec.m {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]Scenario, len(labels))
+	for i, l := range labels {
+		out[i] = scenarioRec.m[l]
+	}
+	return out
 }
 
 // recordScenario files sc under its display string when the recorder is

@@ -35,6 +35,10 @@ type Sweep struct {
 	// carries per-request latency distributions and each collected
 	// record its Dist quantiles.
 	Stats bool
+	// Blame runs every repetition with WithBlame, so each RunResult
+	// carries the causal delay attribution and each collected record
+	// the blame_*_ms / critical_path_ms columns.
+	Blame bool
 }
 
 // series executes the sweep's Runs×Seeds repetitions of sc, stepping the
@@ -71,6 +75,9 @@ func (sw Sweep) series(sc Scenario, site *webgen.Site, stride uint64) ([]*RunRes
 		}
 		if sw.Stats {
 			opts = append(opts, WithStats())
+		}
+		if sw.Blame {
+			opts = append(opts, WithBlame())
 		}
 		res, err := Run(one, site, opts...)
 		if err != nil {

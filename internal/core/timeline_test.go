@@ -127,7 +127,7 @@ func TestTimelineSpansMatchRequests(t *testing.T) {
 		t.Fatalf("%d reused rows, want %d", reused, len(rows)-1)
 	}
 	var buf bytes.Buffer
-	report.WriteWaterfall(&buf, bus)
+	report.WriteWaterfall(&buf, bus, nil)
 	if buf.Len() == 0 {
 		t.Fatal("empty waterfall table")
 	}

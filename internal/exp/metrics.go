@@ -117,6 +117,23 @@ type Metrics struct {
 	TimelineEvents int `json:"timeline_events,omitempty"`
 	TimelineSpans  int `json:"timeline_spans,omitempty"`
 
+	// Causal delay attribution (all zero unless the run executed with
+	// core.WithBlame): each request's elapsed time decomposed into
+	// exclusive categories, summed over requests, in milliseconds. The
+	// categories partition each request window, so their sum equals the
+	// summed request elapsed time exactly. CriticalPathMs is the length
+	// of the page-load dependency chain (root document → last-finishing
+	// object through binding constraints); lower is better.
+	BlameConnectMs   float64 `json:"blame_connect_ms,omitempty"`
+	BlameRTOMs       float64 `json:"blame_rto_ms,omitempty"`
+	BlameNagleMs     float64 `json:"blame_nagle_ms,omitempty"`
+	BlameFlowMs      float64 `json:"blame_flow_ms,omitempty"`
+	BlameSlowStartMs float64 `json:"blame_slowstart_ms,omitempty"`
+	BlameServerMs    float64 `json:"blame_server_ms,omitempty"`
+	BlameHOLMs       float64 `json:"blame_hol_ms,omitempty"`
+	BlameWireMs      float64 `json:"blame_wire_ms,omitempty"`
+	CriticalPathMs   float64 `json:"critical_path_ms,omitempty"`
+
 	// SimEvents is the number of discrete events the simulation engine
 	// fired during the run — a deterministic measure of engine work per
 	// cell. SimEventsPerSec divides it by the run's wall-clock time; it
@@ -165,6 +182,9 @@ var csvHeader = []string{
 	"push_wasted_bytes", "header_bytes_saved", "flow_control_stalls",
 	"streams_reset", "goaways", "deadlocks_detected",
 	"timeline_events", "timeline_spans",
+	"blame_connect_ms", "blame_rto_ms", "blame_nagle_ms",
+	"blame_flow_ms", "blame_slowstart_ms", "blame_server_ms",
+	"blame_hol_ms", "blame_wire_ms", "critical_path_ms",
 	"sim_events",
 	"cache_hits", "cache_misses", "cache_revalidations",
 	"cache_hit_ratio", "cache_bytes_saved", "upstream_requests",
@@ -191,6 +211,9 @@ func (m Metrics) csvRow() []string {
 		strconv.FormatInt(m.PushWastedBytes, 10), strconv.FormatInt(m.HeaderBytesSaved, 10), strconv.Itoa(m.FlowControlStalls),
 		strconv.Itoa(m.StreamsReset), strconv.Itoa(m.Goaways), strconv.Itoa(m.DeadlocksDetected),
 		strconv.Itoa(m.TimelineEvents), strconv.Itoa(m.TimelineSpans),
+		f(m.BlameConnectMs), f(m.BlameRTOMs), f(m.BlameNagleMs),
+		f(m.BlameFlowMs), f(m.BlameSlowStartMs), f(m.BlameServerMs),
+		f(m.BlameHOLMs), f(m.BlameWireMs), f(m.CriticalPathMs),
 		strconv.FormatUint(m.SimEvents, 10),
 		strconv.Itoa(m.CacheHits), strconv.Itoa(m.CacheMisses), strconv.Itoa(m.CacheRevalidations),
 		f(m.CacheHitRatio), strconv.FormatInt(m.CacheBytesSaved, 10), strconv.Itoa(m.UpstreamRequests),

@@ -42,6 +42,9 @@ func TestCSVHeaderPinned(t *testing.T) {
 		"push_wasted_bytes,header_bytes_saved,flow_control_stalls," +
 		"streams_reset,goaways,deadlocks_detected," +
 		"timeline_events,timeline_spans," +
+		"blame_connect_ms,blame_rto_ms,blame_nagle_ms," +
+		"blame_flow_ms,blame_slowstart_ms,blame_server_ms," +
+		"blame_hol_ms,blame_wire_ms,critical_path_ms," +
 		"sim_events," +
 		"cache_hits,cache_misses,cache_revalidations," +
 		"cache_hit_ratio,cache_bytes_saved,upstream_requests," +

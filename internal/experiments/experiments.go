@@ -218,6 +218,16 @@ func init() {
 		},
 	})
 	exp.Register(exp.Experiment{
+		Name: "blame", Title: "Causal delay attribution: per-request blame and critical path (paper §4)",
+		Generate: func(s *exp.Session) (any, error) {
+			return sweepFor(s, "blame").BlameTable(s.Site)
+		},
+		Render: func(w io.Writer, _ *exp.Session, d any) error {
+			report.Blame(w, d.(*core.BlameData))
+			return nil
+		},
+	})
+	exp.Register(exp.Experiment{
 		Name: "sweep", Title: "Per-run structured metrics sweep (protocol modes × environments)",
 		Skip: true,
 		Generate: func(s *exp.Session) (any, error) {

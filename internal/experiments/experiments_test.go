@@ -41,7 +41,7 @@ func TestRegisteredNames(t *testing.T) {
 	want := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11",
 		"modem", "tagcase", "css", "png", "nagle", "reset", "flush",
 		"range", "headers", "cwnd", "proxy", "faults", "variance", "mux",
-		"mux-faults"}
+		"mux-faults", "blame"}
 	got := exp.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -60,7 +60,7 @@ func TestRegisteredNames(t *testing.T) {
 // scenario-driven experiment — and its collected metrics CSV — to be
 // byte-identical between a serial and a wide worker pool.
 func TestRenderedBytesDeterministic(t *testing.T) {
-	for _, name := range []string{"3", "nagle", "faults", "variance", "mux", "mux-faults"} {
+	for _, name := range []string{"3", "nagle", "faults", "variance", "mux", "mux-faults", "blame"} {
 		s1 := session(t, 1)
 		s8 := session(t, 8)
 		out1 := render(t, s1, name)

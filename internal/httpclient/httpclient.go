@@ -125,6 +125,11 @@ type Config struct {
 
 	// BufferSize is the pipelining output buffer (paper: 1024).
 	BufferSize int
+	// MuxFIFO switches the mux session's DATA pump to strict
+	// first-come-first-served stream order instead of (priority, id)
+	// scheduling — the stream-priority ablation.
+	MuxFIFO bool
+
 	// FlushTimeout bounds how long requests sit in the buffer (paper:
 	// 1s initially, 50ms in the tuned configuration).
 	FlushTimeout time.Duration

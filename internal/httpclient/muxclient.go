@@ -79,6 +79,7 @@ func (r *Robot) dialMux() *muxConn {
 	}
 	sess := mux.NewClient(func(b []byte) { mc.conn.Write(b) })
 	sess.EnablePush = r.cfg.MuxPush
+	sess.FIFO = r.cfg.MuxFIFO
 	sess.OnHeaders = mc.onHeaders
 	sess.OnData = mc.onStreamData
 	sess.OnPushPromise = mc.onPushPromise

@@ -68,6 +68,11 @@ type Config struct {
 	// PerRequestCPU and PerConnCPU are processing costs charged to the
 	// host's single CPU.
 	PerRequestCPU, PerConnCPU time.Duration
+	// MuxFIFO switches accepted mux sessions' DATA pumps to strict
+	// first-come-first-served stream order instead of (priority, id)
+	// scheduling — the stream-priority ablation. Pushed responses then
+	// no longer yield to requested page data.
+	MuxFIFO bool
 	// NoDelay disables Nagle on accepted connections (the paper's tuned
 	// configuration).
 	NoDelay bool

@@ -43,6 +43,7 @@ func (sc *serverConn) startMux() {
 		srv.stats.BytesOut += int64(len(b))
 		sc.conn.Write(b)
 	})
+	sess.FIFO = srv.cfg.MuxFIFO
 	sess.OnHeaders = msc.onHeaders
 	sess.OnError = func(err error) {
 		srv.stats.ProtocolErrors++

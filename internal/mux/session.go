@@ -81,6 +81,13 @@ type Session struct {
 	// on a server, learned from the client's SETTINGS.
 	EnablePush bool
 
+	// FIFO switches the DATA pump from the default (priority, id)
+	// scheduling to strict first-come-first-served stream order: the
+	// earliest-opened stream with queued data drains completely before
+	// the next gets a frame (a flow-control-blocked stream yields so
+	// the session cannot wedge). The stream-priority ablation knob.
+	FIFO bool
+
 	// Callbacks. All optional; fired synchronously from Feed.
 	OnHeaders     func(st *Stream, fields []Field, endStream bool)
 	OnData        func(st *Stream, p []byte, endStream bool)
@@ -648,7 +655,9 @@ func (s *Session) emitWindowUpdate(id uint32, inc int) {
 // most urgent priority band with queued data, give each of its
 // streams (in ID order) one MaxFrameSize chunk, and stop when queues
 // or windows run dry. Window exhaustion is edge-counted as a
-// flow-control stall.
+// flow-control stall. With FIFO set, priority bands are ignored and
+// each pass serves only the earliest-opened unfinished stream, so
+// streams drain strictly in creation order.
 func (s *Session) pump() {
 	for {
 		band, any := 0, false
@@ -664,15 +673,20 @@ func (s *Session) pump() {
 			return
 		}
 		progress := false
+		served := false
 		for _, st := range s.order {
-			if st.done() || st.Priority != band {
+			if st.done() || (!s.FIFO && st.Priority != band) {
 				continue
+			}
+			if s.FIFO && served {
+				break
 			}
 			if len(st.sendBuf) == 0 {
 				// Only the end-of-stream flag is owed.
 				s.emit(FrameData, FlagEndStream, st.ID, nil)
 				st.endPending, st.endSent = false, true
 				progress = true
+				served = true
 				continue
 			}
 			n := min(len(st.sendBuf), s.MaxFrameSize)
@@ -707,6 +721,7 @@ func (s *Session) pump() {
 			st.sendWindow -= n
 			s.connSendWindow -= n
 			progress = true
+			served = true
 		}
 		if !progress {
 			return

@@ -123,6 +123,15 @@ const (
 	// Note=which window wedged ("peer-starved", "conn-window",
 	// "stream-window").
 	KindDeadlock
+	// KindSendStall records a TCP sender with pending data entering a
+	// blocked state: A=pending bytes, Note=the cause ("nagle" for a
+	// Nagle hold, "cwnd" for congestion-window exhaustion, "rwnd" for
+	// the peer's receive window). Edge-triggered: one event per stall,
+	// closed by the matching KindSendResume.
+	KindSendStall
+	// KindSendResume records a stalled TCP sender transmitting again,
+	// closing the open KindSendStall interval on the connection.
+	KindSendResume
 )
 
 var kindNames = [...]string{
@@ -132,7 +141,7 @@ var kindNames = [...]string{
 	"server-send", "cache-hit", "cache-miss", "cache-reval",
 	"fault", "client-timeout", "retry-backoff", "fallback",
 	"push-promise", "mux-frame", "flow-stall", "stream-reset",
-	"goaway", "deadlock",
+	"goaway", "deadlock", "send-stall", "send-resume",
 }
 
 // String names the kind.
@@ -335,6 +344,24 @@ func (b *Bus) RTOFire(id ConnID, rto sim.Duration, retries int) {
 		return
 	}
 	b.add(Event{Kind: KindRTOFire, Conn: id, A: int64(rto), B: int64(retries)})
+}
+
+// SendStall records a TCP sender with pending data going idle. cause
+// names the blocking condition ("nagle", "cwnd", or "rwnd"); callers
+// pass a constant, so no allocation.
+func (b *Bus) SendStall(id ConnID, cause string, pending int) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindSendStall, Conn: id, A: int64(pending), Note: cause})
+}
+
+// SendResume records a stalled sender transmitting again.
+func (b *Bus) SendResume(id ConnID) {
+	if b == nil {
+		return
+	}
+	b.add(Event{Kind: KindSendResume, Conn: id})
 }
 
 // Retransmit records a segment sent more than once.

@@ -46,8 +46,62 @@ func connHost(addr string) string {
 }
 
 // wirePid is the synthetic process id the link tracks render under;
-// host processes are numbered from 1.
-const wirePid = 100
+// host processes are numbered from 1. pathPid carries the optional
+// critical-path overlay track.
+const (
+	wirePid = 100
+	pathPid = 200
+)
+
+// PathSlice is one link of an externally computed page-load critical
+// path: the span that was the binding constraint over [From, To). The
+// causality analyzer produces these; obs only renders them, so the
+// dependency points the right way.
+type PathSlice struct {
+	Span     SpanID
+	From, To sim.Time
+}
+
+// WritePerfettoPath exports the timeline like WritePerfetto plus a
+// dedicated "critical path" process: one complete slice per path link,
+// so the gating chain root document → last object reads left to right
+// as a single highlighted track in the Perfetto UI.
+func (b *Bus) WritePerfettoPath(w io.Writer, path []PathSlice) error {
+	if b == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	return writePerfetto(w, b.events, b.conns, b.spans, pathTrackEvents(path, b.spans))
+}
+
+// pathTrackEvents renders the path links as slices on the overlay
+// track, named after the gating request.
+func pathTrackEvents(path []PathSlice, spans []SpanInfo) []traceEvent {
+	if len(path) == 0 {
+		return nil
+	}
+	names := make(map[SpanID]string, len(spans))
+	for _, sp := range spans {
+		names[sp.ID] = sp.Method + " " + sp.Path
+	}
+	evs := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: pathPid,
+			Args: map[string]any{"name": "critical path"}},
+		{Name: "thread_name", Ph: "M", Pid: pathPid, Tid: 1,
+			Args: map[string]any{"name": "gating requests"}},
+	}
+	for _, ps := range path {
+		name := names[ps.Span]
+		if name == "" {
+			name = fmt.Sprintf("span-%d", ps.Span)
+		}
+		evs = append(evs, traceEvent{Name: name, Ph: "X", Cat: "critical-path",
+			Ts: usec(ps.From), Dur: durPtr(ps.From, ps.To),
+			Pid: pathPid, Tid: 1,
+			Args: map[string]any{"span": int(ps.Span)}})
+	}
+	return evs
+}
 
 // WritePerfetto exports the timeline as Chrome trace-event / Perfetto
 // JSON: one process per simulated host plus one for the wire,
@@ -70,7 +124,13 @@ func (b *Bus) WritePerfetto(w io.Writer) error {
 // the bus's stream, while conns and spans are the bus's complete tables
 // (they are small and index-addressed, so they are never truncated).
 func WritePerfettoEvents(w io.Writer, events []Event, conns []ConnInfo, spans []SpanInfo) error {
-	var evs []traceEvent
+	return writePerfetto(w, events, conns, spans, nil)
+}
+
+// writePerfetto is the shared export body; extra carries pre-built
+// overlay events (the critical-path track) merged into the sort.
+func writePerfetto(w io.Writer, events []Event, conns []ConnInfo, spans []SpanInfo, extra []traceEvent) error {
+	evs := extra
 	emit := func(ev traceEvent) { evs = append(evs, ev) }
 
 	// Host processes, in first-connection order.
@@ -203,6 +263,10 @@ func WritePerfettoEvents(w io.Writer, events []Event, conns []ConnInfo, spans []
 			instant(ev, "goaway "+ev.Note, map[string]any{"last_stream": ev.A})
 		case KindDeadlock:
 			instant(ev, "deadlock "+ev.Note, map[string]any{"stream": ev.A})
+		case KindSendStall:
+			instant(ev, "send stall "+ev.Note, map[string]any{"pending_bytes": ev.A})
+		case KindSendResume:
+			instant(ev, "send resume", nil)
 		}
 	}
 	for id := range open {

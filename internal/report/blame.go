@@ -1,0 +1,149 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/causality"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// blameVector formats a Blame as one "cat=ms" line, every category
+// shown so the conservation sum can be eyeballed.
+func blameVector(b causality.Blame) string {
+	s := ""
+	for c := causality.Category(0); c < causality.NumCategories; c++ {
+		if c > 0 {
+			s += "  "
+		}
+		s += fmt.Sprintf("%s=%.1f", c, b.Ms(c))
+	}
+	return s
+}
+
+// BlameSummary prints the run-level attribution totals the
+// blame-annotated waterfall rows sum to, plus the critical-path
+// length. Totals are request-milliseconds: concurrent requests each
+// count their own wait, so the sum equals summed per-request elapsed
+// time, not wall time.
+func BlameSummary(w io.Writer, a *causality.Analysis) {
+	line(w, "Attribution totals over %d requests (request-ms; sum = %.1f = summed elapsed %.1f):",
+		len(a.Requests), float64(a.Total.Sum())/1e6, float64(a.Elapsed)/1e6)
+	line(w, "  %s", blameVector(a.Total))
+	line(w, "critical path: %.1f ms over %d gating requests", float64(a.CriticalPath)/1e6, len(a.Chain))
+}
+
+// pathRow joins one critical-path link with its request's identity.
+type pathRow struct {
+	link causality.ChainLink
+	path string
+}
+
+// CriticalPath renders the page-load gating chain earliest-first: one
+// row per binding constraint, the interval it gated, and — as the
+// footer — the chain's own blame partition (which sums exactly to the
+// path length).
+func CriticalPath(w io.Writer, a *causality.Analysis) {
+	paths := make(map[obs.SpanID]string, len(a.Requests))
+	for _, r := range a.Requests {
+		paths[r.Span] = r.Path
+	}
+	rows := make([]pathRow, len(a.Chain))
+	for i, l := range a.Chain {
+		rows[i] = pathRow{link: l, path: paths[l.Span]}
+	}
+	s := Spec[pathRow]{
+		Title: fmt.Sprintf("Page-load critical path: %.1f ms across %d gating requests",
+			float64(a.CriticalPath)/1e6, len(a.Chain)),
+		Width: 76,
+		Cols: []Col[pathRow]{
+			{Head: "#", Format: "%3d", Value: func(r pathRow) any { return int(r.link.Span) }},
+			{Head: "path", Format: "%-30s", Value: func(r pathRow) any { return r.path }},
+			{Head: "from s", Format: "%9.3f", Value: func(r pathRow) any { return r.link.From.Seconds() }},
+			{Head: "to s", Format: "%9.3f", Value: func(r pathRow) any { return r.link.To.Seconds() }},
+			{Head: "len ms", Format: "%9.1f", Value: func(r pathRow) any { return float64(r.link.To.Sub(r.link.From)) / 1e6 }},
+		},
+		Footer: func() []string {
+			return []string{"blame on the path (ms): " + blameVector(a.CriticalBlame)}
+		},
+	}
+	s.Render(w, rows)
+}
+
+// blameCols builds the shared column set of the blame sections: the
+// cell label, whole-fetch seconds, critical-path milliseconds, and one
+// column per attribution category (milliseconds, summed over the
+// page's requests, averaged over the sweep).
+func blameCols(labelHead string, labelWidth string) []Col[core.BlameRow] {
+	cols := []Col[core.BlameRow]{
+		{Head: labelHead, Format: labelWidth, Value: func(r core.BlameRow) any { return r.Label }},
+		{Head: "Sec", Format: "%7.2f", Value: func(r core.BlameRow) any { return r.Seconds }},
+		{Head: "CritMs", Format: "%8.1f", Value: func(r core.BlameRow) any { return r.CriticalMs }},
+		{Format: "|", Value: nil},
+	}
+	heads := [causality.NumCategories]string{
+		"conn", "rto", "nagle", "flow", "sstart", "server", "hol", "wire",
+	}
+	for c := causality.Category(0); c < causality.NumCategories; c++ {
+		cat := c
+		cols = append(cols, Col[core.BlameRow]{
+			Head: heads[c], Format: "%8.1f",
+			Value: func(r core.BlameRow) any { return r.Cats[cat] },
+		})
+	}
+	return cols
+}
+
+var blameLegend = []string{
+	"Per-request elapsed time partitioned into exclusive causes (ms, summed over requests):",
+	"conn=TCP setup  rto=retransmit recovery  nagle=Nagle holds  flow=mux window stalls",
+	"sstart=cwnd waits  server=think time  hol=head-of-line queueing  wire=transmission",
+	"CritMs = page-load critical path (root document → last object through binding constraints)",
+}
+
+// Blame renders the blame experiment: the paper's §4 attribution
+// narrative as numbers — the Nagle stall, connection-setup cost, the
+// stream-priority ablation, and a two-run "why" diff.
+func Blame(w io.Writer, d *core.BlameData) {
+	nagle := Spec[core.BlameRow]{
+		Title:     "Where did the time go? (Jigsaw; WAN first-time; server Nagle re-enabled)",
+		Width:     112,
+		PreHeader: blameLegend,
+		Cols:      blameCols("variant", "%-31s"),
+	}
+	nagle.Render(w, d.Nagle)
+	io.WriteString(w, "\n")
+
+	setup := Spec[core.BlameRow]{
+		Title: "Connection-setup attribution (Apache; PPP first-time; tuned server)",
+		Width: 112,
+		Cols:  blameCols("mode", "%-31s"),
+	}
+	setup.Render(w, d.Setup)
+	io.WriteString(w, "\n")
+
+	sched := Spec[core.BlameRow]{
+		Title: "Stream-priority ablation (Apache; PPP first-time; framed modes)",
+		Width: 112,
+		PreHeader: []string{
+			"FIFO drains streams in creation order; the default pump serves (priority, id).",
+			"The delta lives in the critical path: pushed streams no longer yield to page data.",
+		},
+		Cols: blameCols("scheduler", "%-31s"),
+	}
+	sched.Render(w, d.Sched)
+	io.WriteString(w, "\n")
+
+	diff := Spec[causality.DiffRow]{
+		Title: "Why is " + d.WhyA + " faster than " + d.WhyB + "? (fixed seeds, per-category totals, largest delta first)",
+		Width: 60,
+		Cols: []Col[causality.DiffRow]{
+			{Head: "category", Format: "%-10s", Value: func(r causality.DiffRow) any { return r.Cat.String() }},
+			{Head: "A ms", Format: "%10.1f", Value: func(r causality.DiffRow) any { return float64(r.A) / 1e6 }},
+			{Head: "B ms", Format: "%10.1f", Value: func(r causality.DiffRow) any { return float64(r.B) / 1e6 }},
+			{Head: "B-A ms", Format: "%10.1f", Value: func(r causality.DiffRow) any { return float64(r.Delta) / 1e6 }},
+		},
+	}
+	diff.Render(w, d.Why)
+}

@@ -62,6 +62,12 @@ func Direction(metric string) int {
 	case "cache_hits", "cache_hit_ratio", "cache_bytes_saved",
 		"requests_recovered", "engine_speedup_ratio":
 		return -1
+	case "critical_path_ms":
+		// The page-load gating chain's length: lower is better. Listed
+		// explicitly (though it matches the cost-like default) because
+		// perfdiff gates on it — the blame_*_ms columns are
+		// request-second totals and fall through to the same polarity.
+		return 1
 	}
 	// Throughput metrics (events_per_sec, packets_per_sec, ...): higher
 	// is better.

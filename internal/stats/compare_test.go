@@ -65,6 +65,22 @@ func TestCompareHigherIsBetterMetrics(t *testing.T) {
 	}
 }
 
+// TestDirectionCriticalPath: the attribution metrics gate as
+// lower-is-better costs — a critical-path increase is a regression.
+func TestDirectionCriticalPath(t *testing.T) {
+	for _, metric := range []string{"critical_path_ms", "blame_nagle_ms", "blame_connect_ms"} {
+		if d := Direction(metric); d != 1 {
+			t.Errorf("Direction(%q) = %d, want 1 (higher is worse)", metric, d)
+		}
+	}
+	old := samples("a/b", "critical_path_ms", 100, 101, 99, 100, 100)
+	new := samples("a/b", "critical_path_ms", 150, 151, 149, 150, 150)
+	ds := Compare(old, new, Options{ThresholdPct: 5})
+	if len(ds) != 1 || !ds[0].Regression || ds[0].Improvement {
+		t.Fatalf("critical-path growth not a regression: %+v", ds)
+	}
+}
+
 // TestCompareSkipsNeutralAndUnpaired: bookkeeping metrics and cells
 // missing on one side produce no deltas.
 func TestCompareSkipsNeutralAndUnpaired(t *testing.T) {

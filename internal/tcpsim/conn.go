@@ -58,6 +58,12 @@ type Conn struct {
 	err                error
 	closeSignaled      bool
 	timeWaitTimer      sim.TimerHandle
+
+	// stallCause tracks the open obs.SendStall interval on this
+	// connection (stallNone when the sender is flowing). Only ever set
+	// while an event bus is attached, so the matching SendResume always
+	// reaches the same bus.
+	stallCause uint8
 }
 
 func newConn(h *Host, local, remote Addr, opts Options, handler Handler) *Conn {
@@ -576,6 +582,13 @@ func (c *Conn) trySend() {
 		}
 		avail := wnd - int(c.sndNxt-c.sndUna)
 		if avail <= 0 {
+			if b := c.host.net.Obs; b != nil {
+				cause := stallCwnd
+				if c.peerWnd < c.cwnd {
+					cause = stallRwnd
+				}
+				c.noteStall(b, cause, pending)
+			}
 			break
 		}
 		n := pending
@@ -590,6 +603,7 @@ func (c *Conn) trySend() {
 			// Nagle: a small segment waits while data is outstanding.
 			if b := c.host.net.Obs; b != nil {
 				b.NagleHold(c.obsID, pending)
+				c.noteStall(b, stallNagle, pending)
 			}
 			break
 		}
@@ -607,6 +621,7 @@ func (c *Conn) trySend() {
 		if fin {
 			flags |= FlagFIN
 		}
+		c.noteResume()
 		retrans := seqLT(c.sndNxt, c.sndMax)
 		if !retrans && !c.rttSampling {
 			c.rttSampling = true
@@ -622,9 +637,46 @@ func (c *Conn) trySend() {
 	}
 	// Bare FIN when the buffer is fully transmitted.
 	if c.finPending && !c.finSent && int(c.sndNxt-c.sndBase) >= len(c.sndBuf) {
+		c.noteResume()
 		c.sendSegment(FlagFIN|FlagACK, c.sndNxt, nil, false)
 		c.markFinSent()
 		c.armRTO()
+	}
+}
+
+// Send-stall causes, in obs.SendStall Note vocabulary.
+const (
+	stallNone  uint8 = iota
+	stallNagle       // Nagle: small segment held behind unacked data
+	stallCwnd        // congestion window exhausted
+	stallRwnd        // peer receive window exhausted
+)
+
+var stallCauseNames = [...]string{"", "nagle", "cwnd", "rwnd"}
+
+// noteStall opens (or re-labels) the connection's send-stall interval.
+// Edge-triggered: repeated attempts blocked for the same cause publish
+// nothing, so event volume stays proportional to state transitions.
+func (c *Conn) noteStall(b *obs.Bus, cause uint8, pending int) {
+	if c.stallCause == cause {
+		return
+	}
+	if c.stallCause != stallNone {
+		b.SendResume(c.obsID)
+	}
+	c.stallCause = cause
+	b.SendStall(c.obsID, stallCauseNames[cause], pending)
+}
+
+// noteResume closes the open send-stall interval, if any, just before
+// the sender transmits again.
+func (c *Conn) noteResume() {
+	if c.stallCause == stallNone {
+		return
+	}
+	c.stallCause = stallNone
+	if b := c.host.net.Obs; b != nil {
+		b.SendResume(c.obsID)
 	}
 }
 
